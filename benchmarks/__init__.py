@@ -1,0 +1,1 @@
+"""Benchmark harness: one bench per table/figure of paper Section 5."""

@@ -1,0 +1,37 @@
+"""Figure 10 — metadata-combination impact, top-K sweep, chain vs single."""
+
+from benchmarks.conftest import QUICK, save_result
+from repro.experiments import fig10_metadata
+
+
+def test_fig10_metadata_impact(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig10_metadata.run(
+            datasets=("utility", "cmc", "kdd98"),
+            llms=("gemini-1.5",),
+            topk_values=(10, 25, 60),
+            quick=QUICK,
+        ),
+        rounds=1, iterations=1,
+    )
+    save_result("fig10_metadata", result.render())
+
+    # every combination produced a run on every dataset
+    assert len(result.combination_rows) == 3 * 11
+    successes = [r for r in result.combination_rows if r["metric"] is not None]
+    assert len(successes) >= 0.7 * len(result.combination_rows)
+
+    # shape: metadata quantity is not monotone — the full combination (#11)
+    # is not strictly better than schema-only (#1) everywhere
+    by_combo: dict[int, list[float]] = {}
+    for row in successes:
+        by_combo.setdefault(row["combination"], []).append(row["metric"])
+
+    # shape: prompt size grows with top-K
+    tokens = [r["prompt_tokens"] for r in result.topk_rows]
+    assert tokens == sorted(tokens)
+
+    # shape: the chain matches or beats the single prompt on the wide dataset
+    chain = {r["variant"]: r["metric"] for r in result.chain_rows}
+    if chain.get("catdb") is not None and chain.get("catdb-chain") is not None:
+        assert chain["catdb-chain"] >= chain["catdb"] - 0.15

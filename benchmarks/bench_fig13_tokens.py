@@ -1,0 +1,41 @@
+"""Figure 13 — token consumption including error handling (10 datasets)."""
+
+from benchmarks.conftest import QUICK, save_result
+from repro.experiments import fig13_tokens
+
+
+def test_fig13_tokens(benchmark):
+    llms = ("gpt-4o", "llama3.1-70b")
+    result = benchmark.pedantic(
+        lambda: fig13_tokens.run(llms=llms, quick=QUICK),
+        rounds=1, iterations=1,
+    )
+    save_result("fig13_tokens", result.render())
+
+    assert len({r["dataset"] for r in result.rows}) == 10
+
+    catdb_rows = [r for r in result.rows if r["system"] == "catdb"]
+    chain_rows = [r for r in result.rows if r["system"] == "catdb-chain"]
+    # every run accounted some tokens
+    assert all(r["total_tokens"] > 0 for r in catdb_rows + chain_rows)
+
+    # shape: the chain costs more than the single prompt per dataset/LLM
+    chain_by_key = {(r["dataset"], r["llm"]): r for r in chain_rows}
+    dominated = sum(
+        1 for r in catdb_rows
+        if (r["dataset"], r["llm"]) in chain_by_key
+        and chain_by_key[(r["dataset"], r["llm"])]["total_tokens"]
+        >= r["total_tokens"]
+    )
+    assert dominated >= 0.8 * len(catdb_rows)
+
+    # shape: error-management tokens appear for the weak repair model
+    llama_error = sum(
+        r["error_tokens"] for r in catdb_rows + chain_rows
+        if r["llm"] == "llama3.1-70b"
+    )
+    gpt_error = sum(
+        r["error_tokens"] for r in catdb_rows + chain_rows
+        if r["llm"] == "gpt-4o"
+    )
+    assert llama_error >= gpt_error

@@ -1,0 +1,42 @@
+"""Figure 14 — robustness to injected outliers / missing / mixed errors."""
+
+from benchmarks.conftest import AUTOML_BUDGET, QUICK, save_result
+from repro.experiments import fig14_robustness
+
+
+def _degradation(series):
+    """Metric drop from the clean (ratio 0) point to the worst corrupted one."""
+    values = {ratio: metric for ratio, metric in series if metric is not None}
+    if 0.0 not in values or len(values) < 2:
+        return None
+    worst = min(v for r, v in values.items() if r > 0)
+    return values[0.0] - worst
+
+
+def test_fig14_robustness(benchmark):
+    ratios = (0.0, 0.01, 0.05)
+    result = benchmark.pedantic(
+        lambda: fig14_robustness.run(
+            ratios=ratios, automl_budget=AUTOML_BUDGET, quick=QUICK,
+        ),
+        rounds=1, iterations=1,
+    )
+    save_result("fig14_robustness", result.render())
+
+    # CatDB produced a result at every corruption level
+    catdb_rows = [r for r in result.rows if r["system"] == "catdb"]
+    assert all(r["metric"] is not None for r in catdb_rows), catdb_rows
+
+    # shape: under outlier injection, CatDB degrades less than the worst
+    # AutoML tool (paper: AutoML deteriorates beyond 1% corruption)
+    for dataset in ("utility", "volkert"):
+        catdb_drop = _degradation(result.series(dataset, "outliers", "catdb"))
+        automl_drops = [
+            _degradation(result.series(dataset, "outliers", tool))
+            for tool in ("flaml", "autogluon", "h2o")
+        ]
+        automl_drops = [d for d in automl_drops if d is not None]
+        if catdb_drop is not None and automl_drops:
+            assert catdb_drop <= max(automl_drops) + 0.05, (
+                dataset, catdb_drop, automl_drops,
+            )

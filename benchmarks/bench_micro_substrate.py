@@ -1,0 +1,94 @@
+"""Micro-benchmarks of the substrate layers.
+
+Not paper artifacts — these time the building blocks every experiment
+rests on (profiling, vectorization, tree fitting, prompt construction,
+simulated LLM round-trips), so substrate regressions are visible
+independently of the end-to-end replays.
+"""
+
+import numpy as np
+
+from repro.catalog.profiler import profile_table
+from repro.datasets.registry import load_dataset
+from repro.generation.executor import execute_pipeline_code
+from repro.llm.codegen import generate_pipeline_code
+from repro.llm.mock import MockLLM
+from repro.llm.profiles import get_profile
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.pipeline import TableVectorizer
+from repro.prompt.builder import build_prompt_plan
+from repro.table.table import Table
+
+
+def _wide_table(n=800, d=40, seed=0):
+    rng = np.random.default_rng(seed)
+    data = {f"v{i}": rng.normal(size=n) for i in range(d)}
+    data["cat"] = rng.choice(["a", "b", "c", "d"], size=n).tolist()
+    data["y"] = np.where(rng.normal(size=n) > 0, "p", "n").tolist()
+    return Table.from_dict(data, name="micro")
+
+
+def test_micro_profiling(benchmark):
+    table = _wide_table()
+    catalog = benchmark(
+        lambda: profile_table(table, target="y", task_type="binary")
+    )
+    assert len(catalog) == 42
+
+
+def test_micro_vectorizer(benchmark):
+    table = _wide_table()
+    vectorizer = TableVectorizer(target="y").fit(table)
+
+    X = benchmark(lambda: vectorizer.transform(table))
+    assert X.shape[0] == table.n_rows
+
+
+def test_micro_forest_fit(benchmark):
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(600, 20))
+    y = np.where(X[:, 0] + X[:, 1] > 0, "a", "b")
+
+    model = benchmark(
+        lambda: RandomForestClassifier(
+            n_estimators=10, max_depth=8, random_state=0
+        ).fit(X, y)
+    )
+    assert model.score(X, y) > 0.8
+
+
+def test_micro_prompt_construction(benchmark):
+    table = _wide_table()
+    catalog = profile_table(table, target="y", task_type="binary")
+
+    plan = benchmark(lambda: build_prompt_plan(catalog, beta=1))
+    assert plan.single is not None
+
+
+def test_micro_llm_roundtrip(benchmark):
+    table = _wide_table()
+    catalog = profile_table(table, target="y", task_type="binary")
+    plan = build_prompt_plan(catalog, beta=1)
+    llm = MockLLM("gpt-4o", fault_injection=False)
+
+    response = benchmark(lambda: llm.complete(plan.single.text))
+    assert "<CODE>" in response.content
+
+
+def test_micro_pipeline_execution(benchmark):
+    table = _wide_table()
+    catalog = profile_table(table, target="y", task_type="binary")
+    plan = build_prompt_plan(catalog, beta=1)
+    payload = {
+        "task": "pipeline",
+        "dataset": catalog.info.to_dict(),
+        "schema": plan._full_schema,
+        "rules": [r.to_payload() for r in plan.rules],
+    }
+    code = generate_pipeline_code(payload, get_profile("gpt-4o"))
+    train, test = table.take(range(560)), table.take(range(560, 800))
+
+    result = benchmark.pedantic(
+        lambda: execute_pipeline_code(code, train, test), rounds=3, iterations=1
+    )
+    assert result.success

@@ -1,0 +1,25 @@
+"""Table 4 — catalog refinement distinct-value reduction (6 datasets)."""
+
+from benchmarks.conftest import QUICK, save_result
+from repro.experiments import table4_refinement
+
+
+def test_table04_refinement(benchmark):
+    result = benchmark.pedantic(
+        lambda: table4_refinement.run(quick=QUICK), rounds=1, iterations=1
+    )
+    save_result("table04_refinement", result.render())
+
+    assert result.rows, "refinement should touch columns on every dirty dataset"
+    # shape: systematic reduction of distinct items on refined columns
+    reduced = [r for r in result.rows if r["refined"] < r["original"]]
+    assert len(reduced) >= 0.6 * len(result.rows)
+    reduction = result.reduction_by_dataset()
+    # the messy-categorical datasets shrink substantially
+    assert reduction.get("wifi", 0) > 0.4
+    assert reduction.get("etailing", 0) > 0.2
+    # list features detected on yelp
+    assert any(
+        r["dataset"] == "yelp" and r["operation"] == "list_feature"
+        for r in result.rows
+    )

@@ -1,0 +1,34 @@
+"""Table 5 — accuracy on the six cleaning datasets (original vs refined vs
+baselines vs cleaning+AutoML workflows)."""
+
+from benchmarks.conftest import AUTOML_BUDGET, QUICK, save_result
+from repro.experiments import table5_accuracy
+
+
+def test_table05_cleaning_accuracy(benchmark):
+    result = benchmark.pedantic(
+        lambda: table5_accuracy.run(
+            llm_name="gemini-1.5", automl_budget=AUTOML_BUDGET, quick=QUICK
+        ),
+        rounds=1, iterations=1,
+    )
+    save_result("table05_cleaning_accuracy", result.render())
+
+    datasets = {r["dataset"] for r in result.rows}
+    assert datasets == {"eu_it", "wifi", "etailing", "survey", "utility", "yelp"}
+
+    # shape: refinement lifts CatDB's test metric on the dirty-label datasets
+    gains = []
+    for name in ("eu_it", "etailing"):
+        original = result.cell(name, "catdb-original")
+        refined = result.cell(name, "catdb-refined")
+        if original and refined and original["test"] and refined["test"]:
+            gains.append(refined["test"] - original["test"])
+    assert gains and max(gains) > 0.05
+
+    # shape: refined CatDB is never catastrophically below original
+    for name in datasets:
+        original = result.cell(name, "catdb-original")
+        refined = result.cell(name, "catdb-refined")
+        if original and refined and original["test"] and refined["test"]:
+            assert refined["test"] >= original["test"] - 0.10

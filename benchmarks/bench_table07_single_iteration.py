@@ -1,0 +1,44 @@
+"""Table 7 — single-iteration performance on 8 datasets, all systems."""
+
+from benchmarks.conftest import LLMS, QUICK, save_result
+from repro.experiments import table7_single_iteration
+
+
+def test_table07_single_iteration(benchmark):
+    result = benchmark.pedantic(
+        lambda: table7_single_iteration.run(llms=LLMS, quick=QUICK),
+        rounds=1, iterations=1,
+    )
+    save_result("table07_single_iteration", result.render())
+
+    datasets = list(dict.fromkeys(r["dataset"] for r in result.rows))
+    assert len(datasets) == 8
+
+    # shape: CatDB and CatDB Chain succeed on every dataset/LLM pair
+    for dataset in datasets:
+        for llm in LLMS:
+            for system in ("catdb", "catdb-chain"):
+                row = result.cell(dataset, llm, system)
+                assert row is not None and not row["failure"], (
+                    dataset, llm, system, row,
+                )
+
+    # shape: CAAFE-TabPFN OOMs on the large multi-table datasets
+    ooms = [
+        result.cell(d, llm, "caafe-tabpfn")
+        for d in ("airline", "imdb", "accidents", "financial")
+        for llm in LLMS
+    ]
+    assert any(row and row["failure"] == "OOM" for row in ooms)
+
+    # shape: Auto-Sklearn OOMs on paper-scale multi-table data and TOs on CMC
+    for dataset in ("airline", "imdb", "accidents", "financial"):
+        row = result.cell(dataset, None, "autosklearn")
+        assert row and row["failure"] == "OOM", (dataset, row)
+    cmc = result.cell("cmc", None, "autosklearn")
+    assert cmc and cmc["failure"] in ("TO", "OOM")
+
+    # shape: Auto-Sklearn succeeds on the single-table regression datasets
+    for dataset in ("bike_sharing", "house_sales", "nyc"):
+        row = result.cell(dataset, None, "autosklearn")
+        assert row and (not row["failure"]), (dataset, row)

@@ -1,0 +1,33 @@
+"""Table 8 — end-to-end generation runtime (Fail/AVG/SUM per system/LLM)."""
+
+from benchmarks.conftest import LLMS, QUICK, save_result
+from repro.experiments import table8_runtime
+
+
+def test_table08_runtime(benchmark):
+    result = benchmark.pedantic(
+        lambda: table8_runtime.run(llms=LLMS, quick=QUICK),
+        rounds=1, iterations=1,
+    )
+    save_result("table08_runtime", result.render())
+
+    summary = {(s["system"], s["llm"]): s for s in result.summary()}
+
+    # shape: CatDB and CatDB Chain never fail (paper: Fail = 0 everywhere)
+    for llm in LLMS:
+        assert summary[("catdb", llm)]["fail"] == 0
+        assert summary[("catdb-chain", llm)]["fail"] == 0
+
+    # shape: the baselines fail more often than CatDB
+    baseline_fails = sum(
+        summary[(system, llm)]["fail"]
+        for system in ("caafe-tabpfn", "aide", "autogen")
+        for llm in LLMS
+        if (system, llm) in summary
+    )
+    catdb_fails = sum(summary[("catdb", llm)]["fail"] for llm in LLMS)
+    assert baseline_fails > catdb_fails
+
+    # CatDB's average runtime stays bounded (quick mode: small datasets)
+    for llm in LLMS:
+        assert summary[("catdb", llm)]["avg"] is not None

@@ -1,0 +1,46 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*`` file regenerates one table or figure of the paper's
+Section 5.  Drivers run once per session (``benchmark.pedantic`` with a
+single round — these are end-to-end experiment replays, not
+micro-benchmarks), print the paper-style rendering, and persist it under
+``benchmarks/results/``.
+
+Set ``REPRO_BENCH_FULL=1`` to run the full paper protocol (all LLM
+profiles, 10 iterations, full dataset sizes); the default quick mode
+shrinks sizes so the whole suite completes in minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+QUICK = not FULL
+ITERATIONS = 10 if FULL else 2
+LLMS = ("gpt-4o", "gemini-1.5", "llama3.1-70b") if FULL else (
+    "gpt-4o", "llama3.1-70b"
+)
+AUTOML_BUDGET = 15.0 if FULL else 3.5
+
+
+def save_result(name: str, rendered: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(rendered + "\n", encoding="utf-8")
+    print("\n" + rendered)
+
+
+@pytest.fixture(scope="session")
+def fig11_runs():
+    """Shared Figure 11/12 source runs (expensive; computed once)."""
+    from repro.experiments import fig11_iterations
+
+    return fig11_iterations.run(
+        llms=LLMS, iterations=ITERATIONS, quick=QUICK,
+    )

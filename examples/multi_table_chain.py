@@ -1,0 +1,47 @@
+"""CatDB Chain on a multi-table dataset (the paper's Financial schema).
+
+Demonstrates (1) joining an 8-table schema into the unified table the
+catalog profiles, (2) chained prompt generation for wide schemas
+(beta > 1), and (3) the Equation-2 cost decomposition per chain section.
+
+Run with:  python examples/multi_table_chain.py
+"""
+
+from repro import LLM, CatDBChain
+from repro.datasets import load_dataset
+from repro.ml import train_test_split
+
+
+def main() -> None:
+    bundle = load_dataset("financial", n=1200)
+    print(f"dataset: {bundle.name} — {len(bundle.tables)} tables")
+    for t in bundle.tables:
+        print(f"  {t.name:12s} shape={t.shape}")
+    unified = bundle.unified
+    print(f"unified (joined): shape={unified.shape}")
+
+    labels = [str(v) for v in unified[bundle.target]]
+    train, test = train_test_split(
+        unified, test_size=0.3, random_state=0, stratify=labels
+    )
+    catalog = bundle.profile()
+
+    llm = LLM("gpt-4o", config={"seed": 1})
+    generator = CatDBChain(llm, beta=3)
+    report = generator.generate(train, test, catalog)
+
+    print(f"\nsuccess: {report.success}")
+    print("metrics:", {k: round(v, 4) if isinstance(v, float) else v
+                       for k, v in report.metrics.items()})
+    print(f"\nchain interactions (gamma): {report.cost.gamma}")
+    print("cost per section (Equation 2 decomposition):")
+    for section, tokens in report.cost.cost_by_section().items():
+        print(f"  {section:18s} {tokens:8d} tokens")
+    print(f"error prompts: {report.cost.n_error_prompts} "
+          f"(KB fixes {report.kb_fixes}, LLM fixes {report.llm_fixes})")
+    print(f"simulated LLM latency: {report.llm_latency_seconds:.1f}s  "
+          f"pipeline runtime: {report.pipeline_runtime_seconds:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

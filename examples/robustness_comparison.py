@@ -1,0 +1,58 @@
+"""Data-centric robustness: CatDB vs AutoML under injected corruption.
+
+Reproduces the Figure-14 protocol on one dataset: inject growing ratios of
+outliers into the Utility regression dataset and compare how CatDB's
+generated (rule-guided) pipeline and the mini-AutoML tools degrade.
+
+Run with:  python examples/robustness_comparison.py
+"""
+
+from repro.baselines.automl import AutoGluonLike, FlamlLike
+from repro.catalog.profiler import profile_table
+from repro.datasets import inject_outliers, load_dataset
+from repro.generation.generator import CatDB
+from repro.llm.mock import MockLLM
+from repro.ml import train_test_split
+
+
+def main() -> None:
+    bundle = load_dataset("utility", n=1200)
+    unified = bundle.unified
+    train, test = train_test_split(unified, test_size=0.3, random_state=0)
+
+    ratios = (0.0, 0.01, 0.03, 0.05)
+    systems = ["catdb", "flaml", "autogluon"]
+    results: dict[str, list[float | None]] = {s: [] for s in systems}
+
+    for ratio in ratios:
+        corrupted_train = inject_outliers(train, bundle.target, ratio, seed=0)
+        corrupted_test = inject_outliers(test, bundle.target, ratio, seed=1)
+
+        catalog = profile_table(
+            corrupted_train, target=bundle.target, task_type="regression"
+        )
+        report = CatDB(MockLLM("gemini-1.5", fault_injection=False)).generate(
+            corrupted_train, corrupted_test, catalog
+        )
+        results["catdb"].append(report.metrics.get("test_r2"))
+
+        for name, tool_cls in (("flaml", FlamlLike), ("autogluon", AutoGluonLike)):
+            tool_report = tool_cls(time_budget_seconds=5).run(
+                corrupted_train, corrupted_test, bundle.target, "regression"
+            )
+            results[name].append(tool_report.metrics.get("test_r2"))
+
+    header = "system     " + "".join(f"{r:>9.0%}" for r in ratios)
+    print(header)
+    print("-" * len(header))
+    for system, series in results.items():
+        cells = "".join(
+            f"{v:>9.3f}" if v is not None else "     fail" for v in series
+        )
+        print(f"{system:10s} {cells}")
+    print("\n(The rule-guided CatDB pipeline winsorizes outliers; the AutoML "
+          "tools train on the raw corrupted features.)")
+
+
+if __name__ == "__main__":
+    main()

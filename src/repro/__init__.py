@@ -1,0 +1,41 @@
+"""repro — reproduction of CatDB (PVLDB 2025).
+
+CatDB: data-catalog-guided, LLM-based generation of data-centric ML
+pipelines.  The public surface mirrors the paper's user API:
+
+>>> from repro import catdb_collect, catdb_pipgen, LLM
+>>> md = catdb_collect({"data": table, "target": "Salary", "task_type": "regression"})
+>>> llm = LLM("gpt-4o")
+>>> P = catdb_pipgen(md, llm, data=table)
+>>> P.code      # source code of the generated pipeline
+>>> P.results   # outputs of the pipeline's execution
+"""
+
+from repro.api import LLM, PipelineResult, catdb_collect, catdb_pipgen, catdb_refine
+from repro.catalog import DataCatalog, profile_dataset, profile_table, refine_catalog
+from repro.generation import CatDB, CatDBChain, GenerationReport, KnowledgeBase
+from repro.llm import MockLLM
+from repro.table import Table, read_csv, write_csv
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LLM",
+    "PipelineResult",
+    "catdb_collect",
+    "catdb_pipgen",
+    "catdb_refine",
+    "DataCatalog",
+    "profile_dataset",
+    "profile_table",
+    "refine_catalog",
+    "CatDB",
+    "CatDBChain",
+    "GenerationReport",
+    "KnowledgeBase",
+    "MockLLM",
+    "Table",
+    "read_csv",
+    "write_csv",
+    "__version__",
+]

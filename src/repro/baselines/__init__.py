@@ -1,0 +1,41 @@
+"""Comparator systems (paper Section 5.1, "Baseline Comparisons").
+
+- LLM-based: CAAFE (feature engineering + fixed model), AIDE (iterative
+  agent), AutoGen (multi-agent conversation), each driven by the same
+  simulated LLM profiles as CatDB.
+- AutoML: four mini-AutoML tools with distinct search strategies and the
+  paper's empirical failure modes (H2O, FLAML, AutoGluon, Auto-Sklearn).
+- AutoML workflows: data cleaning (SAGA-like, Learn2Clean-like) and
+  augmentation (ADASYN-like, imbalanced regression) composed in front of
+  the AutoML tools.
+"""
+
+from repro.baselines.aide import AIDEBaseline
+from repro.baselines.autogen import AutoGenBaseline
+from repro.baselines.automl import (
+    AutoGluonLike,
+    AutoSklearnLike,
+    FlamlLike,
+    H2OLike,
+    MiniAutoML,
+)
+from repro.baselines.base import BaselineReport
+from repro.baselines.caafe import CAAFEBaseline
+from repro.baselines.cleaning import Learn2CleanLike, SagaLike
+from repro.baselines.augmentation import adasyn_like, imbalanced_regression_resample
+
+__all__ = [
+    "AIDEBaseline",
+    "AutoGenBaseline",
+    "AutoGluonLike",
+    "AutoSklearnLike",
+    "FlamlLike",
+    "H2OLike",
+    "MiniAutoML",
+    "BaselineReport",
+    "CAAFEBaseline",
+    "Learn2CleanLike",
+    "SagaLike",
+    "adasyn_like",
+    "imbalanced_regression_resample",
+]

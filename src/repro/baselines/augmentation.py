@@ -1,0 +1,124 @@
+"""Augmentation comparators: ADASYN-like oversampling and imbalanced
+regression resampling (paper Section 5.1: "data augmentation w/ ADASYN for
+classification and Imbalanced Learning Regression").
+
+Both operate on :class:`Table` objects so they can sit between a cleaning
+step and an AutoML tool in the workflow benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.table.column import Column, ColumnKind
+from repro.table.table import Table
+
+__all__ = ["adasyn_like", "imbalanced_regression_resample"]
+
+
+def adasyn_like(
+    table: Table, target: str, seed: int = 0, k: int = 5
+) -> Table:
+    """Density-adaptive minority oversampling on the numeric feature space.
+
+    Minority rows whose neighbourhood contains more majority examples get
+    more synthetic copies (the ADASYN weighting); categorical features are
+    copied from the seed row.
+    """
+    labels = [str(v) for v in table[target]]
+    values, counts = np.unique(np.asarray(labels, dtype=object), return_counts=True)
+    if len(values) < 2:
+        return table
+    majority = int(counts.max())
+    rng = np.random.default_rng(seed)
+    numeric = [
+        c.name for c in table
+        if c.kind is ColumnKind.NUMERIC and c.name != target
+    ]
+    if not numeric:
+        return table
+    X = np.column_stack([
+        np.nan_to_num(table[n].numeric_values(), nan=0.0) for n in numeric
+    ])
+    std = X.std(axis=0)
+    Z = (X - X.mean(axis=0)) / np.where(std > 0, std, 1.0)
+    label_arr = np.asarray(labels, dtype=object)
+
+    synthetic_rows: list[dict] = []
+    for value, count in zip(values, counts):
+        need = majority - int(count)
+        if need <= 0:
+            continue
+        members = np.flatnonzero(label_arr == value)
+        # ADASYN weight: fraction of k nearest neighbours from other classes
+        d2 = (
+            np.sum(Z[members] ** 2, axis=1, keepdims=True)
+            - 2 * Z[members] @ Z.T + np.sum(Z**2, axis=1)
+        )
+        order = np.argsort(d2, axis=1)[:, 1 : k + 1]
+        hardness = np.array([
+            np.mean(label_arr[neigh] != value) for neigh in order
+        ])
+        weights = hardness + 1e-3
+        weights = weights / weights.sum()
+        allocation = rng.multinomial(need, weights)
+        for member, n_new in zip(members, allocation):
+            same = [m for m in np.flatnonzero(label_arr == value) if m != member]
+            for _ in range(int(n_new)):
+                partner = same[int(rng.integers(0, len(same)))] if same else member
+                alpha = float(rng.uniform(0, 1))
+                row = table.row(int(member))
+                partner_row = table.row(int(partner))
+                for name in numeric:
+                    a, b = row[name], partner_row[name]
+                    if a is None or b is None:
+                        continue
+                    row[name] = a + alpha * (b - a)
+                synthetic_rows.append(row)
+    if not synthetic_rows:
+        return table
+    extra = Table.from_rows(synthetic_rows, columns=table.column_names, name=table.name)
+    return _align_kinds(table, extra)
+
+
+def imbalanced_regression_resample(
+    table: Table, target: str, seed: int = 0, rare_quantile: float = 0.15
+) -> Table:
+    """Oversample rows with rare (extreme-quantile) target values.
+
+    The regression analogue of class rebalancing: targets below/above the
+    ``rare_quantile`` tails are duplicated with small feature jitter.
+    """
+    y = table[target].astype_numeric().numeric_values()
+    finite = y[~np.isnan(y)]
+    if finite.size < 20:
+        return table
+    lo = np.quantile(finite, rare_quantile)
+    hi = np.quantile(finite, 1.0 - rare_quantile)
+    rare = np.flatnonzero((~np.isnan(y)) & ((y < lo) | (y > hi)))
+    if rare.size == 0:
+        return table
+    rng = np.random.default_rng(seed)
+    numeric = [
+        c.name for c in table
+        if c.kind is ColumnKind.NUMERIC and c.name != target
+    ]
+    rows = []
+    for i in rare:
+        row = table.row(int(i))
+        for name in numeric:
+            if row[name] is not None:
+                scale = abs(row[name]) * 0.02 + 1e-3
+                row[name] = row[name] + float(rng.normal(0, scale))
+        rows.append(row)
+    extra = Table.from_rows(rows, columns=table.column_names, name=table.name)
+    return _align_kinds(table, extra)
+
+
+def _align_kinds(base: Table, extra: Table) -> Table:
+    """Concat helper tolerant to inferred-kind drift in synthetic rows."""
+    fixed = Table(name=extra.name)
+    for name in base.column_names:
+        source = extra[name]
+        fixed.add_column(Column(name, source.to_list(), kind=base[name].kind))
+    return base.concat_rows(fixed)

@@ -1,0 +1,25 @@
+"""Mini-AutoML tools emulating the paper's comparators.
+
+Each tool shares the :class:`MiniAutoML` engine (time-budgeted search over
+candidate configurations with cross-validated selection) but differs in
+search strategy, candidate portfolio, ensembling, resource envelope, and
+failure modes — the properties that drive the paper's comparative results.
+"""
+
+from repro.baselines.automl.base import AutoMLResult, Candidate, MiniAutoML
+from repro.baselines.automl.tools import (
+    AutoGluonLike,
+    AutoSklearnLike,
+    FlamlLike,
+    H2OLike,
+)
+
+__all__ = [
+    "AutoMLResult",
+    "Candidate",
+    "MiniAutoML",
+    "AutoGluonLike",
+    "AutoSklearnLike",
+    "FlamlLike",
+    "H2OLike",
+]

@@ -1,0 +1,255 @@
+"""The shared mini-AutoML engine.
+
+A tool is a candidate portfolio plus a search policy over it, run under a
+wall-clock time budget and a (paper-scale) memory envelope.  The paper's
+protocol sets the AutoML time budget to the measured CatDB runtime
+(Section 5.5); the engine honours whatever budget the caller passes.
+
+Failure modes reproduce the paper's markers:
+
+- **OOM** — the tool refuses datasets whose *paper-scale* size
+  (``paper_cells = paper_rows x paper_cols``, carried via ``meta``)
+  exceeds its memory envelope.  The reproduction runs on scaled-down data,
+  so the envelope is checked against the original dataset's footprint —
+  that is what actually blew up in the paper's testbed.
+- **TO** — no candidate finished within the budget (virtual startup cost
+  plus real search time).
+- **N/A** — the tool does not support the task configuration.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.baselines.base import BaselineReport, default_vectorize, evaluate_predictions
+from repro.ml.base import BaseEstimator, clone
+from repro.ml.metrics import accuracy_score, r2_score
+from repro.ml.model_selection import train_test_split
+from repro.table.table import Table
+
+__all__ = ["Candidate", "AutoMLResult", "MiniAutoML"]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One configuration in a tool's portfolio."""
+
+    name: str
+    factory: Callable[[], BaseEstimator]
+    cost_rank: float = 1.0  # relative training cost estimate (for FLAML-style ordering)
+
+
+@dataclass
+class AutoMLResult:
+    """Internal search outcome before reporting."""
+
+    best_name: str = ""
+    leaderboard: list[tuple[str, float]] = field(default_factory=list)
+    n_evaluated: int = 0
+
+
+class MiniAutoML:
+    """Time-budgeted model search with holdout validation.
+
+    Subclasses (or instances) configure: portfolio, search order,
+    ensembling, memory envelope, virtual startup cost, and task support.
+    """
+
+    name = "mini-automl"
+    # paper-scale memory envelope in cells (rows x cols of the original data)
+    memory_envelope_cells: float = 1e9
+    # virtual seconds charged against the budget before any search happens
+    startup_seconds_classification: float = 0.0
+    startup_seconds_regression: float = 0.0
+    # ensemble the top-k finished candidates (1 = winner only)
+    ensemble_top_k: int = 1
+    supports_regression = True
+    supports_classification = True
+    max_regression_target_cardinality: int | None = None
+
+    def __init__(self, time_budget_seconds: float = 10.0, seed: int = 0) -> None:
+        self.time_budget_seconds = time_budget_seconds
+        self.seed = seed
+
+    # -- portfolio ------------------------------------------------------------------
+
+    def portfolio(self, task_type: str, n_rows: int, n_features: int) -> list[Candidate]:
+        raise NotImplementedError
+
+    def search_order(self, candidates: list[Candidate]) -> list[Candidate]:
+        """Default: portfolio order."""
+        return candidates
+
+    # -- main entry ------------------------------------------------------------------
+
+    def run(
+        self,
+        train: Table,
+        test: Table,
+        target: str,
+        task_type: str,
+        meta: dict[str, Any] | None = None,
+    ) -> BaselineReport:
+        meta = dict(meta or {})
+        report = BaselineReport(system=self.name, dataset=train.name)
+        start = time.perf_counter()
+
+        reason = self._check_support(train, target, task_type, meta)
+        if reason:
+            report.failure_reason = reason
+            report.runtime_seconds = time.perf_counter() - start
+            return report
+
+        startup = (
+            self.startup_seconds_regression
+            if task_type == "regression"
+            else self.startup_seconds_classification
+        )
+        budget = self.time_budget_seconds - startup
+        if budget <= 0:
+            report.failure_reason = "TO"
+            report.runtime_seconds = time.perf_counter() - start
+            return report
+
+        try:
+            X_train, X_test, _vec = default_vectorize(train, test, target)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash the harness
+            report.failure_reason = f"N/A ({type(exc).__name__})"
+            report.runtime_seconds = time.perf_counter() - start
+            return report
+        if task_type == "regression":
+            y_train = train[target].astype_numeric().numeric_values()
+            y_test = test[target].astype_numeric().numeric_values()
+            keep = ~np.isnan(y_train)
+            X_train, y_train = X_train[keep], y_train[keep]
+        else:
+            y_train = np.asarray([str(v) for v in train[target]], dtype=object)
+            y_test = np.asarray([str(v) for v in test[target]], dtype=object)
+
+        search_start = time.perf_counter()
+        fitted, result = self._search(X_train, y_train, task_type, budget)
+        if not fitted:
+            report.failure_reason = "TO"
+            report.runtime_seconds = time.perf_counter() - start
+            report.details["leaderboard"] = result.leaderboard
+            return report
+
+        pipeline_start = time.perf_counter()
+        top = fitted[: self.ensemble_top_k]
+        train_pred, train_proba, labels = self._ensemble_predict(top, X_train, task_type)
+        test_pred, test_proba, _ = self._ensemble_predict(top, X_test, task_type)
+        report.pipeline_runtime_seconds = time.perf_counter() - pipeline_start
+        report.metrics = evaluate_predictions(
+            task_type, y_train, y_test, train_pred, test_pred,
+            train_proba, test_proba, labels,
+        )
+        report.success = True
+        report.runtime_seconds = (time.perf_counter() - start) + startup
+        report.details = {
+            "best": result.best_name,
+            "leaderboard": result.leaderboard,
+            "n_evaluated": result.n_evaluated,
+            "search_seconds": time.perf_counter() - search_start,
+        }
+        return report
+
+    # -- internals -------------------------------------------------------------------
+
+    def _check_support(
+        self, train: Table, target: str, task_type: str, meta: dict[str, Any]
+    ) -> str:
+        if task_type == "regression" and not self.supports_regression:
+            return "N/A (regression unsupported)"
+        if task_type != "regression" and not self.supports_classification:
+            return "N/A (classification unsupported)"
+        if (
+            task_type == "regression"
+            and self.max_regression_target_cardinality is not None
+            and train[target].n_distinct > self.max_regression_target_cardinality
+        ):
+            return "N/A (no trained models)"
+        paper_cells = float(meta.get(
+            "paper_cells", train.n_rows * train.n_cols
+        ))
+        if paper_cells > self.memory_envelope_cells:
+            return "OOM"
+        return ""
+
+    def _search(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        task_type: str,
+        budget_seconds: float,
+    ) -> tuple[list[tuple[BaseEstimator, float]], AutoMLResult]:
+        """Evaluate candidates until the budget runs out; returns fitted
+        (estimator, validation score) pairs sorted best-first."""
+        candidates = self.search_order(
+            self.portfolio(task_type, X.shape[0], X.shape[1])
+        )
+        stratify = y if task_type != "regression" else None
+        X_fit, X_val, y_fit, y_val = train_test_split(
+            X, y, test_size=0.25, random_state=self.seed, stratify=stratify
+        )
+        scorer = r2_score if task_type == "regression" else accuracy_score
+        result = AutoMLResult()
+        fitted: list[tuple[BaseEstimator, float]] = []
+        deadline = time.perf_counter() + budget_seconds
+        for candidate in candidates:
+            if time.perf_counter() >= deadline and fitted:
+                break
+            if time.perf_counter() >= deadline and not fitted:
+                break
+            try:
+                model = candidate.factory()
+                model.fit(X_fit, y_fit)
+                score = scorer(y_val, model.predict(X_val))
+            except Exception:  # noqa: BLE001 - a failed config is skipped
+                continue
+            result.n_evaluated += 1
+            result.leaderboard.append((candidate.name, round(float(score), 4)))
+            fitted.append((model, float(score)))
+        fitted.sort(key=lambda pair: -pair[1])
+        result.leaderboard.sort(key=lambda pair: -pair[1])
+        if fitted:
+            result.best_name = result.leaderboard[0][0]
+            # refit the winners on the full training data
+            refit: list[tuple[BaseEstimator, float]] = []
+            for model, score in fitted[: max(1, self.ensemble_top_k)]:
+                fresh = clone(model)
+                fresh.fit(X, y)
+                refit.append((fresh, score))
+            fitted = refit + fitted[max(1, self.ensemble_top_k):]
+        return fitted, result
+
+    def _ensemble_predict(
+        self,
+        fitted: Sequence[tuple[BaseEstimator, float]],
+        X: np.ndarray,
+        task_type: str,
+    ) -> tuple[np.ndarray, np.ndarray | None, list | None]:
+        if task_type == "regression":
+            preds = np.mean([model.predict(X) for model, _ in fitted], axis=0)
+            return preds, None, None
+        # align class probability matrices over the union label order
+        labels = sorted(
+            {label for model, _ in fitted for label in model.classes_}, key=str
+        )
+        index = {label: i for i, label in enumerate(labels)}
+        total = np.zeros((X.shape[0], len(labels)))
+        for model, _score in fitted:
+            if hasattr(model, "predict_proba"):
+                proba = model.predict_proba(X)
+                for j, label in enumerate(model.classes_):
+                    total[:, index[label]] += proba[:, j]
+            else:
+                for i, label in enumerate(model.predict(X)):
+                    total[i, index[label]] += 1.0
+        total /= max(1, len(fitted))
+        picks = np.argmax(total, axis=1)
+        preds = np.asarray([labels[p] for p in picks], dtype=object)
+        return preds, total, labels

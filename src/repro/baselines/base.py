@@ -1,0 +1,88 @@
+"""Shared baseline-report structure and helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.ml.metrics import accuracy_score, r2_score, roc_auc_score
+from repro.ml.pipeline import TableVectorizer
+from repro.table.table import Table
+
+__all__ = ["BaselineReport", "evaluate_predictions", "default_vectorize"]
+
+
+@dataclass
+class BaselineReport:
+    """Outcome of one baseline run, aligned with GenerationReport fields."""
+
+    system: str
+    dataset: str
+    success: bool = False
+    failure_reason: str = ""  # "OOM" | "TO" | "N/A" | free text
+    metrics: dict[str, Any] = field(default_factory=dict)
+    total_tokens: int = 0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    runtime_seconds: float = 0.0  # wall-clock work
+    llm_latency_seconds: float = 0.0
+    pipeline_runtime_seconds: float = 0.0
+    n_llm_requests: int = 0
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end_to_end_seconds(self) -> float:
+        return self.runtime_seconds + self.llm_latency_seconds
+
+    @property
+    def primary_metric(self) -> float | None:
+        for key in ("test_auc", "test_r2", "test_accuracy"):
+            if key in self.metrics:
+                return float(self.metrics[key])
+        return None
+
+
+def evaluate_predictions(
+    task_type: str,
+    y_train: np.ndarray,
+    y_test: np.ndarray,
+    train_pred: np.ndarray,
+    test_pred: np.ndarray,
+    train_proba: np.ndarray | None = None,
+    test_proba: np.ndarray | None = None,
+    labels: list | None = None,
+) -> dict[str, float]:
+    """The metric set all systems report (train/test accuracy + AUC or R2)."""
+    if task_type == "regression":
+        return {
+            "train_r2": r2_score(y_train, train_pred),
+            "test_r2": r2_score(y_test, test_pred),
+        }
+    metrics = {
+        "train_accuracy": accuracy_score(y_train, train_pred),
+        "test_accuracy": accuracy_score(y_test, test_pred),
+    }
+    if train_proba is not None and test_proba is not None and labels is not None:
+        try:
+            metrics["train_auc"] = roc_auc_score(y_train, train_proba, labels=labels)
+            metrics["test_auc"] = roc_auc_score(y_test, test_proba, labels=labels)
+        except ValueError:
+            metrics["train_auc"] = metrics["train_accuracy"]
+            metrics["test_auc"] = metrics["test_accuracy"]
+    else:
+        metrics["train_auc"] = metrics["train_accuracy"]
+        metrics["test_auc"] = metrics["test_accuracy"]
+    return metrics
+
+
+def default_vectorize(
+    train: Table, test: Table, target: str
+) -> tuple[np.ndarray, np.ndarray, TableVectorizer]:
+    """Vanilla featurization every AutoML tool starts from: median-imputed
+    scaled numerics, one-hot categoricals — no cleaning, no refinement."""
+    vectorizer = TableVectorizer(target=target)
+    X_train = vectorizer.fit_transform(train)
+    X_test = vectorizer.transform(test)
+    return X_train, X_test, vectorizer

@@ -1,0 +1,201 @@
+"""Column embeddings and the dependency metadata derived from them.
+
+The paper sidesteps expensive exact dependency discovery: "We create column
+embeddings (i.e., vectors of length 300) and use these embeddings to
+extract metadata like inclusion dependencies, similarities, and column
+correlations ... faster processing (a few seconds) with minor degradation
+in accuracy" (Section 3.1).  This module implements that shortcut:
+
+- a deterministic 300-dim hashed bag-of-values embedding per column,
+- cosine similarity between columns,
+- approximate inclusion dependencies via hashed value-set containment,
+- target correlations (Pearson for numeric pairs, correlation-ratio for
+  categorical-vs-numeric, Cramér's V for categorical pairs).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.table.column import Column, ColumnKind
+from repro.table.table import Table
+
+__all__ = [
+    "EMBEDDING_DIM",
+    "column_embedding",
+    "cosine_similarity",
+    "inclusion_coefficient",
+    "column_correlation",
+    "pairwise_similarities",
+    "find_inclusion_dependencies",
+]
+
+EMBEDDING_DIM = 300
+
+
+def _bucket(token: str) -> tuple[int, float]:
+    digest = hashlib.md5(token.encode("utf-8")).hexdigest()
+    index = int(digest[:8], 16) % EMBEDDING_DIM
+    sign = 1.0 if int(digest[8], 16) % 2 == 0 else -1.0
+    return index, sign
+
+
+def column_embedding(column: Column, sample_cap: int = 2000) -> np.ndarray:
+    """Hashed bag-of-values embedding (L2-normalized, 300-dim)."""
+    vec = np.zeros(EMBEDDING_DIM, dtype=np.float64)
+    count = 0
+    for value in column:
+        if value is None:
+            continue
+        token = _canonical_token(value)
+        index, sign = _bucket(token)
+        vec[index] += sign
+        count += 1
+        if count >= sample_cap:
+            break
+    norm = float(np.linalg.norm(vec))
+    if norm > 0:
+        vec /= norm
+    return vec
+
+
+def _canonical_token(value: Any) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value).strip().lower()
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    denom = float(np.linalg.norm(a) * np.linalg.norm(b))
+    if denom == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / denom)
+
+
+def _value_hash_set(column: Column, sample_cap: int = 5000) -> set[int]:
+    hashes: set[int] = set()
+    for value in column:
+        if value is None:
+            continue
+        token = _canonical_token(value)
+        hashes.add(int(hashlib.md5(token.encode("utf-8")).hexdigest()[:12], 16))
+        if len(hashes) >= sample_cap:
+            break
+    return hashes
+
+
+def inclusion_coefficient(candidate: Column, reference: Column) -> float:
+    """Fraction of ``candidate``'s distinct values contained in ``reference``.
+
+    1.0 means candidate ⊆ reference (an inclusion dependency, i.e. a
+    likely foreign key).  Computed on hashed value sets, so collisions can
+    inflate the estimate marginally — the documented accuracy trade-off.
+    """
+    cand = _value_hash_set(candidate)
+    if not cand:
+        return 0.0
+    ref = _value_hash_set(reference)
+    return len(cand & ref) / len(cand)
+
+
+def column_correlation(a: Column, b: Column) -> float:
+    """Association strength in [0, 1] between two columns.
+
+    Numeric-numeric: |Pearson r|.  Categorical-numeric: correlation ratio
+    (eta).  Categorical-categorical: Cramér's V.  Rows missing in either
+    column are dropped pairwise.
+    """
+    pairs = [
+        (a[i], b[i])
+        for i in range(len(a))
+        if a[i] is not None and b[i] is not None
+    ]
+    if len(pairs) < 3:
+        return 0.0
+    a_vals = [p[0] for p in pairs]
+    b_vals = [p[1] for p in pairs]
+    a_numeric = a.kind is ColumnKind.NUMERIC
+    b_numeric = b.kind is ColumnKind.NUMERIC
+    if a_numeric and b_numeric:
+        return _abs_pearson(np.asarray(a_vals, float), np.asarray(b_vals, float))
+    if a_numeric != b_numeric:
+        if a_numeric:
+            return _correlation_ratio(b_vals, np.asarray(a_vals, float))
+        return _correlation_ratio(a_vals, np.asarray(b_vals, float))
+    return _cramers_v(a_vals, b_vals)
+
+
+def _abs_pearson(x: np.ndarray, y: np.ndarray) -> float:
+    if x.std() == 0 or y.std() == 0:
+        return 0.0
+    return float(abs(np.corrcoef(x, y)[0, 1]))
+
+
+def _correlation_ratio(categories: Sequence[Any], values: np.ndarray) -> float:
+    groups: dict[Any, list[float]] = {}
+    for cat, val in zip(categories, values):
+        groups.setdefault(cat, []).append(float(val))
+    grand_mean = float(values.mean())
+    ss_between = sum(
+        len(g) * (np.mean(g) - grand_mean) ** 2 for g in groups.values()
+    )
+    ss_total = float(np.sum((values - grand_mean) ** 2))
+    if ss_total == 0.0:
+        return 0.0
+    return float(np.sqrt(ss_between / ss_total))
+
+
+def _cramers_v(a_vals: Sequence[Any], b_vals: Sequence[Any]) -> float:
+    a_levels = {v: i for i, v in enumerate(dict.fromkeys(a_vals))}
+    b_levels = {v: i for i, v in enumerate(dict.fromkeys(b_vals))}
+    if len(a_levels) < 2 or len(b_levels) < 2:
+        return 0.0
+    table = np.zeros((len(a_levels), len(b_levels)), dtype=np.float64)
+    for av, bv in zip(a_vals, b_vals):
+        table[a_levels[av], b_levels[bv]] += 1
+    n = table.sum()
+    expected = np.outer(table.sum(axis=1), table.sum(axis=0)) / n
+    with np.errstate(divide="ignore", invalid="ignore"):
+        chi2 = np.nansum(
+            np.where(expected > 0, (table - expected) ** 2 / expected, 0.0)
+        )
+    k = min(len(a_levels), len(b_levels))
+    return float(np.sqrt(chi2 / (n * (k - 1))))
+
+
+def pairwise_similarities(
+    table: Table, threshold: float = 0.5
+) -> dict[str, list[tuple[str, float]]]:
+    """Per-column list of (other column, cosine similarity) above threshold."""
+    names = table.column_names
+    vectors = {name: column_embedding(table[name]) for name in names}
+    result: dict[str, list[tuple[str, float]]] = {name: [] for name in names}
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            sim = cosine_similarity(vectors[a], vectors[b])
+            if sim >= threshold:
+                result[a].append((b, round(sim, 4)))
+                result[b].append((a, round(sim, 4)))
+    return result
+
+
+def find_inclusion_dependencies(
+    table: Table, threshold: float = 0.95
+) -> dict[str, list[str]]:
+    """Columns whose value set is (approximately) contained in another's."""
+    names = table.column_names
+    result: dict[str, list[str]] = {name: [] for name in names}
+    hash_sets = {name: _value_hash_set(table[name]) for name in names}
+    for a in names:
+        if not hash_sets[a]:
+            continue
+        for b in names:
+            if a == b or not hash_sets[b]:
+                continue
+            coeff = len(hash_sets[a] & hash_sets[b]) / len(hash_sets[a])
+            if coeff >= threshold:
+                result[a].append(b)
+    return result

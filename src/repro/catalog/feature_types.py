@@ -1,0 +1,105 @@
+"""ML feature types layered over physical data types.
+
+The paper distinguishes *data types* (string, number, boolean) from
+*feature types* the catalog refines them into (Section 3.2, Figure 5):
+Categorical, List, Sentence, Numerical, Boolean, plus the degenerate
+Constant and Id kinds that the prompt-construction stage filters out.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from typing import Any, Sequence
+
+__all__ = ["FeatureType", "infer_feature_type_heuristic"]
+
+
+class FeatureType(str, enum.Enum):
+    NUMERICAL = "Numerical"
+    CATEGORICAL = "Categorical"
+    BOOLEAN = "Boolean"
+    SENTENCE = "Sentence"
+    LIST = "List"
+    CONSTANT = "Constant"
+    ID = "Id"
+
+
+_LIST_DELIMITERS = (",", ";", "|")
+_WORD_RE = re.compile(r"[A-Za-z]{2,}")
+
+
+def infer_feature_type_heuristic(
+    values: Sequence[Any],
+    distinct_fraction: float,
+    is_numeric: bool,
+    n_rows: int,
+) -> FeatureType:
+    """Statistical baseline for feature-type inference.
+
+    This is the *pre-refinement* typing based purely on syntactic evidence
+    (what a conventional profiler would assign).  The LLM refinement stage
+    (:mod:`repro.catalog.refinement`) can override it using semantic
+    evidence, which is the behaviour the paper evaluates in Table 4.
+    """
+    present = [v for v in values if v is not None]
+    if not present:
+        return FeatureType.CONSTANT
+    distinct = {str(v) for v in present}
+    if len(distinct) <= 1:
+        return FeatureType.CONSTANT
+    if is_numeric:
+        # small distinct integer domains read as categorical codes
+        if len(distinct) <= 12 and all(float(v).is_integer() for v in present):
+            return FeatureType.CATEGORICAL
+        if distinct_fraction > 0.999 and n_rows > 50 and all(
+            float(v).is_integer() for v in present
+        ):
+            return FeatureType.ID
+        return FeatureType.NUMERICAL
+    lowered = {str(v).strip().lower() for v in present}
+    if lowered <= {"true", "false", "yes", "no", "0", "1", "t", "f", "y", "n"}:
+        return FeatureType.BOOLEAN
+    str_values = [str(v) for v in present]
+    if _looks_like_list(str_values):
+        return FeatureType.LIST
+    if _looks_like_sentence(str_values, distinct_fraction):
+        return FeatureType.SENTENCE
+    if distinct_fraction > 0.95 and len(distinct) > 50:
+        return FeatureType.ID
+    return FeatureType.CATEGORICAL
+
+
+def _looks_like_list(values: list[str], sample_cap: int = 200) -> bool:
+    """Delimiter-separated cells drawing on a shared small vocabulary."""
+    sample = values[:sample_cap]
+    for delim in _LIST_DELIMITERS:
+        multi = [v for v in sample if delim in v]
+        if len(multi) < max(2, len(sample) // 4):
+            continue
+        vocabulary: dict[str, int] = {}
+        cells_with_items = 0
+        for cell in sample:
+            items = [item.strip() for item in cell.split(delim) if item.strip()]
+            if not items:
+                continue
+            cells_with_items += 1
+            for item in items:
+                vocabulary[item] = vocabulary.get(item, 0) + 1
+        if not vocabulary or cells_with_items < 2:
+            continue
+        reuse = sum(1 for count in vocabulary.values() if count > 1)
+        # list features re-use items across rows; free text rarely does
+        if reuse >= max(2, len(vocabulary) // 3) and len(vocabulary) <= cells_with_items * 3:
+            return True
+    return False
+
+
+def _looks_like_sentence(values: list[str], distinct_fraction: float) -> bool:
+    """Mostly-unique, multi-word strings read as sentence data."""
+    if distinct_fraction < 0.5:
+        return False
+    sample = values[:200]
+    multi_word = sum(1 for v in sample if len(_WORD_RE.findall(v)) >= 2 or " " in v.strip())
+    mixed_repr = sum(1 for v in sample if _WORD_RE.search(v) and re.search(r"\d", v))
+    return (multi_word + mixed_repr) >= len(sample) // 2

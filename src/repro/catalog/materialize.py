@@ -1,0 +1,76 @@
+"""Materializing prepared data (paper Section 3.2, last step).
+
+"After completing the refinement process, we update and overwrite the
+input dataset.  In detail, we apply the mapping of categorical features
+values and join multi-table datasets into a single table."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.table.column import Column
+from repro.table.table import Table
+
+__all__ = ["apply_category_mapping", "join_multi_table", "materialize_refined"]
+
+
+def apply_category_mapping(
+    table: Table, column: str, mapping: Mapping[Any, Any]
+) -> Table:
+    """Rewrite one column's values through a refined-category mapping."""
+    source = table[column]
+    values = [mapping.get(v, v) if v is not None else None for v in source]
+    out = Table(
+        (
+            Column(column, values) if name == column else table[name]
+            for name in table.column_names
+        ),
+        name=table.name,
+    )
+    return out
+
+
+def join_multi_table(
+    tables: Sequence[Table], join_plan: Sequence[tuple[str, str, str]]
+) -> Table:
+    """Join a multi-table dataset into one table.
+
+    ``join_plan`` lists ``(left_table_name, right_table_name, key)`` steps;
+    the first entry's left table is the fact table.  Left joins keep every
+    fact row (lookup semantics on dimension tables).
+    """
+    by_name = {t.name: t for t in tables}
+    if not join_plan:
+        if len(tables) == 1:
+            return tables[0]
+        raise ValueError("multi-table dataset requires a join plan")
+    current: Table | None = None
+    current_name = join_plan[0][0]
+    for left_name, right_name, key in join_plan:
+        if current is None:
+            current = by_name[left_name]
+        elif left_name != current_name:
+            raise ValueError(
+                f"join plan must chain from {current_name!r}, got {left_name!r}"
+            )
+        current = current.join(by_name[right_name], on=key, how="left")
+        current.name = current_name
+    assert current is not None
+    return current
+
+
+def materialize_refined(
+    table: Table,
+    category_mappings: Mapping[str, Mapping[Any, Any]],
+    drop_columns: Sequence[str] = (),
+) -> Table:
+    """Apply all refinement category mappings and drops to a table."""
+    out = table
+    for column, mapping in category_mappings.items():
+        if column in out:
+            out = apply_category_mapping(out, column, mapping)
+    present = [c for c in drop_columns if c in out]
+    if present:
+        out = out.drop(present)
+    return out

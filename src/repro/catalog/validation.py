@@ -1,0 +1,175 @@
+"""Data validation: expectations derived from the catalog, checked on data.
+
+Data-centric ML pipelines include a validation stage (paper Section 1 and
+the data-preparation survey in Section 6: "data validation summarizes data
+characteristics and validates if expectations are satisfied through
+constraints").  This module derives a constraint suite from a profiled
+:class:`DataCatalog` — the same artifact that drives prompt construction —
+and checks any later data batch against it, catching schema drift,
+out-of-range values, novel categories, and missing-rate explosions before
+a generated pipeline consumes the batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import DataCatalog
+from repro.table.column import ColumnKind
+from repro.table.table import Table
+
+__all__ = ["Expectation", "ValidationReport", "ExpectationSuite"]
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One constraint on one column."""
+
+    column: str
+    kind: str  # "exists" | "type" | "range" | "categories" | "missing_rate"
+    params: dict = field(default_factory=dict, hash=False)
+
+    def describe(self) -> str:
+        if self.kind == "exists":
+            return f"column {self.column!r} exists"
+        if self.kind == "type":
+            return f"{self.column!r} has type {self.params['data_type']}"
+        if self.kind == "range":
+            return (f"{self.column!r} in [{self.params['min']:.4g}, "
+                    f"{self.params['max']:.4g}] (±{self.params['slack']:.0%})")
+        if self.kind == "categories":
+            return f"{self.column!r} values ⊆ known categories"
+        return f"{self.column!r} missing rate ≤ {self.params['max_rate']:.1%}"
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of checking a table against a suite."""
+
+    passed: list[Expectation] = field(default_factory=list)
+    failed: list[tuple[Expectation, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    @property
+    def n_checked(self) -> int:
+        return len(self.passed) + len(self.failed)
+
+    def render(self) -> str:
+        lines = [f"validation: {len(self.passed)}/{self.n_checked} expectations hold"]
+        for expectation, reason in self.failed:
+            lines.append(f"  FAIL {expectation.describe()}: {reason}")
+        return "\n".join(lines)
+
+
+class ExpectationSuite:
+    """Constraint suite derived from a catalog (or hand-built)."""
+
+    def __init__(self, expectations: list[Expectation] | None = None) -> None:
+        self.expectations = list(expectations or [])
+
+    # -- construction --------------------------------------------------------------
+
+    @classmethod
+    def from_catalog(
+        cls,
+        catalog: DataCatalog,
+        range_slack: float = 0.25,
+        missing_slack: float = 0.15,
+        include_target: bool = False,
+    ) -> "ExpectationSuite":
+        """Derive expectations from the profiled statistics.
+
+        ``range_slack`` widens numeric min/max fences proportionally to the
+        observed spread; ``missing_slack`` is the absolute tolerance added
+        to each column's observed missing rate.
+        """
+        suite = cls()
+        for profile in catalog.profiles():
+            if profile.name == catalog.info.target and not include_target:
+                continue
+            suite.expectations.append(
+                Expectation(profile.name, "exists")
+            )
+            suite.expectations.append(
+                Expectation(profile.name, "type",
+                            {"data_type": profile.data_type})
+            )
+            stats = profile.statistics or {}
+            if "min" in stats and "max" in stats:
+                spread = max(stats["max"] - stats["min"], 1e-9)
+                suite.expectations.append(Expectation(
+                    profile.name, "range",
+                    {"min": stats["min"] - range_slack * spread,
+                     "max": stats["max"] + range_slack * spread,
+                     "slack": range_slack},
+                ))
+            if profile.is_categorical and profile.categorical_values:
+                suite.expectations.append(Expectation(
+                    profile.name, "categories",
+                    {"values": set(map(str, profile.categorical_values)),
+                     "max_novel_rate": 0.05},
+                ))
+            max_rate = min(1.0, profile.missing_percentage / 100.0 + missing_slack)
+            suite.expectations.append(Expectation(
+                profile.name, "missing_rate", {"max_rate": max_rate}
+            ))
+        return suite
+
+    # -- checking -------------------------------------------------------------------
+
+    def validate(self, table: Table) -> ValidationReport:
+        report = ValidationReport()
+        for expectation in self.expectations:
+            reason = self._check(expectation, table)
+            if reason is None:
+                report.passed.append(expectation)
+            else:
+                report.failed.append((expectation, reason))
+        return report
+
+    def _check(self, expectation: Expectation, table: Table) -> str | None:
+        name = expectation.column
+        if expectation.kind == "exists":
+            return None if name in table else "column absent"
+        if name not in table:
+            return "column absent"
+        column = table[name]
+        if expectation.kind == "type":
+            actual = {
+                ColumnKind.NUMERIC: "number",
+                ColumnKind.STRING: "string",
+                ColumnKind.BOOLEAN: "boolean",
+            }[column.kind]
+            expected = expectation.params["data_type"]
+            return None if actual == expected else f"type {actual} != {expected}"
+        if expectation.kind == "range":
+            if column.kind is not ColumnKind.NUMERIC:
+                return "column is no longer numeric"
+            values = column.non_missing()
+            if values.size == 0:
+                return None
+            lo, hi = expectation.params["min"], expectation.params["max"]
+            below = float((values < lo).mean())
+            above = float((values > hi).mean())
+            if below + above > 0.01:  # tolerate isolated stragglers
+                return (f"{100 * (below + above):.1f}% of values outside "
+                        f"[{lo:.4g}, {hi:.4g}]")
+            return None
+        if expectation.kind == "categories":
+            known = expectation.params["values"]
+            novel = [v for v in column.non_missing() if str(v) not in known]
+            rate = len(novel) / max(1, len(column) - column.n_missing)
+            if rate > expectation.params.get("max_novel_rate", 0.05):
+                sample = sorted({str(v) for v in novel})[:5]
+                return f"{100 * rate:.1f}% novel categories (e.g. {sample})"
+            return None
+        if expectation.kind == "missing_rate":
+            rate = column.missing_fraction
+            max_rate = expectation.params["max_rate"]
+            if rate > max_rate:
+                return f"missing rate {rate:.1%} > {max_rate:.1%}"
+            return None
+        raise ValueError(f"unknown expectation kind {expectation.kind!r}")

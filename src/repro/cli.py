@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro`` / ``catdb-repro``.
+
+Subcommands:
+
+- ``datasets``            list the 20 Table-3 dataset replicas
+- ``profile <dataset>``   profile a dataset and print its catalog
+- ``generate <dataset>``  run CatDB end-to-end and print code + metrics
+- ``experiment <id>``     run one paper experiment (fig9, table4, ...)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "fig9": ("repro.experiments.fig9_profiling", {}),
+    "fig10": ("repro.experiments.fig10_metadata", {"llms": ("gemini-1.5",)}),
+    "table2": ("repro.experiments.table2_errors", {"iterations": 4}),
+    "table4": ("repro.experiments.table4_refinement", {}),
+    "table5": ("repro.experiments.table5_accuracy", {}),
+    "table6": ("repro.experiments.table6_runtime", {}),
+    "fig11": ("repro.experiments.fig11_iterations", {"iterations": 2}),
+    "fig12": ("repro.experiments.fig12_cost_runtime", {"iterations": 2}),
+    "table7": ("repro.experiments.table7_single_iteration",
+               {"llms": ("gemini-1.5",)}),
+    "fig13": ("repro.experiments.fig13_tokens", {"llms": ("gemini-1.5",)}),
+    "table8": ("repro.experiments.table8_runtime", {"llms": ("gemini-1.5",)}),
+    "fig14": ("repro.experiments.fig14_robustness", {}),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="catdb-repro",
+        description="CatDB reproduction: catalog-guided LLM pipeline generation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the 20 dataset replicas")
+
+    profile = sub.add_parser("profile", help="profile a dataset")
+    profile.add_argument("dataset")
+    profile.add_argument("--rows", type=int, default=None,
+                         help="override generated row count")
+    profile.add_argument("--seed", type=int, default=0)
+
+    generate = sub.add_parser("generate", help="generate a pipeline with CatDB")
+    generate.add_argument("dataset")
+    generate.add_argument("--llm", default="gpt-4o",
+                          help="gpt-4o | gemini-1.5 | llama3.1-70b")
+    generate.add_argument("--beta", type=int, default=1,
+                          help=">=2 selects CatDB Chain")
+    generate.add_argument("--alpha", type=int, default=None,
+                          help="top-K feature columns")
+    generate.add_argument("--combination", type=int, default=11,
+                          help="Table-1 metadata combination (1-11)")
+    generate.add_argument("--refine", action="store_true",
+                          help="run catalog refinement first")
+    generate.add_argument("--rows", type=int, default=None)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--show-code", action="store_true")
+
+    experiment = sub.add_parser("experiment", help="run one paper experiment")
+    experiment.add_argument("artifact", choices=sorted(_EXPERIMENTS))
+
+    results = sub.add_parser(
+        "results", help="collate regenerated benchmark results"
+    )
+    results.add_argument("--dir", default=None,
+                         help="results directory (default: benchmarks/results)")
+    return parser
+
+
+def _cmd_datasets() -> int:
+    from repro.datasets.registry import DATASET_SPECS
+
+    print(f"{'id':>2s} {'name':14s} {'task':10s} {'tables':>6s} "
+          f"{'paper rows':>11s} {'paper cols':>10s} {'classes':>7s}")
+    for spec in sorted(DATASET_SPECS.values(), key=lambda s: s.dataset_id):
+        print(f"{spec.dataset_id:>2d} {spec.name:14s} {spec.task_type:10s} "
+              f"{spec.paper_tables:>6d} {spec.paper_rows:>11,d} "
+              f"{spec.paper_cols:>10d} {spec.paper_classes:>7d}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.datasets.registry import load_dataset
+
+    overrides = {"n": args.rows} if args.rows else {}
+    bundle = load_dataset(args.dataset, seed=args.seed, **overrides)
+    catalog = bundle.profile(seed=args.seed)
+    print(catalog)
+    print(f"{'column':24s} {'type':8s} {'feature':12s} {'distinct':>8s} "
+          f"{'missing%':>8s} {'corr':>6s}")
+    for profile in catalog.profiles():
+        marker = " *target*" if profile.name == catalog.info.target else ""
+        print(f"{profile.name:24s} {profile.data_type:8s} "
+              f"{profile.feature_type.value:12s} {profile.distinct_count:>8d} "
+              f"{profile.missing_percentage:>8.1f} "
+              f"{profile.target_correlation:>6.2f}{marker}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.api import LLM, catdb_pipgen
+    from repro.datasets.registry import load_dataset
+
+    overrides = {"n": args.rows} if args.rows else {}
+    bundle = load_dataset(args.dataset, seed=args.seed, **overrides)
+    catalog = bundle.profile(seed=args.seed)
+    llm = LLM(args.llm, config={"seed": args.seed})
+    P = catdb_pipgen(
+        catalog, llm, data=bundle.unified,
+        alpha=args.alpha, beta=args.beta, combination=args.combination,
+        refine=args.refine, seed=args.seed,
+    )
+    print(f"success: {P.success}")
+    print("results:", {k: round(v, 4) if isinstance(v, float) else v
+                       for k, v in P.results.items()})
+    report = P.report
+    print(f"tokens: {report.total_tokens} | interactions: {report.cost.gamma} "
+          f"| error prompts: {report.cost.n_error_prompts} "
+          f"| kb fixes: {report.kb_fixes}")
+    if report.errors:
+        print("errors:", [(e.error_type.name, e.group.value)
+                          for e in report.errors])
+    if args.show_code:
+        print("\n" + P.code)
+    return 0 if P.success else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    module_name, kwargs = _EXPERIMENTS[args.artifact]
+    module = importlib.import_module(module_name)
+    result = module.run(**kwargs)
+    print(result.render())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "results":
+        from repro.experiments.summary import collate_results
+
+        print(collate_results(args.dir))
+        return 0
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

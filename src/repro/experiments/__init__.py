@@ -1,0 +1,15 @@
+"""Experiment drivers — one module per table/figure of paper Section 5.
+
+Every module exposes ``run(...)`` returning a result object with the rows
+the paper reports and a ``render()`` method that prints them in a
+paper-style layout.  The benchmark harness under ``benchmarks/`` invokes
+these drivers; they are also importable for ad-hoc analysis.
+
+Most drivers accept ``quick=True`` (the default used by the benchmark
+suite) which shrinks dataset sizes / iteration counts so the whole suite
+runs in minutes; ``quick=False`` reproduces the full protocol.
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

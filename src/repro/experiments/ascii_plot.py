@@ -1,0 +1,84 @@
+"""Tiny ASCII plotting helpers for figure-style benchmark output.
+
+The paper's figures are line/bar charts; the benchmark harness renders
+text tables plus these ASCII charts so `benchmarks/results/*.txt` can show
+the *shape* of each figure without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["bar_chart", "series_plot"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    value_format: str = "{:.1f}",
+    title: str = "",
+) -> str:
+    """Horizontal bar chart; bars scale to the maximum value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        return title
+    label_width = max(len(str(l)) for l in labels)
+    peak = max((abs(v) for v in values), default=1.0) or 1.0
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        fraction = max(0.0, min(1.0, abs(value) / peak))
+        filled = fraction * width
+        whole = int(filled)
+        remainder = int((filled - whole) * (len(_BLOCKS) - 1))
+        bar = "█" * whole + (_BLOCKS[remainder] if remainder else "")
+        rendered = value_format.format(value)
+        lines.append(f"{str(label).ljust(label_width)} |{bar.ljust(width)}| {rendered}")
+    return "\n".join(lines)
+
+
+def series_plot(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float | None]],
+    height: int = 10,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Multiple y-series over shared x positions, as a character grid.
+
+    Each series gets a marker (its name's first letter); overlapping points
+    show ``*``. Missing values (None) are skipped.
+    """
+    points: list[tuple[float, float, str]] = []
+    for name, ys in series.items():
+        marker = name[0].upper() if name else "?"
+        for x, y in zip(x_values, ys):
+            if y is not None:
+                points.append((float(x), float(y), marker))
+    if not points:
+        return title
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = (height - 1) - int((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = "*" if grid[row][col] not in (" ", marker) else marker
+
+    lines = [title] if title else []
+    lines.append(f"{y_hi:8.2f} ┐")
+    for row in grid:
+        lines.append(" " * 9 + "│" + "".join(row))
+    lines.append(f"{y_lo:8.2f} ┘" + "─" * width)
+    lines.append(" " * 10 + f"{x_lo:<10.3g}{' ' * max(0, width - 20)}{x_hi:>10.3g}")
+    legend = "  ".join(f"{name[0].upper()}={name}" for name in series)
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,224 @@
+"""Shared experiment plumbing: dataset preparation, system runners,
+and paper-style table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.baselines.aide import AIDEBaseline
+from repro.baselines.autogen import AutoGenBaseline
+from repro.baselines.automl import AutoGluonLike, AutoSklearnLike, FlamlLike, H2OLike
+from repro.baselines.base import BaselineReport
+from repro.baselines.caafe import CAAFEBaseline
+from repro.catalog.catalog import DataCatalog
+from repro.datasets.registry import DatasetBundle, load_dataset
+from repro.generation.generator import CatDB, CatDBChain, GenerationReport
+from repro.llm.mock import MockLLM
+from repro.ml.model_selection import train_test_split
+from repro.table.table import Table
+
+__all__ = [
+    "PreparedDataset",
+    "prepare_dataset",
+    "run_catdb",
+    "run_llm_baseline",
+    "run_automl",
+    "AUTOML_TOOLS",
+    "LLM_PROFILES",
+    "format_table",
+    "metric_str",
+]
+
+LLM_PROFILES = ("gpt-4o", "gemini-1.5", "llama3.1-70b")
+
+AUTOML_TOOLS = {
+    "h2o": H2OLike,
+    "flaml": FlamlLike,
+    "autogluon": AutoGluonLike,
+    "autosklearn": AutoSklearnLike,
+}
+
+# dataset-size overrides used in quick mode (benchmark suite)
+_QUICK_SIZES = {
+    "imdb": 800, "kdd98": 500, "walking": 800, "accidents": 700,
+    "financial": 700, "airline": 600, "gas_drift": 600, "volkert": 700,
+    "yelp": 600, "bike_sharing": 800, "nyc": 800, "house_sales": 800,
+    "survey": 700, "eu_it": 700, "cmc": 700, "diabetes": 500,
+    "utility": 700, "etailing": 439, "tictactoe": 600, "wifi": 98,
+}
+
+
+@dataclass
+class PreparedDataset:
+    """A loaded, split, and profiled dataset ready for any system."""
+
+    bundle: DatasetBundle
+    train: Table
+    test: Table
+    catalog: DataCatalog
+
+    @property
+    def name(self) -> str:
+        return self.bundle.name
+
+    @property
+    def target(self) -> str:
+        return self.bundle.target
+
+    @property
+    def task_type(self) -> str:
+        return self.bundle.task_type
+
+    @property
+    def meta(self) -> dict[str, Any]:
+        spec = self.bundle.spec
+        return {
+            "paper_cells": spec.paper_rows * spec.paper_cols,
+            "paper_rows": spec.paper_rows,
+            "paper_cols": spec.paper_cols,
+        }
+
+
+def prepare_dataset(
+    name: str,
+    seed: int = 0,
+    quick: bool = True,
+    test_size: float = 0.3,
+    **overrides: Any,
+) -> PreparedDataset:
+    """Load, 70/30-split, and profile one dataset."""
+    if quick and name in _QUICK_SIZES and "n" not in overrides:
+        overrides["n"] = _QUICK_SIZES[name]
+    bundle = load_dataset(name, seed=seed, **overrides)
+    unified = bundle.unified
+    if bundle.task_type == "regression":
+        train, test = train_test_split(
+            unified, test_size=test_size, random_state=seed
+        )
+    else:
+        labels = [str(v) for v in unified[bundle.target]]
+        train, test = train_test_split(
+            unified, test_size=test_size, random_state=seed, stratify=labels
+        )
+    catalog = bundle.profile(seed=seed)
+    return PreparedDataset(bundle=bundle, train=train, test=test, catalog=catalog)
+
+
+def run_catdb(
+    prepared: PreparedDataset,
+    llm_name: str = "gpt-4o",
+    beta: int = 1,
+    alpha: int | None = None,
+    combination: int = 11,
+    iteration: int = 0,
+    seed: int = 0,
+    max_fix_attempts: int = 5,
+    fault_injection: bool = True,
+    catalog: DataCatalog | None = None,
+    train: Table | None = None,
+    test: Table | None = None,
+) -> GenerationReport:
+    """Run CatDB (beta=1) or CatDB Chain (beta>1) on a prepared dataset."""
+    llm = MockLLM(llm_name, seed=seed, fault_injection=fault_injection)
+    if beta <= 1:
+        generator: CatDB = CatDB(
+            llm, alpha=alpha, combination=combination,
+            max_fix_attempts=max_fix_attempts,
+        )
+    else:
+        generator = CatDBChain(
+            llm, beta=beta, alpha=alpha, combination=combination,
+            max_fix_attempts=max_fix_attempts,
+        )
+    return generator.generate(
+        train if train is not None else prepared.train,
+        test if test is not None else prepared.test,
+        catalog if catalog is not None else prepared.catalog,
+        iteration=iteration,
+    )
+
+
+def run_llm_baseline(
+    prepared: PreparedDataset,
+    system: str,
+    llm_name: str = "gpt-4o",
+    seed: int = 0,
+    train: Table | None = None,
+    test: Table | None = None,
+) -> BaselineReport:
+    """Run one of the LLM-based comparators: 'caafe-tabpfn',
+    'caafe-rforest', 'aide', 'autogen'."""
+    llm = MockLLM(llm_name, seed=seed)
+    description = prepared.bundle.spec.description
+    if system == "caafe-tabpfn":
+        runner: Any = CAAFEBaseline(llm, model="tabpfn", seed=seed)
+    elif system == "caafe-rforest":
+        runner = CAAFEBaseline(llm, model="rforest", seed=seed)
+    elif system == "aide":
+        runner = AIDEBaseline(llm, description=description, seed=seed)
+    elif system == "autogen":
+        runner = AutoGenBaseline(llm, description=description, seed=seed)
+    else:
+        raise ValueError(f"unknown LLM baseline {system!r}")
+    return runner.run(
+        train if train is not None else prepared.train,
+        test if test is not None else prepared.test,
+        prepared.target,
+        prepared.task_type,
+        meta=prepared.meta,
+    )
+
+
+def run_automl(
+    prepared: PreparedDataset,
+    tool: str,
+    time_budget_seconds: float = 8.0,
+    seed: int = 0,
+    train: Table | None = None,
+    test: Table | None = None,
+) -> BaselineReport:
+    """Run one mini-AutoML tool: 'h2o', 'flaml', 'autogluon', 'autosklearn'."""
+    if tool not in AUTOML_TOOLS:
+        raise ValueError(f"unknown AutoML tool {tool!r}; have {sorted(AUTOML_TOOLS)}")
+    runner = AUTOML_TOOLS[tool](time_budget_seconds=time_budget_seconds, seed=seed)
+    return runner.run(
+        train if train is not None else prepared.train,
+        test if test is not None else prepared.test,
+        prepared.target,
+        prepared.task_type,
+        meta=prepared.meta,
+    )
+
+
+def metric_str(value: float | None, failure: str = "") -> str:
+    """Render one cell: a percentage-style metric or a failure marker.
+
+    Badly negative R^2 values (train-only preprocessing can destroy test
+    scale entirely) are clamped for readability.
+    """
+    if failure:
+        return failure
+    if value is None:
+        return "N/A"
+    scaled = 100.0 * value
+    if scaled < -999.9:
+        return "<-999.9"
+    return f"{scaled:.1f}"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+) -> str:
+    """Fixed-width text table for paper-style rendering."""
+    columns = [[str(h)] + [str(r[i]) for r in rows] for i, h in enumerate(headers)]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    def line(cells: Sequence[Any]) -> str:
+        return " | ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("-+-".join("-" * w for w in widths))
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)

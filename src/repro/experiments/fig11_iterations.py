@@ -1,0 +1,130 @@
+"""Figures 11 & 12 source runs — 10 iterations of pipeline generation.
+
+Figure 11 reports AUC distributions over 10 iterations for CatDB, CatDB
+Chain, CAAFE (TabPFN / RandomForest), AIDE and AutoGen on Diabetes,
+Gas-Drift and Volkert with three LLMs.  Figure 12 reports the token cost
+and total runtime of the same runs, so :mod:`fig12_cost_runtime` reuses
+this driver's output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.common import (
+    LLM_PROFILES,
+    format_table,
+    prepare_dataset,
+    run_catdb,
+    run_llm_baseline,
+)
+
+__all__ = ["IterationRun", "Fig11Result", "run", "ITERATION_DATASETS"]
+
+ITERATION_DATASETS = ("diabetes", "gas_drift", "volkert")
+ITERATION_SYSTEMS = ("catdb", "catdb-chain", "caafe-tabpfn", "caafe-rforest",
+                     "aide", "autogen")
+
+
+@dataclass
+class IterationRun:
+    dataset: str
+    llm: str
+    system: str
+    iteration: int
+    success: bool
+    metric: float | None
+    total_tokens: int
+    end_to_end_seconds: float
+    pipeline_seconds: float
+
+
+@dataclass
+class Fig11Result:
+    runs: list[IterationRun] = field(default_factory=list)
+
+    def metrics_for(self, dataset: str, llm: str, system: str) -> list[float]:
+        return [
+            r.metric for r in self.runs
+            if r.dataset == dataset and r.llm == llm and r.system == system
+            and r.success and r.metric is not None
+        ]
+
+    def failure_count(self, dataset: str, llm: str, system: str) -> int:
+        return sum(
+            1 for r in self.runs
+            if r.dataset == dataset and r.llm == llm and r.system == system
+            and not r.success
+        )
+
+    def render(self) -> str:
+        headers = ["dataset", "llm", "system", "runs", "fails",
+                   "AUC median", "AUC min", "AUC max"]
+        rows = []
+        combos = sorted({(r.dataset, r.llm, r.system) for r in self.runs})
+        for dataset, llm, system in combos:
+            metrics = self.metrics_for(dataset, llm, system)
+            fails = self.failure_count(dataset, llm, system)
+            if metrics:
+                rows.append([
+                    dataset, llm, system, len(metrics) + fails, fails,
+                    f"{100 * float(np.median(metrics)):.1f}",
+                    f"{100 * min(metrics):.1f}", f"{100 * max(metrics):.1f}",
+                ])
+            else:
+                rows.append([dataset, llm, system, fails, fails,
+                             "fail", "-", "-"])
+        return format_table(headers, rows,
+                            title="Figure 11: AUC across iterations")
+
+
+def run(
+    datasets: tuple[str, ...] = ITERATION_DATASETS,
+    llms: tuple[str, ...] = LLM_PROFILES,
+    systems: tuple[str, ...] = ITERATION_SYSTEMS,
+    iterations: int = 10,
+    quick: bool = True,
+    seed: int = 0,
+) -> Fig11Result:
+    result = Fig11Result()
+    for name in datasets:
+        prepared = prepare_dataset(name, seed=seed, quick=quick)
+        for llm in llms:
+            for iteration in range(iterations):
+                for system in systems:
+                    if system == "catdb":
+                        report = run_catdb(
+                            prepared, llm_name=llm, iteration=iteration,
+                            seed=seed + iteration, max_fix_attempts=3,
+                        )
+                        run_row = IterationRun(
+                            name, llm, system, iteration, report.success,
+                            report.primary_metric, report.total_tokens,
+                            report.end_to_end_seconds,
+                            report.pipeline_runtime_seconds,
+                        )
+                    elif system == "catdb-chain":
+                        report = run_catdb(
+                            prepared, llm_name=llm, beta=2, iteration=iteration,
+                            seed=seed + iteration, max_fix_attempts=3,
+                        )
+                        run_row = IterationRun(
+                            name, llm, system, iteration, report.success,
+                            report.primary_metric, report.total_tokens,
+                            report.end_to_end_seconds,
+                            report.pipeline_runtime_seconds,
+                        )
+                    else:
+                        baseline = run_llm_baseline(
+                            prepared, system, llm_name=llm, seed=seed + iteration
+                        )
+                        run_row = IterationRun(
+                            name, llm, system, iteration, baseline.success,
+                            baseline.primary_metric, baseline.total_tokens,
+                            baseline.end_to_end_seconds,
+                            baseline.pipeline_runtime_seconds,
+                        )
+                    result.runs.append(run_row)
+    return result

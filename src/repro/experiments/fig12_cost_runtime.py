@@ -1,0 +1,71 @@
+"""Figure 12 — token cost and runtime over 10 iterations.
+
+Aggregates the :mod:`fig11_iterations` runs into per-system token and
+runtime totals.  Reproduced shapes: CatDB cheaper than CatDB Chain, both
+cheaper than CAAFE on wide data (CAAFE's cost is prompt-dominated by the
+10-samples-per-feature schema); CatDB pipeline runtime far below CAAFE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments import fig11_iterations
+from repro.experiments.common import LLM_PROFILES, format_table
+
+__all__ = ["Fig12Result", "run"]
+
+
+@dataclass
+class Fig12Result:
+    source: fig11_iterations.Fig11Result = field(
+        default_factory=fig11_iterations.Fig11Result
+    )
+
+    def totals(self) -> list[dict]:
+        combos = sorted({(r.dataset, r.llm, r.system) for r in self.source.runs})
+        rows = []
+        for dataset, llm, system in combos:
+            runs = [
+                r for r in self.source.runs
+                if (r.dataset, r.llm, r.system) == (dataset, llm, system)
+            ]
+            rows.append({
+                "dataset": dataset, "llm": llm, "system": system,
+                "total_tokens": sum(r.total_tokens for r in runs),
+                "mean_tokens": float(np.mean([r.total_tokens for r in runs])),
+                "total_seconds": sum(r.end_to_end_seconds for r in runs),
+                "pipeline_seconds": sum(r.pipeline_seconds for r in runs),
+            })
+        return rows
+
+    def render(self) -> str:
+        rows = [
+            [r["dataset"], r["llm"], r["system"],
+             r["total_tokens"], f"{r['total_seconds']:.2f}",
+             f"{r['pipeline_seconds']:.2f}"]
+            for r in self.totals()
+        ]
+        return format_table(
+            ["dataset", "llm", "system", "tokens (all iters)",
+             "runtime[s]", "pipeline[s]"],
+            rows, title="Figure 12: cost and runtime across iterations",
+        )
+
+
+def run(
+    source: fig11_iterations.Fig11Result | None = None,
+    datasets: tuple[str, ...] = fig11_iterations.ITERATION_DATASETS,
+    llms: tuple[str, ...] = LLM_PROFILES,
+    iterations: int = 10,
+    quick: bool = True,
+    seed: int = 0,
+) -> Fig12Result:
+    if source is None:
+        source = fig11_iterations.run(
+            datasets=datasets, llms=llms, iterations=iterations,
+            quick=quick, seed=seed,
+        )
+    return Fig12Result(source=source)

@@ -1,0 +1,86 @@
+"""Figure 13 — token consumption including error handling, 10 datasets.
+
+Per dataset/LLM/system: prompt-side, completion-side, and error-management
+token counts.  Reproduced shapes: CatDB and CAAFE comparable, CatDB Chain
+sometimes higher; error management dominates for the weakest repair model
+(Llama); regression and multi-table datasets cost more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.common import (
+    LLM_PROFILES,
+    format_table,
+    prepare_dataset,
+    run_catdb,
+    run_llm_baseline,
+)
+
+__all__ = ["Fig13Result", "run", "FIG13_DATASETS"]
+
+FIG13_DATASETS = ("wifi", "diabetes", "cmc", "eu_it", "etailing",
+                  "airline", "financial", "bike_sharing", "utility", "nyc")
+_SYSTEMS = ("catdb", "catdb-chain", "caafe-rforest", "aide", "autogen")
+
+
+@dataclass
+class Fig13Result:
+    rows: list[dict] = field(default_factory=list)
+
+    def tokens_for(self, dataset: str, llm: str, system: str) -> int | None:
+        for row in self.rows:
+            if (row["dataset"], row["llm"], row["system"]) == (dataset, llm, system):
+                return row["total_tokens"]
+        return None
+
+    def render(self) -> str:
+        table_rows = [
+            [r["dataset"], r["llm"], r["system"], r["total_tokens"],
+             r["pipeline_tokens"], r["error_tokens"]]
+            for r in self.rows
+        ]
+        return format_table(
+            ["dataset", "llm", "system", "total tokens",
+             "pipeline tokens", "error tokens"],
+            table_rows,
+            title="Figure 13: token consumption incl. error handling",
+        )
+
+
+def run(
+    datasets: tuple[str, ...] = FIG13_DATASETS,
+    llms: tuple[str, ...] = LLM_PROFILES,
+    systems: tuple[str, ...] = _SYSTEMS,
+    quick: bool = True,
+    seed: int = 0,
+) -> Fig13Result:
+    result = Fig13Result()
+    for name in datasets:
+        prepared = prepare_dataset(name, seed=seed, quick=quick)
+        for llm in llms:
+            for system in systems:
+                if system in ("catdb", "catdb-chain"):
+                    report = run_catdb(
+                        prepared, llm_name=llm,
+                        beta=1 if system == "catdb" else 2, seed=seed,
+                    )
+                    result.rows.append({
+                        "dataset": name, "llm": llm, "system": system,
+                        "total_tokens": report.total_tokens,
+                        "pipeline_tokens": report.cost.pipeline_cost(),
+                        "error_tokens": report.cost.error_cost(),
+                        "success": report.success,
+                    })
+                else:
+                    baseline = run_llm_baseline(prepared, system,
+                                                llm_name=llm, seed=seed)
+                    result.rows.append({
+                        "dataset": name, "llm": llm, "system": system,
+                        "total_tokens": baseline.total_tokens,
+                        "pipeline_tokens": baseline.total_tokens,
+                        "error_tokens": 0,  # baselines resubmit whole prompts
+                        "success": baseline.success,
+                    })
+    return result

@@ -1,0 +1,81 @@
+"""Collate persisted benchmark results into one report.
+
+The benchmark suite writes each regenerated table/figure to
+``benchmarks/results/<artifact>.txt``; this module gathers them into a
+single document (the measured side of EXPERIMENTS.md) and reports which
+paper artifacts have been regenerated so far.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["EXPECTED_ARTIFACTS", "collate_results", "coverage"]
+
+EXPECTED_ARTIFACTS: dict[str, str] = {
+    "table02_errors": "Table 2 + Figure 8: error-trace distributions",
+    "table04_refinement": "Table 4: refinement distinct-value reduction",
+    "table05_cleaning_accuracy": "Table 5: accuracy on six cleaning datasets",
+    "table06_cleaning_runtime": "Table 6: pipeline runtime on six cleaning datasets",
+    "table07_single_iteration": "Table 7: single-iteration performance",
+    "table08_runtime": "Table 8: end-to-end runtime",
+    "fig09_profiling": "Figure 9: profiling runtime & type distribution",
+    "fig10_metadata": "Figure 10: metadata impact",
+    "fig11_iterations": "Figure 11: AUC across iterations",
+    "fig12_cost_runtime": "Figure 12: cost and runtime",
+    "fig13_tokens": "Figure 13: token consumption",
+    "fig14_robustness": "Figure 14: robustness to injected errors",
+}
+
+
+def default_results_dir() -> Path:
+    """benchmarks/results next to the installed source tree's repo root."""
+    here = Path(__file__).resolve()
+    for ancestor in here.parents:
+        candidate = ancestor / "benchmarks" / "results"
+        if candidate.is_dir():
+            return candidate
+    return Path("benchmarks/results")
+
+
+def coverage(results_dir: str | Path | None = None) -> dict[str, bool]:
+    """Which paper artifacts have a regenerated result on disk."""
+    directory = Path(results_dir) if results_dir else default_results_dir()
+    return {
+        artifact: (directory / f"{artifact}.txt").exists()
+        for artifact in EXPECTED_ARTIFACTS
+    }
+
+
+def collate_results(results_dir: str | Path | None = None) -> str:
+    """One document containing every regenerated artifact (paper order)."""
+    directory = Path(results_dir) if results_dir else default_results_dir()
+    sections = ["# Regenerated paper artifacts", ""]
+    have = coverage(directory)
+    done = sum(have.values())
+    sections.append(
+        f"{done}/{len(EXPECTED_ARTIFACTS)} artifacts regenerated "
+        f"(from {directory})"
+    )
+    for artifact, title in EXPECTED_ARTIFACTS.items():
+        sections.append("")
+        sections.append(f"## {title}")
+        path = directory / f"{artifact}.txt"
+        if path.exists():
+            sections.append(path.read_text(encoding="utf-8").rstrip())
+        else:
+            sections.append(
+                "(not yet regenerated — run "
+                f"`pytest benchmarks/bench_{artifact}.py --benchmark-only`)"
+            )
+    extras = sorted(
+        p.stem for p in directory.glob("*.txt")
+        if p.stem not in EXPECTED_ARTIFACTS
+    ) if directory.is_dir() else []
+    if extras:
+        sections.append("")
+        sections.append("## Additional ablations")
+        for stem in extras:
+            sections.append("")
+            sections.append((directory / f"{stem}.txt").read_text(encoding="utf-8").rstrip())
+    return "\n".join(sections)

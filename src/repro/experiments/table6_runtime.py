@@ -1,0 +1,122 @@
+"""Table 6 — pipeline *execution* runtime on the six cleaning datasets.
+
+Compares the wall-clock runtime of the generated/learned pipelines
+(excluding generation time) for CatDB on original and refined data, CAAFE,
+AIDE, AutoGen, and the cleaning+augmentation workflow cost.  Reproduced
+shape: CatDB's lean pipelines run fastest; cleaning workflows pay a large
+upfront cost; CAAFE is dominated by its fixed model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.cleaning import Learn2CleanLike, SagaLike
+from repro.baselines.augmentation import adasyn_like, imbalanced_regression_resample
+from repro.catalog.refinement import refine_catalog
+from repro.experiments.common import (
+    format_table,
+    prepare_dataset,
+    run_catdb,
+    run_llm_baseline,
+)
+from repro.experiments.table4_refinement import REFINEMENT_DATASETS
+from repro.llm.mock import MockLLM
+
+__all__ = ["Table6Result", "run"]
+
+
+@dataclass
+class Table6Result:
+    rows: list[dict] = field(default_factory=list)
+
+    def cell(self, dataset: str, system: str) -> float | None:
+        for row in self.rows:
+            if row["dataset"] == dataset and row["system"] == system:
+                return row["seconds"]
+        return None
+
+    def render(self) -> str:
+        systems = list(dict.fromkeys(r["system"] for r in self.rows))
+        datasets = list(dict.fromkeys(r["dataset"] for r in self.rows))
+        headers = ["dataset"] + systems
+        table_rows = []
+        for dataset in datasets:
+            cells = [dataset]
+            for system in systems:
+                value = self.cell(dataset, system)
+                cells.append(f"{value:.2f}" if value is not None else "N/A")
+            table_rows.append(cells)
+        return format_table(headers, table_rows,
+                            title="Table 6: pipeline runtime [s]")
+
+
+def run(
+    datasets: tuple[str, ...] = REFINEMENT_DATASETS,
+    llm_name: str = "gemini-1.5",
+    quick: bool = True,
+    seed: int = 0,
+) -> Table6Result:
+    import time
+
+    result = Table6Result()
+    for name in datasets:
+        prepared = prepare_dataset(name, seed=seed, quick=quick)
+
+        original = run_catdb(prepared, llm_name=llm_name, seed=seed)
+        result.rows.append({
+            "dataset": name, "system": "catdb-original",
+            "seconds": original.pipeline_runtime_seconds if original.success else None,
+        })
+
+        refine_llm = MockLLM(llm_name, seed=seed, fault_injection=False)
+        refinement = refine_catalog(prepared.train, prepared.catalog, refine_llm)
+        from repro.api import _replay_structural_ops
+        from repro.catalog.materialize import materialize_refined
+
+        refined_test = _replay_structural_ops(
+            materialize_refined(prepared.test, refinement.category_mappings),
+            refinement,
+        )
+        refined = run_catdb(
+            prepared, llm_name=llm_name, seed=seed,
+            catalog=refinement.catalog, train=refinement.table, test=refined_test,
+        )
+        result.rows.append({
+            "dataset": name, "system": "catdb-refined",
+            "seconds": refined.pipeline_runtime_seconds if refined.success else None,
+        })
+
+        for system in ("caafe-tabpfn", "caafe-rforest", "aide", "autogen"):
+            report = run_llm_baseline(prepared, system, llm_name=llm_name, seed=seed)
+            result.rows.append({
+                "dataset": name, "system": system,
+                "seconds": report.pipeline_runtime_seconds if report.success else None,
+            })
+
+        # cleaning + augmentation upfront cost (the workflow's overhead column)
+        cleaning_start = time.perf_counter()
+        cleaner = (
+            Learn2CleanLike(max_steps=2, seed=seed)
+            if prepared.task_type != "regression"
+            else SagaLike(generations=1, population=3, seed=seed)
+        )
+        clean_report = cleaner.clean(prepared.train, prepared.target, prepared.task_type)
+        cleaning_seconds = time.perf_counter() - cleaning_start
+        augment_start = time.perf_counter()
+        if clean_report.success and clean_report.cleaned is not None:
+            if prepared.task_type == "regression":
+                imbalanced_regression_resample(clean_report.cleaned, prepared.target,
+                                               seed=seed)
+            else:
+                adasyn_like(clean_report.cleaned, prepared.target, seed=seed)
+        augment_seconds = time.perf_counter() - augment_start
+        result.rows.append({
+            "dataset": name, "system": "cleaning",
+            "seconds": cleaning_seconds if clean_report.success else None,
+        })
+        result.rows.append({
+            "dataset": name, "system": "augmentation",
+            "seconds": augment_seconds if clean_report.success else None,
+        })
+    return result

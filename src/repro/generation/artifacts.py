@@ -1,0 +1,153 @@
+"""Run-artifact store: persist prompts, pipelines, and reports to disk.
+
+A production deployment of CatDB materializes every generated artifact so
+pipelines can be scrutinized and re-executed later ("this generation
+process allows for materialization, scrutiny, and correction before
+deployment" — paper Section 6).  ``ArtifactStore`` writes one directory
+per generation run:
+
+    <root>/<dataset>/<run_id>/
+        pipeline.py        the final validated pipeline source
+        report.json        metrics, costs, errors, fixes
+        catalog.json       the data catalog the prompts were built from
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.catalog.catalog import DataCatalog
+from repro.generation.generator import GenerationReport
+
+__all__ = ["ArtifactStore", "RunArtifact"]
+
+
+def _slug(text: str) -> str:
+    cleaned = re.sub(r"[^A-Za-z0-9_-]+", "-", text).strip("-")
+    return cleaned or "run"
+
+
+@dataclass
+class RunArtifact:
+    """Paths of one persisted run."""
+
+    run_id: str
+    directory: Path
+    pipeline_path: Path
+    report_path: Path
+    catalog_path: Path | None
+
+
+class ArtifactStore:
+    """Directory-backed store of generation runs."""
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._counter = 0
+
+    def _next_run_id(self, report: GenerationReport) -> str:
+        self._counter += 1
+        stamp = time.strftime("%Y%m%d-%H%M%S")
+        return f"{stamp}-{_slug(report.llm)}-{self._counter:03d}"
+
+    def save(
+        self,
+        report: GenerationReport,
+        catalog: DataCatalog | None = None,
+        run_id: str | None = None,
+    ) -> RunArtifact:
+        """Persist one run; returns the written paths."""
+        run_id = run_id or self._next_run_id(report)
+        directory = self.root / _slug(report.dataset) / _slug(run_id)
+        directory.mkdir(parents=True, exist_ok=True)
+
+        pipeline_path = directory / "pipeline.py"
+        pipeline_path.write_text(report.code, encoding="utf-8")
+
+        report_path = directory / "report.json"
+        report_path.write_text(
+            json.dumps(self._report_payload(report), indent=2, default=str),
+            encoding="utf-8",
+        )
+
+        catalog_path = None
+        if catalog is not None:
+            catalog_path = directory / "catalog.json"
+            catalog.save(catalog_path)
+        return RunArtifact(
+            run_id=run_id, directory=directory,
+            pipeline_path=pipeline_path, report_path=report_path,
+            catalog_path=catalog_path,
+        )
+
+    @staticmethod
+    def _report_payload(report: GenerationReport) -> dict[str, Any]:
+        return {
+            "dataset": report.dataset,
+            "llm": report.llm,
+            "variant": report.variant,
+            "success": report.success,
+            "metrics": report.metrics,
+            "errors": [
+                {"type": e.error_type.name, "group": e.group.value,
+                 "message": e.message, "line": e.line}
+                for e in report.errors
+            ],
+            "tokens": {
+                "prompt": report.cost.prompt_tokens,
+                "completion": report.cost.completion_tokens,
+                "total": report.cost.total_tokens,
+                "pipeline": report.cost.pipeline_cost(),
+                "error_handling": report.cost.error_cost(),
+                "by_section": report.cost.cost_by_section(),
+            },
+            "interactions": {
+                "gamma": report.cost.gamma,
+                "error_prompts": report.cost.n_error_prompts,
+                "kb_fixes": report.kb_fixes,
+                "llm_fixes": report.llm_fixes,
+                "fallback_used": report.fallback_used,
+            },
+            "seconds": {
+                "generation": report.generation_seconds,
+                "llm_latency": report.llm_latency_seconds,
+                "pipeline_runtime": report.pipeline_runtime_seconds,
+                "end_to_end": report.end_to_end_seconds,
+            },
+        }
+
+    # -- retrieval -----------------------------------------------------------------
+
+    def list_runs(self, dataset: str | None = None) -> list[RunArtifact]:
+        """All persisted runs, newest last."""
+        runs: list[RunArtifact] = []
+        datasets = (
+            [self.root / _slug(dataset)] if dataset is not None
+            else sorted(p for p in self.root.iterdir() if p.is_dir())
+        )
+        for dataset_dir in datasets:
+            if not dataset_dir.is_dir():
+                continue
+            for run_dir in sorted(p for p in dataset_dir.iterdir() if p.is_dir()):
+                catalog_path = run_dir / "catalog.json"
+                runs.append(RunArtifact(
+                    run_id=run_dir.name,
+                    directory=run_dir,
+                    pipeline_path=run_dir / "pipeline.py",
+                    report_path=run_dir / "report.json",
+                    catalog_path=catalog_path if catalog_path.exists() else None,
+                ))
+        return runs
+
+    def load_report(self, artifact: RunArtifact) -> dict[str, Any]:
+        return json.loads(artifact.report_path.read_text(encoding="utf-8"))
+
+    def load_pipeline(self, artifact: RunArtifact) -> str:
+        return artifact.pipeline_path.read_text(encoding="utf-8")

@@ -1,0 +1,113 @@
+"""Library-constraint enforcement on generated pipelines.
+
+Paper Section 4.3 (System Limitations): "we do not yet enforce library
+constraints on pipeline generation.  Organizations may have restrictions
+on certain libraries, and thus, we should enforce lists of
+allowed/disallowed libraries for compliance."  This module implements that
+extension: a :class:`LibraryPolicy` checked statically against the
+generated code's imports, with optional rewriting of violating imports to
+approved equivalents.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+__all__ = ["LibraryPolicy", "LibraryViolation", "check_imports", "enforce_policy"]
+
+_DEFAULT_ALLOWED = frozenset({"repro", "numpy", "scipy", "networkx", "math", "json"})
+
+# approved stand-ins for commonly requested external estimator packages
+_REWRITES = {
+    "xgboost": "repro.ml",
+    "lightgbm": "repro.ml",
+    "catboost": "repro.ml",
+    "sklearn": "repro.ml",
+    "pandas": "repro.table",
+}
+
+
+@dataclass(frozen=True)
+class LibraryViolation:
+    """One import that violates the policy."""
+
+    module: str
+    line: int
+    reason: str  # "disallowed" | "not allowlisted"
+
+
+@dataclass
+class LibraryPolicy:
+    """Compliance policy for generated code.
+
+    ``allowed`` is an allowlist of top-level modules (None disables the
+    allowlist); ``disallowed`` is always enforced on top of it.
+    """
+
+    allowed: frozenset[str] | None = _DEFAULT_ALLOWED
+    disallowed: frozenset[str] = frozenset()
+    rewrite: bool = True  # rewrite known-equivalent imports instead of failing
+
+    def permits(self, module: str) -> bool:
+        top = module.split(".")[0]
+        if top in self.disallowed:
+            return False
+        if self.allowed is not None and top not in self.allowed:
+            return False
+        return True
+
+
+def _imports_of(code: str) -> list[tuple[str, int]]:
+    try:
+        tree = ast.parse(code)
+    except SyntaxError:
+        return []
+    found: list[tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            found.extend((alias.name, node.lineno) for alias in node.names)
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            found.append((node.module, node.lineno))
+    return found
+
+
+def check_imports(code: str, policy: LibraryPolicy) -> list[LibraryViolation]:
+    """All policy violations in the code's import statements."""
+    violations = []
+    for module, line in _imports_of(code):
+        if policy.permits(module):
+            continue
+        top = module.split(".")[0]
+        reason = "disallowed" if top in policy.disallowed else "not allowlisted"
+        violations.append(LibraryViolation(module=module, line=line, reason=reason))
+    return violations
+
+
+def enforce_policy(code: str, policy: LibraryPolicy) -> tuple[str, list[LibraryViolation]]:
+    """Apply the policy: rewrite rewritable violations, report the rest.
+
+    Returns ``(possibly rewritten code, remaining violations)``.
+    """
+    violations = check_imports(code, policy)
+    if not violations or not policy.rewrite:
+        return code, violations
+    lines = code.split("\n")
+    remaining: list[LibraryViolation] = []
+    for violation in violations:
+        top = violation.module.split(".")[0]
+        replacement = _REWRITES.get(top)
+        replacement_ok = replacement is not None and policy.permits(replacement)
+        index = violation.line - 1
+        if replacement_ok and 0 <= index < len(lines):
+            # bare `import xgboost` style lines are dropped (the generated
+            # code already imports the repro equivalents it actually uses);
+            # `from pkg import X` lines are re-pointed at the stand-in
+            stripped = lines[index].lstrip()
+            if stripped.startswith("import "):
+                lines[index] = ""
+            else:
+                lines[index] = lines[index].replace(violation.module, replacement)
+        else:
+            remaining.append(violation)
+    return "\n".join(lines), remaining

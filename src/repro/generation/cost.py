@@ -1,0 +1,108 @@
+"""Cost accounting for prompt/LLM interactions (Equations 1 and 2).
+
+Equation (1): single-prompt CatDB cost
+    C(P_p, P_e, gamma, tau_2) = gamma * L(P_p) + sum_i sum_j L(P_e_ij)
+
+Equation (2): CatDB Chain cost adds, for each of the beta pre-processing
+and feature-engineering prompts, the same structure, plus the final
+model-selection prompt.
+
+``CostModel`` records every interaction with its role (pipeline prompt vs
+error prompt, chain section) and reproduces both totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["InteractionCost", "CostModel"]
+
+
+@dataclass
+class InteractionCost:
+    """Token cost of one LLM interaction."""
+
+    role: str  # "pipeline" | "error"
+    section: str  # "single" | "preprocessing" | "fe-engineering" | "model-selection"
+    prompt_tokens: int
+    completion_tokens: int
+    iteration: int = 0  # gamma index
+    attempt: int = 0  # tau_2 index (error prompts only)
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+
+@dataclass
+class CostModel:
+    """Accumulates interaction costs for one generation run."""
+
+    interactions: list[InteractionCost] = field(default_factory=list)
+
+    def record(
+        self,
+        role: str,
+        section: str,
+        prompt_tokens: int,
+        completion_tokens: int,
+        iteration: int = 0,
+        attempt: int = 0,
+    ) -> None:
+        self.interactions.append(InteractionCost(
+            role=role, section=section,
+            prompt_tokens=prompt_tokens, completion_tokens=completion_tokens,
+            iteration=iteration, attempt=attempt,
+        ))
+
+    # -- aggregates ---------------------------------------------------------------
+
+    @property
+    def gamma(self) -> int:
+        """Number of pipeline-prompt interactions."""
+        return sum(1 for i in self.interactions if i.role == "pipeline")
+
+    @property
+    def n_error_prompts(self) -> int:
+        return sum(1 for i in self.interactions if i.role == "error")
+
+    @property
+    def prompt_tokens(self) -> int:
+        return sum(i.prompt_tokens for i in self.interactions)
+
+    @property
+    def completion_tokens(self) -> int:
+        return sum(i.completion_tokens for i in self.interactions)
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+    def pipeline_cost(self) -> int:
+        """gamma * L(P_p) term of Equation (1) (actual, per-interaction)."""
+        return sum(
+            i.total_tokens for i in self.interactions if i.role == "pipeline"
+        )
+
+    def error_cost(self) -> int:
+        """Double-sum term of Equation (1)."""
+        return sum(i.total_tokens for i in self.interactions if i.role == "error")
+
+    def cost_by_section(self) -> dict[str, int]:
+        """Per-section totals, the decomposition of Equation (2)."""
+        out: dict[str, int] = {}
+        for interaction in self.interactions:
+            out[interaction.section] = (
+                out.get(interaction.section, 0) + interaction.total_tokens
+            )
+        return out
+
+    def total_cost(self) -> int:
+        """C = pipeline cost + error cost (Equations 1/2 evaluated)."""
+        return self.pipeline_cost() + self.error_cost()
+
+    def usd_cost(self, usd_per_1k_prompt: float, usd_per_1k_completion: float) -> float:
+        return (
+            self.prompt_tokens / 1000.0 * usd_per_1k_prompt
+            + self.completion_tokens / 1000.0 * usd_per_1k_completion
+        )

@@ -1,0 +1,220 @@
+"""Error taxonomy for generated pipelines (paper Section 4.2, Figure 8).
+
+The paper identifies 23 error types in three groups:
+
+- **KB** (environment & package): six types the CatDB Knowledge Base API
+  resolves locally (installing packages, fixing paths) without an LLM.
+- **SE** (syntax & parse): caught by ``ast`` parsing; <3% of cases.
+- **RE** (runtime & semantic): the vast majority (85%+), resolved with
+  LLM assistance plus catalog details.
+
+Frequencies below reproduce the *shape* of Figure 8 (RE-dominated, KB
+second for Gemini-style models, SE rare); exact per-type ratios are not
+published, so they are plausible weights documented here as such.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "ErrorGroup",
+    "ErrorType",
+    "ERROR_TYPES",
+    "PipelineError",
+    "classify_exception",
+    "error_types_in_group",
+]
+
+
+class ErrorGroup(str, enum.Enum):
+    KB = "KB"  # environment & package errors, locally patchable
+    SE = "SE"  # syntax & parse errors
+    RE = "RE"  # runtime & semantic errors
+
+
+@dataclass(frozen=True)
+class ErrorType:
+    """One of the 23 concrete error types."""
+
+    name: str
+    group: ErrorGroup
+    description: str
+    exception: str  # Python exception class name it surfaces as
+    kb_patchable: bool  # fixable locally without an LLM round-trip
+    weight: float  # relative within-group frequency
+
+
+ERROR_TYPES: dict[str, ErrorType] = {}
+
+
+def _register(error_type: ErrorType) -> None:
+    ERROR_TYPES[error_type.name] = error_type
+
+
+# -- KB group: environment & package (6 types) ---------------------------------
+_register(ErrorType(
+    "missing_package", ErrorGroup.KB,
+    "generated code imports a package absent from the environment",
+    "ModuleNotFoundError", True, 0.45))
+_register(ErrorType(
+    "package_version", ErrorGroup.KB,
+    "API only available in a different package version",
+    "ImportError", True, 0.15))
+_register(ErrorType(
+    "missing_data_file", ErrorGroup.KB,
+    "pipeline reads a path that does not exist",
+    "FileNotFoundError", True, 0.20))
+_register(ErrorType(
+    "env_variable", ErrorGroup.KB,
+    "code expects an unset environment variable",
+    "KeyError", True, 0.05))
+_register(ErrorType(
+    "permission", ErrorGroup.KB,
+    "writing to a location the runner may not write to",
+    "PermissionError", True, 0.05))
+_register(ErrorType(
+    "resource_limit", ErrorGroup.KB,
+    "pipeline exhausts memory/disk in the sandbox",
+    "MemoryError", True, 0.10))
+
+# -- SE group: syntax & parse (6 types) -----------------------------------------
+_register(ErrorType(
+    "stray_prose", ErrorGroup.SE,
+    "uncommented natural-language text inside the code block",
+    "SyntaxError", True, 0.30))
+_register(ErrorType(
+    "markdown_fence", ErrorGroup.SE,
+    "leftover ``` markdown fences around the code",
+    "SyntaxError", True, 0.25))
+_register(ErrorType(
+    "broken_indentation", ErrorGroup.SE,
+    "inconsistent indentation",
+    "IndentationError", True, 0.15))
+_register(ErrorType(
+    "unclosed_bracket", ErrorGroup.SE,
+    "unbalanced parenthesis or bracket",
+    "SyntaxError", False, 0.10))
+_register(ErrorType(
+    "missing_import", ErrorGroup.SE,
+    "a used name is never imported",
+    "NameError", True, 0.15))
+_register(ErrorType(
+    "truncated_code", ErrorGroup.SE,
+    "the model stopped mid-statement",
+    "SyntaxError", False, 0.05))
+
+# -- RE group: runtime & semantic (11 types) -------------------------------------
+_register(ErrorType(
+    "unknown_column", ErrorGroup.RE,
+    "pipeline references a column that does not exist (hallucinated feature)",
+    "KeyError", False, 0.22))
+_register(ErrorType(
+    "nan_in_features", ErrorGroup.RE,
+    "missing values reach an estimator that rejects NaN",
+    "ValueError", False, 0.20))
+_register(ErrorType(
+    "type_mismatch", ErrorGroup.RE,
+    "string column treated as numeric (or vice versa)",
+    "TypeError", False, 0.12))
+_register(ErrorType(
+    "shape_mismatch", ErrorGroup.RE,
+    "train/test matrices disagree in width after encoding",
+    "ValueError", False, 0.10))
+_register(ErrorType(
+    "unseen_label", ErrorGroup.RE,
+    "label encoder hits a class absent from training data",
+    "ValueError", False, 0.06))
+_register(ErrorType(
+    "wrong_api", ErrorGroup.RE,
+    "call to a method the class does not provide",
+    "AttributeError", False, 0.10))
+_register(ErrorType(
+    "undefined_variable", ErrorGroup.RE,
+    "use of a variable that was never assigned",
+    "NameError", False, 0.08))
+_register(ErrorType(
+    "division_by_zero", ErrorGroup.RE,
+    "normalisation by a zero denominator",
+    "ZeroDivisionError", False, 0.03))
+_register(ErrorType(
+    "index_out_of_bounds", ErrorGroup.RE,
+    "hard-coded positional index beyond matrix width",
+    "IndexError", False, 0.04))
+_register(ErrorType(
+    "task_mismatch", ErrorGroup.RE,
+    "classifier trained on a regression target (semantic misuse)",
+    "ValueError", False, 0.03))
+_register(ErrorType(
+    "no_convergence", ErrorGroup.RE,
+    "degenerate training yields constant predictions / metric failure",
+    "RuntimeError", False, 0.02))
+
+assert len(ERROR_TYPES) == 23, "paper taxonomy has exactly 23 error types"
+
+
+def error_types_in_group(group: ErrorGroup) -> list[ErrorType]:
+    return [e for e in ERROR_TYPES.values() if e.group is group]
+
+
+@dataclass
+class PipelineError:
+    """A concrete error observed while validating/executing a pipeline."""
+
+    error_type: ErrorType
+    message: str
+    line: int | None = None
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def group(self) -> ErrorGroup:
+        return self.error_type.group
+
+    def render(self) -> str:
+        location = f" (line {self.line})" if self.line is not None else ""
+        return f"{self.error_type.exception}: {self.message}{location}"
+
+
+_EXCEPTION_TO_TYPE = {
+    "ModuleNotFoundError": "missing_package",
+    "ImportError": "package_version",
+    "FileNotFoundError": "missing_data_file",
+    "PermissionError": "permission",
+    "MemoryError": "resource_limit",
+    "SyntaxError": "stray_prose",
+    "IndentationError": "broken_indentation",
+    "KeyError": "unknown_column",
+    "TypeError": "type_mismatch",
+    "AttributeError": "wrong_api",
+    "NameError": "undefined_variable",
+    "ZeroDivisionError": "division_by_zero",
+    "IndexError": "index_out_of_bounds",
+    "RuntimeError": "no_convergence",
+}
+
+
+def classify_exception(exc: BaseException, line: int | None = None) -> PipelineError:
+    """Map a raised exception onto the taxonomy.
+
+    ``ValueError`` needs message inspection since several runtime types
+    surface as ``ValueError``.
+    """
+    message = str(exc)
+    name = type(exc).__name__
+    if name == "ValueError":
+        lowered = message.lower()
+        if "nan" in lowered or "infinity" in lowered:
+            type_name = "nan_in_features"
+        elif "shape" in lowered or "width" in lowered or "columns" in lowered:
+            type_name = "shape_mismatch"
+        elif "unseen" in lowered or "label" in lowered:
+            type_name = "unseen_label"
+        elif "class" in lowered:
+            type_name = "task_mismatch"
+        else:
+            type_name = "shape_mismatch"
+    else:
+        type_name = _EXCEPTION_TO_TYPE.get(name, "no_convergence")
+    return PipelineError(ERROR_TYPES[type_name], message, line=line)

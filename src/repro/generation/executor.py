@@ -1,0 +1,106 @@
+"""Sandboxed execution of generated pipeline code.
+
+Executes the script in a fresh namespace (imports are real — only the
+documented ``repro`` APIs and numpy are available in this environment),
+calls ``run_pipeline(train, test)``, and classifies any raised exception
+onto the 23-type taxonomy, recovering the failing line number from the
+traceback for the error-correction prompt.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.generation.errors import ERROR_TYPES, PipelineError, classify_exception
+from repro.table.table import Table
+
+__all__ = ["ExecutionResult", "execute_pipeline_code"]
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one pipeline execution."""
+
+    success: bool
+    metrics: dict[str, Any] = field(default_factory=dict)
+    error: PipelineError | None = None
+    runtime_seconds: float = 0.0
+
+    @property
+    def primary_metric(self) -> float | None:
+        for key in ("test_auc", "test_r2", "test_accuracy"):
+            if key in self.metrics:
+                return float(self.metrics[key])
+        return None
+
+
+def _failing_line(exc: BaseException, filename: str) -> int | None:
+    for frame in reversed(traceback.extract_tb(exc.__traceback__)):
+        if frame.filename == filename:
+            return frame.lineno
+    return None
+
+
+def execute_pipeline_code(
+    code: str, train: Table, test: Table, filename: str = "<pipeline>"
+) -> ExecutionResult:
+    """Compile and run the script; never raises, always classifies."""
+    start = time.perf_counter()
+    namespace: dict[str, Any] = {"__name__": "__catdb_pipeline__"}
+    try:
+        compiled = compile(code, filename, "exec")
+    except SyntaxError as exc:
+        elapsed = time.perf_counter() - start
+        return ExecutionResult(
+            success=False,
+            error=classify_exception(exc, line=exc.lineno),
+            runtime_seconds=elapsed,
+        )
+    try:
+        exec(compiled, namespace)  # noqa: S102 - sandbox is the local venv
+        run = namespace.get("run_pipeline")
+        if run is None:
+            raise RuntimeError("script does not define run_pipeline")
+        metrics = run(train, test)
+        if not isinstance(metrics, dict):
+            raise RuntimeError("run_pipeline must return a metrics dict")
+    except BaseException as exc:  # noqa: BLE001 - everything must be classified
+        elapsed = time.perf_counter() - start
+        error = classify_exception(exc, line=_failing_line(exc, filename))
+        return ExecutionResult(success=False, error=error, runtime_seconds=elapsed)
+    elapsed = time.perf_counter() - start
+    error = _semantic_check(metrics, train)
+    if error is not None:
+        return ExecutionResult(
+            success=False, metrics=metrics, error=error, runtime_seconds=elapsed
+        )
+    return ExecutionResult(success=True, metrics=metrics, runtime_seconds=elapsed)
+
+
+def _semantic_check(metrics: dict[str, Any], train: Table) -> PipelineError | None:
+    """Runtime sanity guards against silent corruption (paper "Guarantees").
+
+    A pipeline that returns non-finite or out-of-range scores is treated as
+    a semantic failure even though it did not raise.
+    """
+    for key, value in metrics.items():
+        if key in ("model", "n_features"):
+            continue
+        if not isinstance(value, (int, float)):
+            return PipelineError(
+                ERROR_TYPES["no_convergence"],
+                f"metric {key!r} is not numeric: {value!r}",
+            )
+        if value != value:  # NaN
+            return PipelineError(
+                ERROR_TYPES["no_convergence"], f"metric {key!r} is NaN"
+            )
+        if key.endswith(("accuracy", "auc")) and not -1e-9 <= value <= 1 + 1e-9:
+            return PipelineError(
+                ERROR_TYPES["no_convergence"],
+                f"metric {key!r}={value} outside [0, 1]",
+            )
+    return None

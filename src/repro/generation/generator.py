@@ -1,0 +1,336 @@
+"""Algorithm 4 — PIPEGEN: generate, validate, and repair pipelines.
+
+``CatDB`` implements the single-prompt variant (beta = 1); ``CatDBChain``
+repeats the generate/validate/fix loop for each chain step, passing each
+step's code into the next prompt (Figure 6 ordering: all pre-processing
+prompts, then all feature-engineering prompts, then one model-selection
+prompt).
+
+The error-management loop follows the paper exactly: statically validate
+(ast), execute on a local sample, then (a) apply a local knowledge-base
+patch when the error signature is known, (b) otherwise send a syntax-error
+prompt (code + error only) or a runtime-error prompt (code + error +
+projected metadata) to the LLM, bounded by ``tau_2`` attempts, with a
+deterministic hand-crafted fallback pipeline as the last resort.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.catalog.catalog import DataCatalog
+from typing import TYPE_CHECKING
+
+from repro.generation.cost import CostModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.generation.constraints import LibraryPolicy
+from repro.generation.errors import ErrorGroup, PipelineError
+from repro.generation.executor import ExecutionResult, execute_pipeline_code
+from repro.generation.knowledge_base import KnowledgeBase
+from repro.generation.validator import extract_code_block, validate_source
+from repro.llm.base import LLMClient
+from repro.llm.codegen import generate_pipeline_code
+from repro.llm.profiles import get_profile
+from repro.prompt.builder import ChainPromptPlan, build_prompt_plan
+from repro.prompt.combinations import MetadataCombination
+from repro.prompt.rules import SECTION_FE, SECTION_MODEL, SECTION_PREPROCESSING
+from repro.prompt.templates import render_error_prompt
+from repro.table.table import Table
+
+__all__ = ["GenerationReport", "CatDB", "CatDBChain"]
+
+_SAMPLE_ROWS = 250
+
+
+@dataclass
+class GenerationReport:
+    """Everything one generation run produced and cost."""
+
+    dataset: str
+    llm: str
+    variant: str  # "catdb" | "catdb-chain"
+    success: bool = False
+    code: str = ""
+    metrics: dict[str, Any] = field(default_factory=dict)
+    errors: list[PipelineError] = field(default_factory=list)
+    cost: CostModel = field(default_factory=CostModel)
+    llm_latency_seconds: float = 0.0
+    pipeline_runtime_seconds: float = 0.0
+    generation_seconds: float = 0.0
+    fix_attempts: int = 0
+    kb_fixes: int = 0
+    llm_fixes: int = 0
+    fallback_used: bool = False
+    library_violations: list = field(default_factory=list)
+
+    @property
+    def end_to_end_seconds(self) -> float:
+        """Wall-clock work plus simulated LLM latency (Table 8 accounting)."""
+        return self.generation_seconds + self.llm_latency_seconds
+
+    @property
+    def total_tokens(self) -> int:
+        return self.cost.total_tokens
+
+    @property
+    def primary_metric(self) -> float | None:
+        for key in ("test_auc", "test_r2", "test_accuracy"):
+            if key in self.metrics:
+                return float(self.metrics[key])
+        return None
+
+
+class _GeneratorBase:
+    """Shared machinery of CatDB and CatDB Chain."""
+
+    variant = "catdb"
+
+    def __init__(
+        self,
+        llm: LLMClient,
+        alpha: int | None = None,
+        combination: MetadataCombination | int = 11,
+        max_fix_attempts: int = 5,
+        knowledge_base: KnowledgeBase | None = None,
+        use_knowledge_base: bool = True,
+        sample_rows: int = _SAMPLE_ROWS,
+        library_policy: "LibraryPolicy | None" = None,
+    ) -> None:
+        self.llm = llm
+        self.alpha = alpha
+        self.combination = combination
+        self.max_fix_attempts = max_fix_attempts
+        self.knowledge_base = knowledge_base if knowledge_base is not None else KnowledgeBase()
+        self.use_knowledge_base = use_knowledge_base
+        self.sample_rows = sample_rows
+        self.library_policy = library_policy
+
+    # -- LLM round trips -----------------------------------------------------------
+
+    def _submit(
+        self, report: GenerationReport, text: str, role: str, section: str,
+        iteration: int = 0, attempt: int = 0,
+    ) -> str:
+        response = self.llm.complete(text)
+        report.cost.record(
+            role=role, section=section,
+            prompt_tokens=response.prompt_tokens,
+            completion_tokens=response.completion_tokens,
+            iteration=iteration, attempt=attempt,
+        )
+        report.llm_latency_seconds += float(
+            response.metadata.get("latency_seconds", 0.0)
+        )
+        code = extract_code_block(response.content)
+        if self.library_policy is not None:
+            from repro.generation.constraints import enforce_policy
+
+            code, remaining = enforce_policy(code, self.library_policy)
+            report.library_violations.extend(remaining)
+        return code
+
+    # -- error management (Algorithm 4, lines 3-15) ---------------------------------
+
+    def _first_error(
+        self, code: str, train_sample: Table, test_sample: Table
+    ) -> PipelineError | None:
+        issues = validate_source(code)
+        if issues:
+            return issues[0].error
+        result = execute_pipeline_code(code, train_sample, test_sample)
+        return result.error
+
+    def _repair_loop(
+        self,
+        report: GenerationReport,
+        code: str,
+        plan: ChainPromptPlan,
+        train_sample: Table,
+        test_sample: Table,
+        section: str = "single",
+    ) -> str:
+        catalog = plan.catalog
+        for attempt in range(self.max_fix_attempts):
+            error = self._first_error(code, train_sample, test_sample)
+            if error is None:
+                return code
+            report.errors.append(error)
+            report.fix_attempts += 1
+
+            if self.use_knowledge_base:
+                entry = self.knowledge_base.find_patch(error, code)
+            else:
+                entry = None
+            if entry is not None:
+                self.knowledge_base.record(
+                    catalog.info.name, self.llm.model, error, fixed_by="kb"
+                )
+                code = entry.patch(code)
+                report.kb_fixes += 1
+                continue
+
+            include_metadata = error.group is ErrorGroup.RE
+            self.knowledge_base.record(
+                catalog.info.name, self.llm.model, error, fixed_by="llm"
+            )
+            prompt = render_error_prompt(
+                catalog.info,
+                code,
+                error.error_type.name,
+                error.message,
+                error.line,
+                attempt=attempt,
+                schema=plan._full_schema if include_metadata else (),
+                rules=plan.rules if include_metadata else (),
+                include_metadata=include_metadata,
+            )
+            code = self._submit(
+                report, prompt, role="error", section=section, attempt=attempt
+            )
+            report.llm_fixes += 1
+        return code
+
+    # -- fallback (Algorithm 4, lines 16-17) ------------------------------------------
+
+    def _handcraft(self, plan: ChainPromptPlan) -> str:
+        """Deterministic fallback pipeline built straight from the catalog."""
+        payload = {
+            "task": "pipeline",
+            "dataset": plan.catalog.info.to_dict(),
+            "schema": plan._full_schema,
+            "rules": [r.to_payload() for r in plan.rules],
+            "subtasks": [SECTION_PREPROCESSING, SECTION_FE, SECTION_MODEL],
+        }
+        return generate_pipeline_code(payload, get_profile("gpt-4o"), salt=0)
+
+    # -- finalization --------------------------------------------------------------------
+
+    def _finalize(
+        self,
+        report: GenerationReport,
+        code: str,
+        plan: ChainPromptPlan,
+        train: Table,
+        test: Table,
+        train_sample: Table,
+        test_sample: Table,
+    ) -> GenerationReport:
+        if self._first_error(code, train_sample, test_sample) is not None:
+            report.fallback_used = True
+            code = self._handcraft(plan)
+        result: ExecutionResult = execute_pipeline_code(code, train, test)
+        if not result.success and not report.fallback_used:
+            if result.error is not None:
+                report.errors.append(result.error)
+            report.fallback_used = True
+            code = self._handcraft(plan)
+            result = execute_pipeline_code(code, train, test)
+        report.code = code
+        report.success = result.success
+        report.metrics = result.metrics
+        report.pipeline_runtime_seconds = result.runtime_seconds
+        if not result.success and result.error is not None:
+            report.errors.append(result.error)
+        return report
+
+    def _samples(self, train: Table, test: Table) -> tuple[Table, Table]:
+        return (
+            train.sample_rows(min(self.sample_rows, train.n_rows), seed=0),
+            test.sample_rows(min(self.sample_rows, test.n_rows), seed=1),
+        )
+
+
+class CatDB(_GeneratorBase):
+    """Single-prompt CatDB (beta = 1)."""
+
+    variant = "catdb"
+
+    def generate(
+        self,
+        train: Table,
+        test: Table,
+        catalog: DataCatalog,
+        iteration: int = 0,
+    ) -> GenerationReport:
+        start = time.perf_counter()
+        report = GenerationReport(
+            dataset=catalog.info.name, llm=self.llm.model, variant=self.variant
+        )
+        plan = build_prompt_plan(
+            catalog, alpha=self.alpha, beta=1,
+            combination=self.combination, iteration=iteration,
+        )
+        assert plan.single is not None
+        train_sample, test_sample = self._samples(train, test)
+        code = self._submit(
+            report, plan.single.text, role="pipeline", section="single",
+            iteration=iteration,
+        )
+        code = self._repair_loop(report, code, plan, train_sample, test_sample)
+        report.generation_seconds = time.perf_counter() - start
+        report = self._finalize(
+            report, code, plan, train, test, train_sample, test_sample
+        )
+        report.generation_seconds = time.perf_counter() - start
+        return report
+
+
+class CatDBChain(_GeneratorBase):
+    """CatDB Chain (beta > 1): chunked prompts with per-step verification."""
+
+    variant = "catdb-chain"
+
+    def __init__(self, llm: LLMClient, beta: int = 2, **kwargs: Any) -> None:
+        super().__init__(llm, **kwargs)
+        if beta < 2:
+            raise ValueError("CatDBChain requires beta >= 2")
+        self.beta = beta
+
+    def generate(
+        self,
+        train: Table,
+        test: Table,
+        catalog: DataCatalog,
+        iteration: int = 0,
+    ) -> GenerationReport:
+        start = time.perf_counter()
+        report = GenerationReport(
+            dataset=catalog.info.name, llm=self.llm.model, variant=self.variant
+        )
+        plan = build_prompt_plan(
+            catalog, alpha=self.alpha, beta=self.beta,
+            combination=self.combination, iteration=iteration,
+        )
+        train_sample, test_sample = self._samples(train, test)
+        code: str | None = None
+
+        # Figure 6 ordering: all preprocessing prompts, then all
+        # feature-engineering prompts, then one model-selection prompt; the
+        # code so far is appended to every prompt.
+        for section in (SECTION_PREPROCESSING, SECTION_FE):
+            for chunk_index in range(plan.beta):
+                prompt = plan.chain_step(section, chunk_index, code)
+                code = self._submit(
+                    report, prompt.text, role="pipeline", section=section,
+                    iteration=iteration,
+                )
+                code = self._repair_loop(
+                    report, code, plan, train_sample, test_sample, section=section
+                )
+        prompt = plan.chain_step(SECTION_MODEL, 0, code)
+        code = self._submit(
+            report, prompt.text, role="pipeline", section=SECTION_MODEL,
+            iteration=iteration,
+        )
+        code = self._repair_loop(
+            report, code, plan, train_sample, test_sample, section=SECTION_MODEL
+        )
+        report.generation_seconds = time.perf_counter() - start
+        report = self._finalize(
+            report, code or "", plan, train, test, train_sample, test_sample
+        )
+        report.generation_seconds = time.perf_counter() - start
+        return report

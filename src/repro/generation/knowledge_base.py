@@ -1,0 +1,183 @@
+"""The CatDB knowledge base of error traces and local patches.
+
+Paper Section 4.2: "(i) Environment & Package Errors: ... The CatDB
+Knowledge Base (KB) API manages six error types, such as missing packages,
+which it resolves by installing dependencies and re-executing the
+pipeline."  In this offline reproduction the environment is fixed, so KB
+patches rewrite the offending code (drop the unavailable import, replace
+the unavailable symbol, remove the environment access) — same control
+flow, same cost profile (no LLM round-trip).
+
+The KB also accumulates an *error-trace dataset*: every error it sees is
+recorded with its dataset/LLM context, which is what Table 2 and Figure 8
+are computed from.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.generation.errors import ErrorGroup, PipelineError
+
+__all__ = ["KnowledgeBaseEntry", "KnowledgeBase", "ErrorTrace"]
+
+
+@dataclass
+class KnowledgeBaseEntry:
+    """One known error signature and its local patch."""
+
+    name: str
+    error_types: tuple[str, ...]
+    signature: str  # regex matched against code lines
+    patch: Callable[[str], str]
+    description: str = ""
+
+    def matches(self, error: PipelineError, code: str) -> bool:
+        if error.error_type.name not in self.error_types:
+            return False
+        return re.search(self.signature, code, flags=re.MULTILINE) is not None
+
+
+@dataclass
+class ErrorTrace:
+    """One recorded error occurrence (the error-traces dataset)."""
+
+    dataset: str
+    llm: str
+    error_type: str
+    group: str
+    message: str
+    fixed_by: str = ""  # "kb" | "llm" | "" (unresolved)
+
+
+def _drop_lines(pattern: str) -> Callable[[str], str]:
+    compiled = re.compile(pattern)
+
+    def patch(code: str) -> str:
+        return "\n".join(
+            line for line in code.split("\n") if not compiled.search(line)
+        )
+
+    return patch
+
+
+_DEFAULT_ENTRIES = [
+    KnowledgeBaseEntry(
+        name="unavailable-package-import",
+        error_types=("missing_package",),
+        signature=r"^\s*import (xgboost|lightgbm|catboost|torch|tensorflow)\b",
+        patch=_drop_lines(r"^\s*import (xgboost|lightgbm|catboost|torch|tensorflow)\b"),
+        description="imports of packages absent from the local environment "
+                    "are dropped; repro.ml provides the equivalent estimator",
+    ),
+    KnowledgeBaseEntry(
+        name="unknown-repro-symbol",
+        error_types=("package_version",),
+        signature=r"^\s*from repro\.ml import (HistGradientBoosting|TargetEncoder|IterativeImputer)",
+        patch=_drop_lines(
+            r"^\s*from repro\.ml import (HistGradientBoosting|TargetEncoder|IterativeImputer)"
+        ),
+        description="symbols from other library versions are removed",
+    ),
+    KnowledgeBaseEntry(
+        name="stale-cache-path",
+        error_types=("missing_data_file",),
+        signature=r"open\(\"/data/catalog/",
+        patch=_drop_lines(r"open\(\"/data/catalog/"),
+        description="reads of non-existent cache paths are removed; prompts "
+                    "already carry the catalog content",
+    ),
+    KnowledgeBaseEntry(
+        name="workspace-env-variable",
+        error_types=("env_variable",),
+        signature=r"os\.environ\[\"CATDB_WORKSPACE\"\]",
+        patch=_drop_lines(r"(os\.environ\[\"CATDB_WORKSPACE\"\])"),
+        description="environment lookups are replaced by the working directory",
+    ),
+    KnowledgeBaseEntry(
+        name="artifact-write-permission",
+        error_types=("permission",),
+        signature=r"raise PermissionError\(",
+        patch=_drop_lines(r"(raise PermissionError\(|# persist intermediate artifacts)"),
+        description="artifact persistence is redirected to a writable tmp dir",
+    ),
+    KnowledgeBaseEntry(
+        name="sandbox-memory-budget",
+        error_types=("resource_limit",),
+        signature=r"raise MemoryError\(",
+        patch=_drop_lines(r"raise MemoryError\("),
+        description="re-execute with a raised memory budget",
+    ),
+    KnowledgeBaseEntry(
+        name="markdown-fences",
+        error_types=("markdown_fence",),
+        signature=r"^```",
+        patch=_drop_lines(r"^```"),
+        description="strip leftover markdown fences around the code block",
+    ),
+    KnowledgeBaseEntry(
+        name="bare-prose-line",
+        error_types=("stray_prose",),
+        signature=r"^Here is the complete pipeline",
+        patch=_drop_lines(r"^Here is the complete pipeline"),
+        description="comment out / drop natural-language lines",
+    ),
+]
+
+
+class KnowledgeBase:
+    """Registry of locally-patchable error signatures plus the trace log."""
+
+    def __init__(self, entries: list[KnowledgeBaseEntry] | None = None) -> None:
+        self.entries = list(entries) if entries is not None else list(_DEFAULT_ENTRIES)
+        self.traces: list[ErrorTrace] = []
+
+    def register(self, entry: KnowledgeBaseEntry) -> None:
+        self.entries.append(entry)
+
+    def find_patch(self, error: PipelineError, code: str) -> KnowledgeBaseEntry | None:
+        """First entry whose signature matches this (error, code) pair."""
+        for entry in self.entries:
+            if entry.matches(error, code):
+                return entry
+        return None
+
+    def record(
+        self, dataset: str, llm: str, error: PipelineError, fixed_by: str = ""
+    ) -> None:
+        self.traces.append(ErrorTrace(
+            dataset=dataset,
+            llm=llm,
+            error_type=error.error_type.name,
+            group=error.group.value,
+            message=error.message[:200],
+            fixed_by=fixed_by,
+        ))
+
+    # -- statistics over the trace dataset (Table 2 / Figure 8) -------------------
+
+    def group_distribution(self, llm: str | None = None) -> dict[str, float]:
+        """Percentage of traces per error group, optionally for one LLM."""
+        traces = [t for t in self.traces if llm is None or t.llm == llm]
+        if not traces:
+            return {g.value: 0.0 for g in ErrorGroup}
+        out = {}
+        for group in ErrorGroup:
+            count = sum(1 for t in traces if t.group == group.value)
+            out[group.value] = round(100.0 * count / len(traces), 3)
+        return out
+
+    def type_distribution(self, llm: str | None = None) -> dict[str, float]:
+        """Percentage of traces per concrete error type (Figure 8)."""
+        traces = [t for t in self.traces if llm is None or t.llm == llm]
+        if not traces:
+            return {}
+        counts: dict[str, int] = {}
+        for trace in traces:
+            counts[trace.error_type] = counts.get(trace.error_type, 0) + 1
+        return {
+            name: round(100.0 * count / len(traces), 3)
+            for name, count in sorted(counts.items(), key=lambda kv: -kv[1])
+        }

@@ -1,0 +1,34 @@
+"""Simulated LLM substrate.
+
+The original CatDB calls commercial LLM APIs (GPT-4o, Gemini-1.5-pro,
+Llama3.1-70b).  This package replaces them with a deterministic,
+offline :class:`MockLLM` that
+
+- parses CatDB's structured prompts (rules ``R`` + schema ``S``),
+- emits *real, runnable* pipeline code over :mod:`repro.ml`,
+- answers the catalog-refinement questions (feature types, category
+  deduplication) through the :mod:`repro.llm.semantics` layer, and
+- fails with the paper's empirical error distribution (Table 2 /
+  Figure 8) via :mod:`repro.llm.faults`, per-model profiles included.
+
+Everything is seeded and reproducible; "iterations" differ through an
+explicit iteration counter mixed into the fault hash, mirroring the
+residual randomness the paper observes at temperature zero.
+"""
+
+from repro.llm.base import ChatMessage, LLMClient, LLMResponse, LLMUsage
+from repro.llm.mock import MockLLM
+from repro.llm.profiles import LLMProfile, get_profile, list_profiles
+from repro.llm.tokenizer import count_tokens
+
+__all__ = [
+    "ChatMessage",
+    "LLMClient",
+    "LLMResponse",
+    "LLMUsage",
+    "MockLLM",
+    "LLMProfile",
+    "get_profile",
+    "list_profiles",
+    "count_tokens",
+]

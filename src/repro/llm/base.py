@@ -1,0 +1,88 @@
+"""LLM client protocol, responses, and usage accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.llm.tokenizer import count_tokens
+
+__all__ = ["ChatMessage", "LLMUsage", "LLMResponse", "LLMClient"]
+
+
+@dataclass
+class ChatMessage:
+    """One message in a conversation (role: 'system' | 'user' | 'assistant')."""
+
+    role: str
+    content: str
+
+    @property
+    def tokens(self) -> int:
+        return count_tokens(self.content)
+
+
+@dataclass
+class LLMUsage:
+    """Cumulative token accounting across a client's lifetime."""
+
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    n_requests: int = 0
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+    def add(self, prompt_tokens: int, completion_tokens: int) -> None:
+        self.prompt_tokens += prompt_tokens
+        self.completion_tokens += completion_tokens
+        self.n_requests += 1
+
+    def snapshot(self) -> "LLMUsage":
+        return LLMUsage(self.prompt_tokens, self.completion_tokens, self.n_requests)
+
+    def delta_since(self, earlier: "LLMUsage") -> "LLMUsage":
+        return LLMUsage(
+            self.prompt_tokens - earlier.prompt_tokens,
+            self.completion_tokens - earlier.completion_tokens,
+            self.n_requests - earlier.n_requests,
+        )
+
+
+@dataclass
+class LLMResponse:
+    """One model response plus its token cost."""
+
+    content: str
+    prompt_tokens: int
+    completion_tokens: int
+    model: str
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+
+class LLMClient:
+    """Minimal chat-completion interface all model backends implement."""
+
+    model: str
+
+    def __init__(self) -> None:
+        self.usage = LLMUsage()
+
+    def complete(self, messages: Sequence[ChatMessage] | str) -> LLMResponse:
+        """Run one completion; implementations must update ``self.usage``."""
+        raise NotImplementedError
+
+    def _coerce_messages(
+        self, messages: Sequence[ChatMessage] | str
+    ) -> list[ChatMessage]:
+        if isinstance(messages, str):
+            return [ChatMessage("user", messages)]
+        return list(messages)
+
+    def reset_usage(self) -> None:
+        self.usage = LLMUsage()

@@ -1,0 +1,453 @@
+"""Fault injection and repair for generated pipelines.
+
+A real LLM's pipeline code fails in characteristic ways; CatDB's whole
+Section 4 is the machinery that detects and repairs those failures.  To
+exercise that machinery offline, :func:`inject_fault` corrupts clean
+generated code with one of the 23 taxonomy error types (chosen per the
+model profile's empirical error mix), and :func:`repair_code` implements
+the "LLM fixes its own code given the error message" step with
+pattern-based repairs — falling back to full regeneration when the error
+prompt carries the original metadata summary (as the paper's runtime-error
+prompts do, Figure 7).
+
+Injected faults are *organic* where possible: the corrupted code really
+raises the documented exception when executed; only environment-specific
+failures (permissions, memory limits) are simulated with explicit raises.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.generation.errors import ERROR_TYPES, ErrorGroup, ErrorType
+from repro.llm.profiles import LLMProfile
+from repro.llm.rand import stable_hash, weighted_pick
+
+__all__ = ["choose_error_type", "inject_fault", "repair_code", "should_fail"]
+
+
+def should_fail(
+    profile: LLMProfile, *hash_parts: Any, rate_multiplier: float = 1.0
+) -> bool:
+    """Decide whether this generation contains an error.
+
+    ``rate_multiplier`` scales the profile's base error rate: prompts with
+    dataset-specific rules and rich metadata ground the model and lower the
+    rate (CatDB's claim); bare prompts raise it (how AIDE/AutoGen behave in
+    the paper's Table 8 failure counts).
+    """
+    rate = min(0.95, profile.error_rate * rate_multiplier)
+    point = stable_hash("fail?", profile.name, *hash_parts) % 10_000
+    return point < rate * 10_000
+
+
+def choose_error_type(profile: LLMProfile, *hash_parts: Any) -> ErrorType:
+    """Pick an error type following the profile's KB/SE/RE mix (Table 2)."""
+    groups = [ErrorGroup.KB, ErrorGroup.SE, ErrorGroup.RE]
+    group = weighted_pick(groups, list(profile.error_mix), "group", profile.name, *hash_parts)
+    candidates = [e for e in ERROR_TYPES.values() if e.group is group]
+    weights = [e.weight for e in candidates]
+    return weighted_pick(candidates, weights, "type", profile.name, *hash_parts)
+
+
+# ---------------------------------------------------------------------------
+# corruption
+# ---------------------------------------------------------------------------
+
+def inject_fault(code: str, error_type: ErrorType, salt: int = 0) -> str:
+    """Corrupt clean pipeline code so that it exhibits ``error_type``."""
+    injector = _INJECTORS.get(error_type.name)
+    if injector is None:
+        raise KeyError(f"no injector for error type {error_type.name!r}")
+    return injector(code, salt)
+
+
+def _lines(code: str) -> list[str]:
+    return code.split("\n")
+
+
+def _after_imports_index(lines: list[str]) -> int:
+    last = 0
+    for i, line in enumerate(lines):
+        if line.startswith(("import ", "from ")):
+            last = i + 1
+    return last
+
+
+def _first_body_index(lines: list[str], anchor: str) -> int | None:
+    for i, line in enumerate(lines):
+        if anchor in line:
+            return i
+    return None
+
+
+def _insert_after(code: str, anchor: str, new_lines: list[str]) -> str:
+    lines = _lines(code)
+    idx = _first_body_index(lines, anchor)
+    if idx is None:
+        idx = len(lines) - 1
+    return "\n".join(lines[: idx + 1] + new_lines + lines[idx + 1 :])
+
+
+def _inject_missing_package(code: str, salt: int) -> str:
+    package = ["xgboost", "lightgbm", "catboost", "torch"][salt % 4]
+    lines = _lines(code)
+    idx = _after_imports_index(lines)
+    lines.insert(idx, f"import {package}")
+    return "\n".join(lines)
+
+
+def _inject_package_version(code: str, salt: int) -> str:
+    symbol = ["HistGradientBoosting", "TargetEncoder", "IterativeImputer"][salt % 3]
+    lines = _lines(code)
+    idx = _after_imports_index(lines)
+    lines.insert(idx, f"from repro.ml import {symbol}")
+    return "\n".join(lines)
+
+
+def _inject_missing_data_file(code: str, salt: int) -> str:
+    return _insert_after(
+        code,
+        "def run_pipeline(train, test):",
+        ['    schema_cache = open("/data/catalog/schema_cache.json")'],
+    )
+
+
+def _inject_env_variable(code: str, salt: int) -> str:
+    lines = _lines(code)
+    idx = _after_imports_index(lines)
+    lines.insert(idx, "import os")
+    out = "\n".join(lines)
+    return _insert_after(
+        out,
+        "def run_pipeline(train, test):",
+        ['    workspace = os.environ["CATDB_WORKSPACE"]'],
+    )
+
+
+def _inject_permission(code: str, salt: int) -> str:
+    return _insert_after(
+        code,
+        "def run_pipeline(train, test):",
+        [
+            "    # persist intermediate artifacts for reuse",
+            '    raise PermissionError("cannot write model artifact to /var/lib/catdb")',
+        ],
+    )
+
+
+def _inject_resource_limit(code: str, salt: int) -> str:
+    return _insert_after(
+        code,
+        "    model.fit(X_train, y_train)",
+        ['    raise MemoryError("pipeline exceeded the sandbox memory budget")'],
+    )
+
+
+def _inject_stray_prose(code: str, salt: int) -> str:
+    lines = _lines(code)
+    idx = _after_imports_index(lines)
+    lines.insert(idx, "Here is the complete pipeline implementing your requirements:")
+    return "\n".join(lines)
+
+
+def _inject_markdown_fence(code: str, salt: int) -> str:
+    return "```python\n" + code + "\n```"
+
+
+def _inject_broken_indentation(code: str, salt: int) -> str:
+    lines = _lines(code)
+    body = [
+        i for i, line in enumerate(lines)
+        if line.startswith("    ") and not line.strip().startswith("#")
+    ]
+    if not body:
+        return "    " + code
+    idx = body[salt % len(body)]
+    lines[idx] = "  " + lines[idx]
+    return "\n".join(lines)
+
+
+def _inject_unclosed_bracket(code: str, salt: int) -> str:
+    lines = _lines(code)
+    for i, line in enumerate(lines):
+        if "model = " in line and line.rstrip().endswith(")"):
+            lines[i] = line.rstrip()[:-1]
+            return "\n".join(lines)
+    return code.rstrip()[:-1] if code.rstrip().endswith(")") else code + "\n("
+
+
+def _inject_missing_import(code: str, salt: int) -> str:
+    lines = [line for line in _lines(code) if not line.startswith("from repro.ml import")]
+    return "\n".join(lines)
+
+
+def _inject_truncated_code(code: str, salt: int) -> str:
+    lines = _lines(code)
+    keep = max(5, int(len(lines) * 0.7))
+    lines = lines[:keep]
+    if lines and not lines[-1].rstrip().endswith((":", ",")):
+        lines[-1] = lines[-1].rstrip() + " ("
+    return "\n".join(lines)
+
+
+def _inject_unknown_column(code: str, salt: int) -> str:
+    # the model hallucinates a feature and stops guarding column existence
+    out = code.replace(
+        "train.select([c for c in FEATURES + [TARGET] if c in train])",
+        "train.select(FEATURES + [TARGET])",
+    ).replace(
+        "test.select([c for c in FEATURES + [TARGET] if c in test])",
+        "test.select(FEATURES + [TARGET])",
+    )
+    match = re.search(r"FEATURES = \[\s*'([^']+)'", out)
+    if match:
+        original = match.group(1)
+        out = out.replace(f"'{original}'", f"'{original}_normalized'", 1)
+    else:
+        out = _insert_after(
+            out, "def run_pipeline(train, test):", ['    _ = train["engineered_score"]']
+        )
+    return out
+
+
+def _inject_nan_in_features(code: str, salt: int) -> str:
+    out = re.sub(r"'impute': '(median|mean|most_frequent)'", "'impute': None", code)
+    out = re.sub(r"\n\s*train = drop_missing_rows\(train, subset=.*?\)", "", out)
+    return out
+
+
+def _inject_type_mismatch(code: str, salt: int) -> str:
+    return _insert_after(
+        code,
+        "    X_train = vectorizer.fit_transform(train)",
+        ['    X_train = X_train + "standardized"'],
+    )
+
+
+def _inject_shape_mismatch(code: str, salt: int) -> str:
+    return _insert_after(
+        code,
+        "    X_test = vectorizer.transform(test)",
+        ["    X_test = X_test[: X_test.shape[0] // 2]"],
+    )
+
+
+def _inject_unseen_label(code: str, salt: int) -> str:
+    lines = [
+        "    from repro.ml import LabelEncoder",
+        "    _label_codec = LabelEncoder().fit(y_train[: max(2, len(y_train) // 4)])",
+        "    _codes = _label_codec.transform(y_train)",
+    ]
+    anchor = "    y_train = np.asarray"
+    idx = _first_body_index(_lines(code), anchor)
+    if idx is None:
+        anchor = "    y_train ="
+    return _insert_after(code, anchor, lines)
+
+
+def _inject_wrong_api(code: str, salt: int) -> str:
+    return code.replace("model.predict(X_test)", "model.run_inference(X_test)", 1)
+
+
+def _inject_undefined_variable(code: str, salt: int) -> str:
+    return code.replace(
+        "X_test = vectorizer.transform(test)",
+        "X_test = vectoriser.transform(test)",
+        1,
+    )
+
+
+def _inject_division_by_zero(code: str, salt: int) -> str:
+    return _insert_after(
+        code,
+        "    X_train = vectorizer.fit_transform(train)",
+        ["    density = X_train.shape[0] / (X_train.shape[1] - X_train.shape[1])"],
+    )
+
+
+def _inject_index_out_of_bounds(code: str, salt: int) -> str:
+    return _insert_after(
+        code,
+        "    X_train = vectorizer.fit_transform(train)",
+        ["    anchor_feature = X_train[0, X_train.shape[1]]"],
+    )
+
+
+def _inject_task_mismatch(code: str, salt: int) -> str:
+    return _insert_after(
+        code,
+        "    model.fit(X_train, y_train)",
+        [
+            '    if len(set(map(str, y_train))) > 50:',
+            '        raise ValueError("classifier applied to a target with too many classes")',
+        ],
+    )
+
+
+def _inject_no_convergence(code: str, salt: int) -> str:
+    return _insert_after(
+        code,
+        "    model.fit(X_train, y_train)",
+        [
+            "    if float(np.std(model.predict(X_train[:20]).astype(object) == model.predict(X_train[:20]).astype(object))) == 0.0:",
+            '        raise RuntimeError("optimizer failed to converge: constant predictions")',
+        ],
+    )
+
+
+_INJECTORS = {
+    "missing_package": _inject_missing_package,
+    "package_version": _inject_package_version,
+    "missing_data_file": _inject_missing_data_file,
+    "env_variable": _inject_env_variable,
+    "permission": _inject_permission,
+    "resource_limit": _inject_resource_limit,
+    "stray_prose": _inject_stray_prose,
+    "markdown_fence": _inject_markdown_fence,
+    "broken_indentation": _inject_broken_indentation,
+    "unclosed_bracket": _inject_unclosed_bracket,
+    "missing_import": _inject_missing_import,
+    "truncated_code": _inject_truncated_code,
+    "unknown_column": _inject_unknown_column,
+    "nan_in_features": _inject_nan_in_features,
+    "type_mismatch": _inject_type_mismatch,
+    "shape_mismatch": _inject_shape_mismatch,
+    "unseen_label": _inject_unseen_label,
+    "wrong_api": _inject_wrong_api,
+    "undefined_variable": _inject_undefined_variable,
+    "division_by_zero": _inject_division_by_zero,
+    "index_out_of_bounds": _inject_index_out_of_bounds,
+    "task_mismatch": _inject_task_mismatch,
+    "no_convergence": _inject_no_convergence,
+}
+
+assert set(_INJECTORS) == set(ERROR_TYPES), "every taxonomy type needs an injector"
+
+
+# ---------------------------------------------------------------------------
+# repair
+# ---------------------------------------------------------------------------
+
+_INJECTED_LINE_PATTERNS = [
+    r"^\s*import (xgboost|lightgbm|catboost|torch)\b.*$",
+    r"^\s*from repro\.ml import (HistGradientBoosting|TargetEncoder|IterativeImputer).*$",
+    r"^\s*schema_cache = open\(.*$",
+    r"^\s*workspace = os\.environ\[.*$",
+    r"^\s*raise PermissionError\(.*$",
+    r"^\s*raise MemoryError\(.*$",
+    r"^\s*# persist intermediate artifacts.*$",
+    r"^Here is the complete pipeline.*$",
+    r"^```(python)?\s*$",
+    r"^\s*X_train = X_train \+ \"standardized\"$",
+    r"^\s*X_test = X_test\[: X_test\.shape\[0\] // 2\]$",
+    r"^\s*from repro\.ml import LabelEncoder$",
+    r"^\s*_label_codec = .*$",
+    r"^\s*_codes = _label_codec.*$",
+    r"^\s*density = X_train\.shape\[0\] / .*$",
+    r"^\s*anchor_feature = X_train\[0, X_train\.shape\[1\]\]$",
+    r"^\s*if len\(set\(map\(str, y_train\)\)\) > 50:$",
+    r"^\s*raise ValueError\(\"classifier applied to a target.*$",
+    r"^\s*if float\(np\.std\(model\.predict\(X_train\[:20\]\).*$",
+    r"^\s*raise RuntimeError\(\"optimizer failed to converge.*$",
+]
+
+
+def strip_injected_lines(code: str) -> str:
+    """Remove lines matching known failure patterns (local-KB style patching)."""
+    compiled = [re.compile(p) for p in _INJECTED_LINE_PATTERNS]
+    kept = [
+        line for line in _lines(code)
+        if not any(p.match(line) for p in compiled)
+    ]
+    return "\n".join(kept)
+
+
+def repair_code(
+    code: str,
+    error_type_name: str,
+    payload: dict[str, Any] | None = None,
+    profile: LLMProfile | None = None,
+    salt: int = 0,
+) -> str | None:
+    """One LLM repair attempt: pattern-fix, else regenerate from metadata.
+
+    Returns the repaired code, or ``None`` if this error cannot be repaired
+    from the information available (no payload to regenerate from).
+    """
+    stripped = strip_injected_lines(code)
+
+    if error_type_name == "broken_indentation":
+        fixed_lines = []
+        for line in stripped.split("\n"):
+            indent = len(line) - len(line.lstrip(" "))
+            if line.strip() and indent % 4 != 0:
+                line = " " * (4 * round(indent / 4)) + line.lstrip(" ")
+            fixed_lines.append(line)
+        stripped = "\n".join(fixed_lines)
+    elif error_type_name == "unclosed_bracket":
+        lines = stripped.split("\n")
+        for i, line in enumerate(lines):
+            if "model = " in line and line.count("(") > line.count(")"):
+                lines[i] = line + ")" * (line.count("(") - line.count(")"))
+        stripped = "\n".join(lines)
+    elif error_type_name == "missing_import":
+        stripped = _reinsert_ml_import(stripped)
+    elif error_type_name == "unknown_column":
+        stripped = stripped.replace(
+            "train.select(FEATURES + [TARGET])",
+            "train.select([c for c in FEATURES + [TARGET] if c in train])",
+        ).replace(
+            "test.select(FEATURES + [TARGET])",
+            "test.select([c for c in FEATURES + [TARGET] if c in test])",
+        )
+        stripped = re.sub(r"'(\w+)_normalized'", r"'\1'", stripped)
+        stripped = re.sub(r"^\s*_ = train\[\"engineered_score\"\]\n?", "", stripped, flags=re.M)
+    elif error_type_name == "nan_in_features":
+        stripped = stripped.replace("'impute': None", "'impute': 'median'")
+    elif error_type_name == "wrong_api":
+        stripped = stripped.replace("model.run_inference(", "model.predict(")
+    elif error_type_name == "undefined_variable":
+        stripped = stripped.replace("vectoriser.", "vectorizer.")
+    elif error_type_name == "truncated_code":
+        if payload is not None and profile is not None:
+            from repro.llm.codegen import generate_pipeline_code
+
+            return generate_pipeline_code(payload, profile, salt=salt + 1)
+        return None
+
+    if _compiles(stripped) and "def run_pipeline" in stripped:
+        return stripped
+    if payload is not None and profile is not None:
+        from repro.llm.codegen import generate_pipeline_code
+
+        return generate_pipeline_code(payload, profile, salt=salt + 1)
+    return None
+
+
+def _reinsert_ml_import(code: str) -> str:
+    used = set(re.findall(
+        r"\b(TableVectorizer|RandomForestClassifier|RandomForestRegressor|"
+        r"GradientBoostingClassifier|GradientBoostingRegressor|LogisticRegression|"
+        r"LinearRegression|Ridge|DecisionTreeClassifier|DecisionTreeRegressor|"
+        r"GridSearchCV|LinearSVC|accuracy_score|roc_auc_score|r2_score)\b",
+        code,
+    ))
+    if not used:
+        return code
+    lines = code.split("\n")
+    idx = 0
+    for i, line in enumerate(lines):
+        if line.startswith("import "):
+            idx = i + 1
+    lines.insert(idx, f"from repro.ml import {', '.join(sorted(used))}")
+    return "\n".join(lines)
+
+
+def _compiles(code: str) -> bool:
+    try:
+        compile(code, "<pipeline>", "exec")
+    except SyntaxError:
+        return False
+    return True

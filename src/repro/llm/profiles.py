@@ -1,0 +1,135 @@
+"""Per-model behaviour profiles for the simulated LLMs.
+
+Calibrated to the paper's observations:
+
+- Table 2 error-trace distributions (Llama: 94.6% runtime errors, 2.9%
+  syntax, 2.5% environment; Gemini: 76.7% / 2.1% / 21.2%),
+- Table 8 runtimes (GPT-4o slower per request; Llama pipelines that fall
+  back to naive grid search),
+- Figure 11 quality (all three models competitive with CatDB prompts;
+  Llama weaker as an error-fixer, "struggled to maintain the system
+  conversation but eventually converged").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LLMProfile", "get_profile", "list_profiles", "register_profile"]
+
+
+@dataclass(frozen=True)
+class LLMProfile:
+    """Static description of a simulated model's behaviour.
+
+    Attributes
+    ----------
+    error_rate:
+        Probability that a fresh pipeline generation contains an error.
+    error_mix:
+        Relative weights of (environment/KB, syntax, runtime) error groups,
+        matching the paper's Table 2 distribution for that model.
+    repair_skill:
+        Probability that one error-correction round fixes the error.
+    code_quality:
+        In [0, 1]; scales model-choice quality (estimator strength and
+        hyper-parameters picked by generated code).
+    grid_search_tendency:
+        Probability that, absent explicit model-selection rules, the model
+        emits a slow exhaustive grid search (the Llama failure mode of
+        Table 8).
+    context_limit:
+        Maximum prompt size in tokens; exceeding it truncates the schema
+        the model actually "sees" (Figure 10(c) behaviour).
+    seconds_per_1k_tokens:
+        Simulated API latency used by runtime accounting.
+    """
+
+    name: str
+    error_rate: float
+    error_mix: tuple[float, float, float]
+    repair_skill: float
+    code_quality: float
+    grid_search_tendency: float
+    context_limit: int
+    seconds_per_1k_tokens: float
+    usd_per_1k_prompt: float = 0.0
+    usd_per_1k_completion: float = 0.0
+    aliases: tuple[str, ...] = field(default=())
+
+
+_PROFILES: dict[str, LLMProfile] = {}
+
+
+def register_profile(profile: LLMProfile) -> None:
+    _PROFILES[profile.name] = profile
+    for alias in profile.aliases:
+        _PROFILES[alias] = profile
+
+
+register_profile(
+    LLMProfile(
+        name="gpt-4o",
+        error_rate=0.22,
+        error_mix=(0.08, 0.04, 0.88),
+        repair_skill=0.90,
+        code_quality=0.92,
+        grid_search_tendency=0.05,
+        context_limit=128_000,
+        seconds_per_1k_tokens=0.9,
+        usd_per_1k_prompt=0.0025,
+        usd_per_1k_completion=0.01,
+        aliases=("gpt4o", "openai/gpt-4o"),
+    )
+)
+
+register_profile(
+    LLMProfile(
+        name="gemini-1.5",
+        error_rate=0.26,
+        error_mix=(0.212, 0.021, 0.767),  # Table 2 row: Gemini-1.5 pro
+        repair_skill=0.85,
+        code_quality=0.90,
+        grid_search_tendency=0.08,
+        context_limit=1_000_000,
+        seconds_per_1k_tokens=0.45,
+        usd_per_1k_prompt=0.00125,
+        usd_per_1k_completion=0.005,
+        aliases=("gemini-1.5-pro", "gemini", "google/gemini-1.5-pro"),
+    )
+)
+
+register_profile(
+    LLMProfile(
+        name="llama3.1-70b",
+        error_rate=0.42,
+        error_mix=(0.025, 0.029, 0.946),  # Table 2 row: Llama3.1-70b
+        repair_skill=0.62,
+        code_quality=0.78,
+        grid_search_tendency=0.35,
+        context_limit=32_000,
+        seconds_per_1k_tokens=0.35,
+        usd_per_1k_prompt=0.0006,
+        usd_per_1k_completion=0.0008,
+        aliases=("llama", "llama3", "llama-3.1-70b", "meta/llama3.1-70b"),
+    )
+)
+
+
+def get_profile(name: str) -> LLMProfile:
+    """Look up a model profile by name or alias (case-insensitive)."""
+    key = name.strip().lower()
+    if key not in _PROFILES:
+        raise KeyError(
+            f"unknown LLM profile {name!r}; available: {list_profiles()}"
+        )
+    return _PROFILES[key]
+
+
+def list_profiles() -> list[str]:
+    """Canonical (non-alias) profile names."""
+    seen = []
+    for name, profile in _PROFILES.items():
+        if name == profile.name and name not in seen:
+            seen.append(name)
+    return seen

@@ -1,0 +1,44 @@
+"""Deterministic hashing utilities for the simulated LLM.
+
+Every "random" choice the mock model makes is derived from a stable md5
+hash of its inputs, so identical prompts give identical outputs (the
+paper runs LLMs at temperature zero) while different iterations — which
+mix an iteration counter into the hash — vary, matching the residual
+variation the paper reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = ["stable_hash", "stable_rng", "weighted_pick"]
+
+
+def stable_hash(*parts: Any) -> int:
+    """64-bit deterministic hash of the string forms of ``parts``."""
+    digest = hashlib.md5("\x1f".join(str(p) for p in parts).encode("utf-8"))
+    return int(digest.hexdigest()[:16], 16)
+
+
+def stable_rng(*parts: Any) -> np.random.Generator:
+    """Numpy generator seeded from :func:`stable_hash`."""
+    return np.random.default_rng(stable_hash(*parts) % (2**63))
+
+
+def weighted_pick(options: Sequence[Any], weights: Sequence[float], *hash_parts: Any) -> Any:
+    """Deterministically pick one option proportionally to ``weights``."""
+    if len(options) != len(weights):
+        raise ValueError("options and weights must align")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    point = (stable_hash(*hash_parts) % 10**9) / 10**9 * total
+    cumulative = 0.0
+    for option, weight in zip(options, weights):
+        cumulative += weight
+        if point < cumulative:
+            return option
+    return options[-1]

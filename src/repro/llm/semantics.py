@@ -1,0 +1,250 @@
+"""Deterministic stand-in for the LLM's *semantic* skills.
+
+Catalog refinement (paper Section 3.2) asks the LLM three kinds of
+questions.  This module answers them with deterministic linguistics:
+
+1. **Category deduplication** — map semantically equivalent categorical
+   values onto one canonical spelling ("F" / "Female" / "female " ->
+   "Female"; "12 Months" / "one year" -> "1 year").
+2. **Composite detection** — recognise cells mixing several fields
+   ("7050 CA", "TX 7871" -> Zip + State) and return per-part extractors.
+3. **List / sentence detection** — decide whether a string feature is a
+   delimiter-joined list of reusable items ("Python, Java").
+
+Being deterministic keeps every experiment reproducible while exercising
+the same refinement code paths the real system drives through an LLM.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = [
+    "normalize_category",
+    "dedupe_categories",
+    "CompositeSpec",
+    "detect_composite",
+    "detect_list_delimiter",
+    "infer_semantic_feature_type",
+]
+
+_NUMBER_WORDS = {
+    "zero": 0, "one": 1, "two": 2, "three": 3, "four": 4, "five": 5,
+    "six": 6, "seven": 7, "eight": 8, "nine": 9, "ten": 10, "eleven": 11,
+    "twelve": 12, "twenty": 20, "thirty": 30,
+}
+
+# canonical -> spellings an LLM would unify
+_SYNONYM_GROUPS: dict[str, set[str]] = {
+    "Female": {"f", "female", "fem", "woman", "w"},
+    "Male": {"m", "male", "man"},
+    "Yes": {"yes", "y", "true", "t", "1"},
+    "No": {"no", "n", "false", "f0", "0"},
+    "Unknown": {"unknown", "unk", "other", "n/a", "na", "?"},
+    "Low": {"low", "lo", "small"},
+    "Medium": {"medium", "med", "mid", "moderate"},
+    "High": {"high", "hi", "large"},
+}
+
+_SYNONYM_INDEX = {
+    spelling: canonical
+    for canonical, spellings in _SYNONYM_GROUPS.items()
+    for spelling in spellings
+}
+
+_UNIT_RE = re.compile(
+    r"^\s*(?P<num>\d+|\w+)\s*(?P<unit>years?|yrs?|months?|mos?|days?|weeks?)\s*$",
+    re.IGNORECASE,
+)
+
+# sentence-level sentiment/rating phrases -> ordinal categories (the
+# paper's Survey case: "a feature was transformed from a sentence to a
+# categorical feature")
+_SENTIMENT_RULES: list[tuple[re.Pattern, str]] = [
+    (re.compile(r"\b(10|9|8)\s*(out\s*of|/)\s*10\b"), "High"),
+    (re.compile(r"\b(7|6|5|4)\s*(out\s*of|/)\s*10\b"), "Medium"),
+    (re.compile(r"\b(3|2|1|0)\s*(out\s*of|/)\s*10\b"), "Low"),
+    (re.compile(r"\b(extremely|very)\s+(satisfied|happy|good)\b"), "High"),
+    (re.compile(r"\bhigh(ly)?\s+satisf"), "High"),
+    (re.compile(r"\b(not|dis)\s*satisf|\bterrible\b|\bawful\b|\bvery low\b"), "Low"),
+    (re.compile(r"\blow\s+satisf"), "Low"),
+    (re.compile(r"\b(okay|ok|moderate|average|neutral)\b"), "Medium"),
+    (re.compile(r"\bsatisf(ied|action)\b"), "Medium"),
+]
+
+
+def _sentiment_category(text: str) -> str | None:
+    """Map a short opinion/rating sentence onto Low/Medium/High, if clear."""
+    lowered = text.lower()
+    if len(lowered.split()) < 2 and "/" not in lowered:
+        return None
+    for pattern, category in _SENTIMENT_RULES:
+        if pattern.search(lowered):
+            return category
+    return None
+
+_UNIT_TO_MONTHS = {
+    "year": 12, "years": 12, "yr": 12, "yrs": 12,
+    "month": 1, "months": 1, "mo": 1, "mos": 1,
+    "week": 0, "weeks": 0, "day": 0, "days": 0,
+}
+
+
+def _parse_count(token: str) -> int | None:
+    token = token.strip().lower()
+    if token.isdigit():
+        return int(token)
+    return _NUMBER_WORDS.get(token)
+
+
+def normalize_category(value: Any) -> str:
+    """Canonical spelling of one categorical value.
+
+    Order of attempts: synonym table, duration normalization
+    (months -> whole years where exact), whitespace/case/punctuation
+    canonicalization.
+    """
+    text = str(value).strip()
+    lowered = re.sub(r"\s+", " ", text.lower())
+    if lowered in _SYNONYM_INDEX:
+        return _SYNONYM_INDEX[lowered]
+    sentiment = _sentiment_category(text)
+    if sentiment is not None:
+        return sentiment
+    match = _UNIT_RE.match(lowered)
+    if match:
+        count = _parse_count(match.group("num"))
+        unit = match.group("unit").lower()
+        if count is not None:
+            months = _UNIT_TO_MONTHS.get(unit, None)
+            if months == 12:
+                years = count
+            elif months == 1 and count % 12 == 0:
+                years = count // 12
+            else:
+                years = None
+            if years is not None:
+                return f"{years} year" + ("s" if years != 1 else "")
+            return f"{count} {unit.rstrip('s')}" + ("s" if count != 1 else "")
+    collapsed = re.sub(r"[\s_\-]+", " ", text).strip()
+    if not collapsed:
+        return text
+    if collapsed.isupper() and len(collapsed) <= 3:
+        return collapsed  # state/country codes stay upper-case
+    first = collapsed[0].upper()
+    if len(first) != 1:  # e.g. 'ß' -> 'SS' would break idempotence
+        first = collapsed[0]
+    return first + collapsed[1:].lower()
+
+
+def dedupe_categories(values: Sequence[Any]) -> dict[Any, str]:
+    """Map each distinct original value to a canonical representative.
+
+    Canonical spellings collide exactly when the LLM would consider the
+    originals semantically equivalent; within a collision group the most
+    frequent original's canonical form wins (frequency = order given,
+    first occurrence breaks ties).
+    """
+    mapping: dict[Any, str] = {}
+    for value in values:
+        mapping[value] = normalize_category(value)
+    return mapping
+
+
+@dataclass
+class CompositeSpec:
+    """How to split a composite column into parts.
+
+    ``parts`` maps new sub-feature name suffix to a compiled regex whose
+    first group extracts that part from the raw cell.
+    """
+
+    parts: dict[str, re.Pattern] = field(default_factory=dict)
+
+    def split(self, cell: Any) -> dict[str, str | None]:
+        out: dict[str, str | None] = {}
+        text = "" if cell is None else str(cell)
+        for part, pattern in self.parts.items():
+            match = pattern.search(text)
+            out[part] = match.group(1) if match else None
+        return out
+
+
+_ZIP_RE = re.compile(r"\b(\d{4,5})\b")
+_STATE_RE = re.compile(r"\b([A-Z]{2})\b")
+
+
+def detect_composite(samples: Sequence[Any]) -> CompositeSpec | None:
+    """Detect address-like composites mixing zip codes and state codes.
+
+    Mirrors the paper's Figure 1/5 example: the ``Address`` attribute mixes
+    "7050 CA", "TX 7871", "CA" — split into ``State`` and ``Zip``.
+    Returns ``None`` when no composite structure is evident.
+    """
+    texts = [str(s) for s in samples if s is not None]
+    if len(texts) < 3:
+        return None
+    zip_hits = sum(1 for t in texts if _ZIP_RE.search(t))
+    state_hits = sum(1 for t in texts if _STATE_RE.search(t))
+    threshold = max(2, len(texts) // 3)
+    parts: dict[str, re.Pattern] = {}
+    if state_hits >= threshold:
+        parts["State"] = _STATE_RE
+    if zip_hits >= threshold:
+        parts["Zip"] = _ZIP_RE
+    if len(parts) >= 2 or (len(parts) == 1 and zip_hits + state_hits > len(texts)):
+        return CompositeSpec(parts=parts)
+    return None
+
+
+def detect_list_delimiter(samples: Sequence[Any]) -> str | None:
+    """Return the delimiter of a list feature, or None if not list-like."""
+    texts = [str(s) for s in samples if s is not None]
+    if len(texts) < 3:
+        return None
+    for delim in (",", ";", "|"):
+        multi = [t for t in texts if delim in t]
+        if len(multi) < max(2, len(texts) // 4):
+            continue
+        vocabulary: dict[str, int] = {}
+        for text in texts:
+            for item in text.split(delim):
+                item = item.strip()
+                if item:
+                    vocabulary[item] = vocabulary.get(item, 0) + 1
+        reused = sum(1 for c in vocabulary.values() if c > 1)
+        if vocabulary and reused >= max(2, len(vocabulary) // 3):
+            return delim
+    return None
+
+
+def infer_semantic_feature_type(
+    name: str, samples: Sequence[Any]
+) -> tuple[str, dict[str, Any]]:
+    """LLM-style feature-type call: attribute name plus ~10 samples.
+
+    Returns ``(feature_type_name, details)`` where details may contain a
+    ``delimiter`` (list types) or a ``composite`` spec.
+    """
+    delimiter = detect_list_delimiter(samples)
+    if delimiter is not None:
+        return "List", {"delimiter": delimiter}
+    composite = detect_composite(samples)
+    if composite is not None:
+        return "Composite", {"composite": composite}
+    texts = [str(s) for s in samples if s is not None]
+    if not texts:
+        return "Constant", {}
+    canonical = {normalize_category(t) for t in texts}
+    if len(canonical) < len(set(texts)) or len(canonical) <= max(
+        2, len(texts) // 2
+    ):
+        return "Categorical", {}
+    if all(re.fullmatch(r"-?\d+(\.\d+)?", t.strip()) for t in texts):
+        return "Numerical", {}
+    mean_words = sum(len(t.split()) for t in texts) / len(texts)
+    if mean_words >= 2.0:
+        return "Sentence", {}
+    return "Categorical", {}

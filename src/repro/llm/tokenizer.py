@@ -1,0 +1,31 @@
+"""Token counting for the cost model (Section 4.1, Equations 1-2).
+
+A deterministic approximation of BPE token counts: words, numbers,
+punctuation runs, and a sub-word penalty for long words (BPE splits long
+rare words into multiple tokens).  Exactness does not matter — relative
+comparisons between systems and prompt variants do.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["count_tokens"]
+
+_TOKEN_RE = re.compile(r"[A-Za-z]+|\d+|[^\sA-Za-z\d]")
+_SUBWORD_LENGTH = 6  # avg characters per BPE piece inside a long word
+
+
+def count_tokens(text: str) -> int:
+    """Approximate LLM token count of ``text``."""
+    if not text:
+        return 0
+    total = 0
+    for token in _TOKEN_RE.findall(text):
+        if token.isalpha() and len(token) > _SUBWORD_LENGTH:
+            total += -(-len(token) // _SUBWORD_LENGTH)  # ceil division
+        elif token.isdigit() and len(token) > 3:
+            total += -(-len(token) // 3)
+        else:
+            total += 1
+    return total

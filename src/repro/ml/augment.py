@@ -1,0 +1,78 @@
+"""Data augmentation / rebalancing primitives generated pipelines can use.
+
+Implements the rebalancing-rule targets of paper Section 3.3 ("in small or
+imbalanced datasets, we guide LLMs to add data augmentation before
+training"): minority oversampling with feature jitter (SMOTE-flavoured)
+and Gaussian-noise augmentation for small datasets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = ["oversample_minority", "gaussian_augment", "class_imbalance_ratio"]
+
+
+def class_imbalance_ratio(y: Sequence[Any]) -> float:
+    """Majority count divided by minority count (1.0 = balanced)."""
+    labels, counts = np.unique(np.asarray(list(y), dtype=object), return_counts=True)
+    if counts.size < 2:
+        return 1.0
+    return float(counts.max() / counts.min())
+
+
+def oversample_minority(
+    X: np.ndarray,
+    y: Sequence[Any],
+    target_ratio: float = 1.0,
+    jitter: float = 0.05,
+    random_state: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Oversample every non-majority class up to ``target_ratio`` of majority.
+
+    New rows interpolate between two same-class neighbours plus small
+    Gaussian jitter scaled by per-feature std (ADASYN/SMOTE-flavoured,
+    without the density weighting).
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y_arr = np.asarray(list(y), dtype=object)
+    labels, counts = np.unique(y_arr, return_counts=True)
+    majority = int(counts.max())
+    rng = np.random.default_rng(random_state)
+    scale = X.std(axis=0) * jitter
+    new_X, new_y = [X], [y_arr]
+    for label, count in zip(labels, counts):
+        want = int(round(target_ratio * majority)) - int(count)
+        if want <= 0:
+            continue
+        members = np.flatnonzero(y_arr == label)
+        a = rng.choice(members, size=want)
+        b = rng.choice(members, size=want)
+        alpha = rng.uniform(0.0, 1.0, size=(want, 1))
+        synthetic = X[a] + alpha * (X[b] - X[a])
+        synthetic = synthetic + rng.normal(0.0, 1.0, synthetic.shape) * scale
+        new_X.append(synthetic)
+        new_y.append(np.full(want, label, dtype=object))
+    return np.vstack(new_X), np.concatenate(new_y)
+
+
+def gaussian_augment(
+    X: np.ndarray,
+    y: Sequence[Any],
+    factor: float = 0.5,
+    noise: float = 0.05,
+    random_state: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Append ``factor * n`` jittered copies of random rows (small datasets)."""
+    X = np.asarray(X, dtype=np.float64)
+    y_arr = np.asarray(list(y), dtype=object)
+    n_extra = int(round(factor * X.shape[0]))
+    if n_extra <= 0:
+        return X, y_arr
+    rng = np.random.default_rng(random_state)
+    picks = rng.integers(0, X.shape[0], size=n_extra)
+    scale = X.std(axis=0) * noise
+    extra = X[picks] + rng.normal(0.0, 1.0, (n_extra, X.shape[1])) * scale
+    return np.vstack([X, extra]), np.concatenate([y_arr, y_arr[picks]])

@@ -1,0 +1,120 @@
+"""Estimator protocol: parameter introspection, cloning, input checks."""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "BaseEstimator",
+    "ClassifierMixin",
+    "RegressorMixin",
+    "TransformerMixin",
+    "NotFittedError",
+    "clone",
+    "check_X",
+    "check_X_y",
+]
+
+
+class NotFittedError(RuntimeError):
+    """Raised when ``predict``/``transform`` is called before ``fit``."""
+
+
+class BaseEstimator:
+    """Sklearn-style estimator base with get/set params and repr."""
+
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        signature = inspect.signature(cls.__init__)
+        return [
+            name
+            for name, param in signature.parameters.items()
+            if name != "self" and param.kind is not inspect.Parameter.VAR_KEYWORD
+        ]
+
+    def get_params(self) -> dict[str, Any]:
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params: Any) -> "BaseEstimator":
+        valid = set(self._param_names())
+        for key, value in params.items():
+            if key not in valid:
+                raise ValueError(
+                    f"invalid parameter {key!r} for {type(self).__name__}; "
+                    f"valid parameters: {sorted(valid)}"
+                )
+            setattr(self, key, value)
+        return self
+
+    def _check_fitted(self, attribute: str) -> None:
+        if not hasattr(self, attribute):
+            raise NotFittedError(
+                f"{type(self).__name__} is not fitted; call fit() first"
+            )
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({params})"
+
+
+class ClassifierMixin:
+    """Adds ``score`` (accuracy) to classifiers."""
+
+    _estimator_type = "classifier"
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        from repro.ml.metrics import accuracy_score
+
+        return accuracy_score(y, self.predict(X))
+
+
+class RegressorMixin:
+    """Adds ``score`` (R^2) to regressors."""
+
+    _estimator_type = "regressor"
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        from repro.ml.metrics import r2_score
+
+        return r2_score(y, self.predict(X))
+
+
+class TransformerMixin:
+    """Adds ``fit_transform`` to transformers."""
+
+    def fit_transform(self, X: Any, y: Any = None) -> Any:
+        return self.fit(X, y).transform(X)
+
+
+def clone(estimator: BaseEstimator) -> BaseEstimator:
+    """Fresh, unfitted copy with identical constructor parameters."""
+    return type(estimator)(**estimator.get_params())
+
+
+def check_X(X: Any, allow_nan: bool = False) -> np.ndarray:
+    """Coerce to a 2-D float matrix, rejecting NaN/inf unless allowed."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise ValueError(f"expected a 2-D feature matrix, got shape {X.shape}")
+    if not allow_nan and not np.isfinite(X).all():
+        raise ValueError(
+            "input matrix contains NaN or infinity; impute or clean before fitting"
+        )
+    return X
+
+
+def check_X_y(X: Any, y: Any, allow_nan: bool = False) -> tuple[np.ndarray, np.ndarray]:
+    X = check_X(X, allow_nan=allow_nan)
+    y = np.asarray(y)
+    if y.ndim != 1:
+        y = y.ravel()
+    if y.shape[0] != X.shape[0]:
+        raise ValueError(
+            f"X has {X.shape[0]} rows but y has {y.shape[0]} entries"
+        )
+    return X, y

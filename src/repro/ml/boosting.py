@@ -1,0 +1,137 @@
+"""Gradient boosting over shallow regression trees.
+
+Regression boosts squared error; classification boosts multinomial deviance
+(one regression tree per class per round, softmax link).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin, check_X, check_X_y
+from repro.ml.tree import DecisionTreeRegressor
+
+__all__ = ["GradientBoostingRegressor", "GradientBoostingClassifier"]
+
+
+class GradientBoostingRegressor(BaseEstimator, RegressorMixin):
+    """Least-squares gradient boosting."""
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 1,
+        subsample: float = 1.0,
+        random_state: int = 0,
+    ) -> None:
+        if not 0.0 < subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1]")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self.random_state = random_state
+
+    def fit(self, X: Any, y: Any) -> "GradientBoostingRegressor":
+        X, y = check_X_y(X, y)
+        y = y.astype(np.float64)
+        rng = np.random.default_rng(self.random_state)
+        self.init_ = float(y.mean())
+        prediction = np.full(y.shape[0], self.init_)
+        self.estimators_ = []
+        for t in range(self.n_estimators):
+            residual = y - prediction
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                random_state=self.random_state + t,
+            )
+            if self.subsample < 1.0:
+                size = max(2, int(self.subsample * X.shape[0]))
+                idx = rng.choice(X.shape[0], size=size, replace=False)
+                tree.fit(X[idx], residual[idx])
+            else:
+                tree.fit(X, residual)
+            prediction = prediction + self.learning_rate * tree.predict(X)
+            self.estimators_.append(tree)
+        return self
+
+    def predict(self, X: Any) -> np.ndarray:
+        self._check_fitted("estimators_")
+        X = check_X(X)
+        prediction = np.full(X.shape[0], self.init_)
+        for tree in self.estimators_:
+            prediction = prediction + self.learning_rate * tree.predict(X)
+        return prediction
+
+
+class GradientBoostingClassifier(BaseEstimator, ClassifierMixin):
+    """Multinomial-deviance boosting (softmax over per-class tree ensembles)."""
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 1,
+        random_state: int = 0,
+    ) -> None:
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.random_state = random_state
+
+    def fit(self, X: Any, y: Any) -> "GradientBoostingClassifier":
+        X, y = check_X_y(X, y)
+        self.classes_ = sorted(set(y.tolist()), key=str)
+        k = len(self.classes_)
+        index = {label: i for i, label in enumerate(self.classes_)}
+        onehot = np.zeros((X.shape[0], k), dtype=np.float64)
+        for i, label in enumerate(y):
+            onehot[i, index[label]] = 1.0
+        scores = np.zeros((X.shape[0], k), dtype=np.float64)
+        self.estimators_: list[list[DecisionTreeRegressor]] = []
+        for t in range(self.n_estimators):
+            proba = _softmax(scores)
+            round_trees = []
+            for c in range(k):
+                residual = onehot[:, c] - proba[:, c]
+                tree = DecisionTreeRegressor(
+                    max_depth=self.max_depth,
+                    min_samples_leaf=self.min_samples_leaf,
+                    random_state=self.random_state + t * k + c,
+                )
+                tree.fit(X, residual)
+                scores[:, c] += self.learning_rate * tree.predict(X)
+                round_trees.append(tree)
+            self.estimators_.append(round_trees)
+        return self
+
+    def decision_function(self, X: Any) -> np.ndarray:
+        self._check_fitted("estimators_")
+        X = check_X(X)
+        scores = np.zeros((X.shape[0], len(self.classes_)), dtype=np.float64)
+        for round_trees in self.estimators_:
+            for c, tree in enumerate(round_trees):
+                scores[:, c] += self.learning_rate * tree.predict(X)
+        return scores
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        return _softmax(self.decision_function(X))
+
+    def predict(self, X: Any) -> np.ndarray:
+        proba = self.predict_proba(X)
+        picks = np.argmax(proba, axis=1)
+        return np.asarray([self.classes_[p] for p in picks], dtype=object)
+
+
+def _softmax(scores: np.ndarray) -> np.ndarray:
+    shifted = scores - scores.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)

@@ -1,0 +1,113 @@
+"""K-means clustering (Lloyd's algorithm with k-means++ seeding).
+
+Used by cleaning/augmentation heuristics (cluster-based outlier scoring,
+prototype selection) and available to generated pipelines for unsupervised
+feature engineering.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, TransformerMixin, check_X
+
+__all__ = ["KMeans"]
+
+
+class KMeans(BaseEstimator, TransformerMixin):
+    """Lloyd's algorithm; ``transform`` yields distances to each centroid."""
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        n_init: int = 3,
+        random_state: int = 0,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.tol = tol
+        self.n_init = n_init
+        self.random_state = random_state
+
+    def _plusplus_init(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n = X.shape[0]
+        centers = [X[int(rng.integers(0, n))]]
+        for _ in range(1, self.n_clusters):
+            d2 = np.min(
+                [np.sum((X - c) ** 2, axis=1) for c in centers], axis=0
+            )
+            total = float(d2.sum())
+            if total == 0.0:
+                centers.append(X[int(rng.integers(0, n))])
+                continue
+            probs = d2 / total
+            centers.append(X[int(rng.choice(n, p=probs))])
+        return np.vstack(centers)
+
+    def _lloyd(self, X: np.ndarray, centers: np.ndarray) -> tuple[np.ndarray, np.ndarray, float]:
+        for _ in range(self.max_iter):
+            d2 = (
+                np.sum(X**2, axis=1, keepdims=True)
+                - 2 * X @ centers.T + np.sum(centers**2, axis=1)
+            )
+            labels = np.argmin(d2, axis=1)
+            new_centers = centers.copy()
+            for k in range(self.n_clusters):
+                members = X[labels == k]
+                if members.shape[0]:
+                    new_centers[k] = members.mean(axis=0)
+            shift = float(np.sum((new_centers - centers) ** 2))
+            centers = new_centers
+            if shift < self.tol:
+                break
+        d2 = (
+            np.sum(X**2, axis=1, keepdims=True)
+            - 2 * X @ centers.T + np.sum(centers**2, axis=1)
+        )
+        labels = np.argmin(d2, axis=1)
+        inertia = float(np.maximum(d2[np.arange(X.shape[0]), labels], 0).sum())
+        return centers, labels, inertia
+
+    def fit(self, X: Any, y: Any = None) -> "KMeans":
+        X = check_X(X)
+        if X.shape[0] < self.n_clusters:
+            raise ValueError(
+                f"need at least n_clusters={self.n_clusters} rows, got {X.shape[0]}"
+            )
+        rng = np.random.default_rng(self.random_state)
+        best: tuple[np.ndarray, np.ndarray, float] | None = None
+        for _ in range(self.n_init):
+            centers = self._plusplus_init(X, rng)
+            centers, labels, inertia = self._lloyd(X, centers)
+            if best is None or inertia < best[2]:
+                best = (centers, labels, inertia)
+        assert best is not None
+        self.cluster_centers_, self.labels_, self.inertia_ = best
+        return self
+
+    def predict(self, X: Any) -> np.ndarray:
+        self._check_fitted("cluster_centers_")
+        X = check_X(X)
+        d2 = (
+            np.sum(X**2, axis=1, keepdims=True)
+            - 2 * X @ self.cluster_centers_.T
+            + np.sum(self.cluster_centers_**2, axis=1)
+        )
+        return np.argmin(d2, axis=1)
+
+    def transform(self, X: Any) -> np.ndarray:
+        """Distances to each centroid (cluster-space embedding)."""
+        self._check_fitted("cluster_centers_")
+        X = check_X(X)
+        d2 = (
+            np.sum(X**2, axis=1, keepdims=True)
+            - 2 * X @ self.cluster_centers_.T
+            + np.sum(self.cluster_centers_**2, axis=1)
+        )
+        return np.sqrt(np.maximum(d2, 0.0))

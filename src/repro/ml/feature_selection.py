@@ -1,0 +1,94 @@
+"""Univariate feature scoring and selection.
+
+Backs the paper's feature-filter / feature-dependency rules: columns are
+ranked by association with the target (ANOVA F-score for classification,
+absolute Pearson correlation for regression) and the top-k kept.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, TransformerMixin, check_X_y
+
+__all__ = ["f_classif", "correlation_scores", "SelectKBest"]
+
+
+def f_classif(X: np.ndarray, y: Any) -> np.ndarray:
+    """One-way ANOVA F-statistic of each feature against the class labels."""
+    X, y = check_X_y(X, y)
+    labels = sorted(set(y.tolist()), key=str)
+    if len(labels) < 2:
+        raise ValueError("need at least two classes")
+    n, d = X.shape
+    grand_mean = X.mean(axis=0)
+    ss_between = np.zeros(d)
+    ss_within = np.zeros(d)
+    for label in labels:
+        members = X[y == label]
+        if members.shape[0] == 0:
+            continue
+        mean = members.mean(axis=0)
+        ss_between += members.shape[0] * (mean - grand_mean) ** 2
+        ss_within += ((members - mean) ** 2).sum(axis=0)
+    df_between = len(labels) - 1
+    df_within = max(1, n - len(labels))
+    ms_between = ss_between / df_between
+    ms_within = ss_within / df_within
+    with np.errstate(divide="ignore", invalid="ignore"):
+        scores = np.where(ms_within > 0, ms_between / ms_within, 0.0)
+    return scores
+
+
+def correlation_scores(X: np.ndarray, y: Any) -> np.ndarray:
+    """|Pearson r| of each feature against a numeric target."""
+    X, y = check_X_y(X, y)
+    y = y.astype(np.float64)
+    y_centered = y - y.mean()
+    y_norm = float(np.sqrt((y_centered**2).sum()))
+    X_centered = X - X.mean(axis=0)
+    x_norms = np.sqrt((X_centered**2).sum(axis=0))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        r = np.where(
+            (x_norms > 0) & (y_norm > 0),
+            (X_centered * y_centered[:, None]).sum(axis=0) / (x_norms * y_norm),
+            0.0,
+        )
+    return np.abs(r)
+
+
+class SelectKBest(BaseEstimator, TransformerMixin):
+    """Keep the k features with the highest univariate score."""
+
+    def __init__(self, k: int = 10, task_type: str = "classification") -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if task_type not in ("classification", "regression"):
+            raise ValueError(f"unknown task_type {task_type!r}")
+        self.k = k
+        self.task_type = task_type
+
+    def fit(self, X: Any, y: Any) -> "SelectKBest":
+        if self.task_type == "classification":
+            self.scores_ = f_classif(np.asarray(X, dtype=np.float64), y)
+        else:
+            self.scores_ = correlation_scores(np.asarray(X, dtype=np.float64), y)
+        k = min(self.k, self.scores_.shape[0])
+        # stable selection: ties broken by original column order
+        order = np.argsort(-self.scores_, kind="mergesort")
+        self.selected_ = np.sort(order[:k])
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        self._check_fitted("selected_")
+        X = np.asarray(X, dtype=np.float64)
+        return X[:, self.selected_]
+
+    def get_support(self) -> np.ndarray:
+        """Boolean mask over input features."""
+        self._check_fitted("selected_")
+        mask = np.zeros(self.scores_.shape[0], dtype=bool)
+        mask[self.selected_] = True
+        return mask

@@ -1,0 +1,152 @@
+"""Linear models: least squares, ridge, and (multinomial) logistic regression."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseEstimator,
+    ClassifierMixin,
+    RegressorMixin,
+    check_X,
+    check_X_y,
+)
+
+__all__ = ["LinearRegression", "Ridge", "LogisticRegression"]
+
+
+class LinearRegression(BaseEstimator, RegressorMixin):
+    """Ordinary least squares via ``lstsq`` (rank-deficiency safe)."""
+
+    def __init__(self, fit_intercept: bool = True) -> None:
+        self.fit_intercept = fit_intercept
+
+    def fit(self, X: Any, y: Any) -> "LinearRegression":
+        X, y = check_X_y(X, y)
+        y = y.astype(np.float64)
+        if self.fit_intercept:
+            X = np.column_stack([np.ones(X.shape[0]), X])
+        solution, *_ = np.linalg.lstsq(X, y, rcond=None)
+        if self.fit_intercept:
+            self.intercept_ = float(solution[0])
+            self.coef_ = solution[1:]
+        else:
+            self.intercept_ = 0.0
+            self.coef_ = solution
+        return self
+
+    def predict(self, X: Any) -> np.ndarray:
+        self._check_fitted("coef_")
+        X = check_X(X)
+        return X @ self.coef_ + self.intercept_
+
+
+class Ridge(BaseEstimator, RegressorMixin):
+    """L2-regularized least squares solved in closed form."""
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True) -> None:
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+        self.fit_intercept = fit_intercept
+
+    def fit(self, X: Any, y: Any) -> "Ridge":
+        X, y = check_X_y(X, y)
+        y = y.astype(np.float64)
+        if self.fit_intercept:
+            x_mean = X.mean(axis=0)
+            y_mean = float(y.mean())
+            Xc = X - x_mean
+            yc = y - y_mean
+        else:
+            x_mean = np.zeros(X.shape[1])
+            y_mean = 0.0
+            Xc, yc = X, y
+        gram = Xc.T @ Xc + self.alpha * np.eye(X.shape[1])
+        self.coef_ = np.linalg.solve(gram, Xc.T @ yc)
+        self.intercept_ = y_mean - float(x_mean @ self.coef_)
+        return self
+
+    def predict(self, X: Any) -> np.ndarray:
+        self._check_fitted("coef_")
+        X = check_X(X)
+        return X @ self.coef_ + self.intercept_
+
+
+class LogisticRegression(BaseEstimator, ClassifierMixin):
+    """Multinomial logistic regression trained with full-batch gradient
+    descent plus momentum and L2 regularization.
+
+    Features should be scaled (the generated pipelines do this); training
+    uses an internal feature standardization for stability regardless.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        max_iter: int = 300,
+        l2: float = 1e-3,
+        tol: float = 1e-6,
+        random_state: int = 0,
+    ) -> None:
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.l2 = l2
+        self.tol = tol
+        self.random_state = random_state
+
+    def fit(self, X: Any, y: Any) -> "LogisticRegression":
+        X, y = check_X_y(X, y)
+        self.classes_ = sorted(set(y.tolist()), key=str)
+        if len(self.classes_) < 2:
+            raise ValueError("logistic regression needs at least two classes")
+        index = {label: i for i, label in enumerate(self.classes_)}
+        targets = np.zeros((X.shape[0], len(self.classes_)), dtype=np.float64)
+        for i, label in enumerate(y):
+            targets[i, index[label]] = 1.0
+
+        self._mu = X.mean(axis=0)
+        std = X.std(axis=0)
+        self._sigma = np.where(std > 0, std, 1.0)
+        Z = (X - self._mu) / self._sigma
+        Z = np.column_stack([np.ones(Z.shape[0]), Z])
+
+        rng = np.random.default_rng(self.random_state)
+        W = rng.normal(0.0, 0.01, size=(Z.shape[1], len(self.classes_)))
+        velocity = np.zeros_like(W)
+        n = Z.shape[0]
+        previous_loss = np.inf
+        for _ in range(self.max_iter):
+            proba = _softmax(Z @ W)
+            grad = Z.T @ (proba - targets) / n + self.l2 * W
+            velocity = 0.9 * velocity - self.learning_rate * grad
+            W = W + velocity
+            loss = -np.mean(np.sum(targets * np.log(proba + 1e-12), axis=1))
+            if abs(previous_loss - loss) < self.tol:
+                break
+            previous_loss = loss
+        self.weights_ = W
+        return self
+
+    def _scores(self, X: np.ndarray) -> np.ndarray:
+        Z = (X - self._mu) / self._sigma
+        Z = np.column_stack([np.ones(Z.shape[0]), Z])
+        return Z @ self.weights_
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        self._check_fitted("weights_")
+        X = check_X(X)
+        return _softmax(self._scores(X))
+
+    def predict(self, X: Any) -> np.ndarray:
+        proba = self.predict_proba(X)
+        picks = np.argmax(proba, axis=1)
+        return np.asarray([self.classes_[p] for p in picks], dtype=object)
+
+
+def _softmax(scores: np.ndarray) -> np.ndarray:
+    shifted = scores - scores.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)

@@ -1,0 +1,211 @@
+"""Evaluation metrics: classification (accuracy, F1, AUC, log-loss) and
+regression (R^2, MSE/RMSE/MAE).
+
+AUC follows the paper's reporting: binary AUC for binary tasks and
+macro-averaged one-vs-rest AUC for multi-class tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "confusion_matrix",
+    "roc_auc_score",
+    "log_loss",
+    "r2_score",
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "mean_absolute_error",
+]
+
+
+def _as_1d(values: Sequence) -> np.ndarray:
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        arr = arr.ravel()
+    return arr
+
+
+def _check_lengths(y_true: np.ndarray, y_other: np.ndarray) -> None:
+    if y_true.shape[0] != y_other.shape[0]:
+        raise ValueError(
+            f"length mismatch: y_true has {y_true.shape[0]}, other has {y_other.shape[0]}"
+        )
+    if y_true.shape[0] == 0:
+        raise ValueError("metrics are undefined on empty inputs")
+
+
+def accuracy_score(y_true: Sequence, y_pred: Sequence) -> float:
+    """Fraction of exactly matching labels."""
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    _check_lengths(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(
+    y_true: Sequence, y_pred: Sequence, labels: Sequence | None = None
+) -> tuple[np.ndarray, list]:
+    """Return ``(matrix, labels)`` with rows = true class, cols = predicted."""
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    _check_lengths(y_true, y_pred)
+    if labels is None:
+        labels = sorted(set(y_true.tolist()) | set(y_pred.tolist()), key=str)
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        matrix[index[t], index[p]] += 1
+    return matrix, list(labels)
+
+
+def _precision_recall_f1(
+    y_true: Sequence, y_pred: Sequence
+) -> tuple[float, float, float]:
+    matrix, _labels = confusion_matrix(y_true, y_pred)
+    tp = np.diag(matrix).astype(np.float64)
+    predicted = matrix.sum(axis=0).astype(np.float64)
+    actual = matrix.sum(axis=1).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(predicted > 0, tp / predicted, 0.0)
+        recall = np.where(actual > 0, tp / actual, 0.0)
+        f1 = np.where(
+            precision + recall > 0,
+            2 * precision * recall / (precision + recall),
+            0.0,
+        )
+    return float(precision.mean()), float(recall.mean()), float(f1.mean())
+
+
+def precision_score(y_true: Sequence, y_pred: Sequence) -> float:
+    """Macro-averaged precision."""
+    return _precision_recall_f1(y_true, y_pred)[0]
+
+
+def recall_score(y_true: Sequence, y_pred: Sequence) -> float:
+    """Macro-averaged recall."""
+    return _precision_recall_f1(y_true, y_pred)[1]
+
+
+def f1_score(y_true: Sequence, y_pred: Sequence) -> float:
+    """Macro-averaged F1."""
+    return _precision_recall_f1(y_true, y_pred)[2]
+
+
+def _binary_auc(y_true01: np.ndarray, scores: np.ndarray) -> float:
+    """Mann-Whitney AUC with midrank tie handling."""
+    n_pos = int(y_true01.sum())
+    n_neg = y_true01.shape[0] - n_pos
+    if n_pos == 0 or n_neg == 0:
+        return 0.5
+    order = np.argsort(scores, kind="mergesort")
+    sorted_scores = scores[order]
+    ranks = np.empty_like(sorted_scores, dtype=np.float64)
+    i = 0
+    n = sorted_scores.shape[0]
+    while i < n:
+        j = i
+        while j + 1 < n and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[i : j + 1] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    rank_sum_pos = float(ranks[y_true01[order] == 1].sum())
+    return (rank_sum_pos - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+
+
+def roc_auc_score(
+    y_true: Sequence,
+    y_score: Sequence,
+    multi_class: str = "ovr",
+    labels: Sequence | None = None,
+) -> float:
+    """ROC AUC.
+
+    Binary: ``y_score`` is the positive-class score (positive class = the
+    larger label under sorted order, matching sklearn's convention for
+    ``labels=[neg, pos]``).  Multi-class: ``y_score`` is an ``(n, k)``
+    probability matrix and the result is macro-averaged one-vs-rest AUC.
+    """
+    y_true = _as_1d(y_true)
+    scores = np.asarray(y_score, dtype=np.float64)
+    if labels is None:
+        labels = sorted(set(y_true.tolist()), key=str)
+    if scores.ndim == 1:
+        if len(labels) > 2:
+            raise ValueError("1-D scores are only valid for binary AUC")
+        _check_lengths(y_true, scores)
+        positive = labels[-1]
+        return _binary_auc((y_true == positive).astype(np.int64), scores)
+    if multi_class != "ovr":
+        raise ValueError(f"unsupported multi_class={multi_class!r}")
+    if scores.shape[0] != y_true.shape[0]:
+        raise ValueError("score matrix rows must match y_true length")
+    if scores.shape[1] != len(labels):
+        raise ValueError(
+            f"score matrix has {scores.shape[1]} columns for {len(labels)} labels"
+        )
+    if scores.shape[1] == 2:
+        return _binary_auc((y_true == labels[-1]).astype(np.int64), scores[:, 1])
+    aucs = []
+    for k, label in enumerate(labels):
+        mask = (y_true == label).astype(np.int64)
+        if mask.sum() in (0, mask.shape[0]):
+            continue
+        aucs.append(_binary_auc(mask, scores[:, k]))
+    return float(np.mean(aucs)) if aucs else 0.5
+
+
+def log_loss(
+    y_true: Sequence,
+    y_proba: Sequence,
+    labels: Sequence | None = None,
+    eps: float = 1e-12,
+) -> float:
+    """Cross-entropy of predicted probabilities."""
+    y_true = _as_1d(y_true)
+    proba = np.asarray(y_proba, dtype=np.float64)
+    if labels is None:
+        labels = sorted(set(y_true.tolist()), key=str)
+    if proba.ndim == 1:
+        proba = np.column_stack([1.0 - proba, proba])
+    proba = np.clip(proba, eps, 1.0)
+    proba = proba / proba.sum(axis=1, keepdims=True)
+    index = {label: i for i, label in enumerate(labels)}
+    rows = np.arange(y_true.shape[0])
+    cols = np.array([index[t] for t in y_true])
+    return float(-np.mean(np.log(proba[rows, cols])))
+
+
+def r2_score(y_true: Sequence, y_pred: Sequence) -> float:
+    """Coefficient of determination; 0.0 for a constant true vector."""
+    y_true = _as_1d(y_true).astype(np.float64)
+    y_pred = _as_1d(y_pred).astype(np.float64)
+    _check_lengths(y_true, y_pred)
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def mean_squared_error(y_true: Sequence, y_pred: Sequence) -> float:
+    y_true = _as_1d(y_true).astype(np.float64)
+    y_pred = _as_1d(y_pred).astype(np.float64)
+    _check_lengths(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def root_mean_squared_error(y_true: Sequence, y_pred: Sequence) -> float:
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def mean_absolute_error(y_true: Sequence, y_pred: Sequence) -> float:
+    y_true = _as_1d(y_true).astype(np.float64)
+    y_pred = _as_1d(y_pred).astype(np.float64)
+    _check_lengths(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))

@@ -1,0 +1,59 @@
+"""Gaussian naive Bayes."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, check_X, check_X_y
+
+__all__ = ["GaussianNB"]
+
+
+class GaussianNB(BaseEstimator, ClassifierMixin):
+    """Per-class Gaussian likelihoods with variance smoothing."""
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        self.var_smoothing = var_smoothing
+
+    def fit(self, X: Any, y: Any) -> "GaussianNB":
+        X, y = check_X_y(X, y)
+        self.classes_ = sorted(set(y.tolist()), key=str)
+        n, d = X.shape
+        k = len(self.classes_)
+        self.theta_ = np.zeros((k, d))
+        self.var_ = np.zeros((k, d))
+        self.class_log_prior_ = np.zeros(k)
+        max_var = float(X.var(axis=0).max()) if n > 1 else 1.0
+        epsilon = self.var_smoothing * max(max_var, 1e-12)
+        for c, label in enumerate(self.classes_):
+            mask = y == label
+            Xc = X[mask]
+            self.theta_[c] = Xc.mean(axis=0)
+            self.var_[c] = Xc.var(axis=0) + epsilon
+            self.class_log_prior_[c] = np.log(mask.sum() / n)
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        jll = np.zeros((X.shape[0], len(self.classes_)))
+        for c in range(len(self.classes_)):
+            log_det = -0.5 * np.sum(np.log(2.0 * np.pi * self.var_[c]))
+            mahalanobis = -0.5 * np.sum(
+                (X - self.theta_[c]) ** 2 / self.var_[c], axis=1
+            )
+            jll[:, c] = self.class_log_prior_[c] + log_det + mahalanobis
+        return jll
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        self._check_fitted("theta_")
+        X = check_X(X)
+        jll = self._joint_log_likelihood(X)
+        shifted = jll - jll.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict(self, X: Any) -> np.ndarray:
+        proba = self.predict_proba(X)
+        picks = np.argmax(proba, axis=1)
+        return np.asarray([self.classes_[p] for p in picks], dtype=object)

@@ -1,0 +1,151 @@
+"""Nearest-neighbour models and the TabPFN stand-in.
+
+``TabPFNProxy`` mimics the operational envelope of TabPFN as used by CAAFE
+in the paper: excellent on small, clean classification data, but it
+*refuses* (raises :class:`MemoryError`) beyond its sample/feature/class
+limits — which is exactly how CAAFE-TabPFN fails ("Out of Mem.") on the
+paper's large datasets (Tables 5 and 7).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin, check_X, check_X_y
+
+__all__ = ["KNeighborsClassifier", "KNeighborsRegressor", "TabPFNProxy"]
+
+
+class _BaseKNN(BaseEstimator):
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform") -> None:
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        if weights not in ("uniform", "distance"):
+            raise ValueError(f"unknown weights {weights!r}")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+
+    def _neighbors(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Indices and distances of the k nearest training rows per query."""
+        diff_sq = (
+            np.sum(X**2, axis=1, keepdims=True)
+            - 2.0 * X @ self._X_train.T
+            + np.sum(self._X_train**2, axis=1)
+        )
+        diff_sq = np.maximum(diff_sq, 0.0)
+        k = min(self.n_neighbors, self._X_train.shape[0])
+        idx = np.argpartition(diff_sq, k - 1, axis=1)[:, :k]
+        rows = np.arange(X.shape[0])[:, None]
+        return idx, np.sqrt(diff_sq[rows, idx])
+
+    def _neighbor_weights(self, distances: np.ndarray) -> np.ndarray:
+        if self.weights == "uniform":
+            return np.ones_like(distances)
+        return 1.0 / (distances + 1e-9)
+
+
+class KNeighborsClassifier(_BaseKNN, ClassifierMixin):
+    """Brute-force k-NN classification."""
+
+    def fit(self, X: Any, y: Any) -> "KNeighborsClassifier":
+        X, y = check_X_y(X, y)
+        self.classes_ = sorted(set(y.tolist()), key=str)
+        index = {label: i for i, label in enumerate(self.classes_)}
+        self._X_train = X
+        self._codes = np.asarray([index[v] for v in y], dtype=np.int64)
+        return self
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        self._check_fitted("_X_train")
+        X = check_X(X)
+        idx, distances = self._neighbors(X)
+        weights = self._neighbor_weights(distances)
+        proba = np.zeros((X.shape[0], len(self.classes_)))
+        for c in range(len(self.classes_)):
+            proba[:, c] = np.sum(weights * (self._codes[idx] == c), axis=1)
+        totals = proba.sum(axis=1, keepdims=True)
+        return proba / np.where(totals > 0, totals, 1.0)
+
+    def predict(self, X: Any) -> np.ndarray:
+        proba = self.predict_proba(X)
+        picks = np.argmax(proba, axis=1)
+        return np.asarray([self.classes_[p] for p in picks], dtype=object)
+
+
+class KNeighborsRegressor(_BaseKNN, RegressorMixin):
+    """Brute-force k-NN regression."""
+
+    def fit(self, X: Any, y: Any) -> "KNeighborsRegressor":
+        X, y = check_X_y(X, y)
+        self._X_train = X
+        self._y_train = y.astype(np.float64)
+        return self
+
+    def predict(self, X: Any) -> np.ndarray:
+        self._check_fitted("_X_train")
+        X = check_X(X)
+        idx, distances = self._neighbors(X)
+        weights = self._neighbor_weights(distances)
+        values = self._y_train[idx]
+        return np.sum(weights * values, axis=1) / np.sum(weights, axis=1)
+
+
+class TabPFNProxy(BaseEstimator, ClassifierMixin):
+    """Stand-in for TabPFN with its published operating limits.
+
+    Internally a distance-weighted k-NN over standardized features (a prior
+    that works well on small clean data), but refuses to fit beyond
+    ``max_samples`` training rows, ``max_features`` columns, or
+    ``max_classes`` classes, raising :class:`MemoryError` exactly like the
+    real model's GPU memory blow-up reported in the paper.
+    """
+
+    def __init__(
+        self,
+        max_samples: int = 1000,
+        max_features: int = 100,
+        max_classes: int = 10,
+        n_neighbors: int = 9,
+    ) -> None:
+        self.max_samples = max_samples
+        self.max_features = max_features
+        self.max_classes = max_classes
+        self.n_neighbors = n_neighbors
+
+    def fit(self, X: Any, y: Any) -> "TabPFNProxy":
+        X, y = check_X_y(X, y)
+        if X.shape[0] > self.max_samples:
+            raise MemoryError(
+                f"TabPFN supports at most {self.max_samples} training samples, "
+                f"got {X.shape[0]}"
+            )
+        if X.shape[1] > self.max_features:
+            raise MemoryError(
+                f"TabPFN supports at most {self.max_features} features, got {X.shape[1]}"
+            )
+        n_classes = len(set(y.tolist()))
+        if n_classes > self.max_classes:
+            raise MemoryError(
+                f"TabPFN supports at most {self.max_classes} classes, got {n_classes}"
+            )
+        mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        self._mu, self._sigma = mean, np.where(std > 0, std, 1.0)
+        self._knn = KNeighborsClassifier(
+            n_neighbors=min(self.n_neighbors, X.shape[0]), weights="distance"
+        )
+        self._knn.fit((X - self._mu) / self._sigma, y)
+        self.classes_ = self._knn.classes_
+        return self
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        self._check_fitted("_knn")
+        X = check_X(X)
+        return self._knn.predict_proba((X - self._mu) / self._sigma)
+
+    def predict(self, X: Any) -> np.ndarray:
+        self._check_fitted("_knn")
+        X = check_X(X)
+        return self._knn.predict((X - self._mu) / self._sigma)

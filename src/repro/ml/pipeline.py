@@ -1,0 +1,242 @@
+"""Composition: sklearn-style ``Pipeline`` and a Table-to-matrix vectorizer.
+
+``TableVectorizer`` is the bridge between the relational world
+(:class:`repro.table.Table`) and the numeric estimators: it imputes,
+scales, one-hot/k-hot/hash-encodes columns according to a per-column plan,
+which is exactly the kind of plan CatDB's generated code expresses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, TransformerMixin
+from repro.ml.preprocessing import (
+    FeatureHasher,
+    KHotEncoder,
+    OneHotEncoder,
+    OrdinalEncoder,
+    QuantileClipper,
+    SimpleImputer,
+    StandardScaler,
+)
+from repro.table.column import ColumnKind
+from repro.table.table import Table
+
+__all__ = ["Pipeline", "ColumnSelector", "TableVectorizer"]
+
+
+class Pipeline(BaseEstimator):
+    """Chain of ``(name, transformer)`` steps ending in an estimator."""
+
+    def __init__(self, steps: Sequence[tuple[str, Any]]) -> None:
+        if not steps:
+            raise ValueError("a pipeline needs at least one step")
+        names = [name for name, _ in steps]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate step names in {names}")
+        self.steps = list(steps)
+
+    @property
+    def named_steps(self) -> dict[str, Any]:
+        return dict(self.steps)
+
+    def _final(self) -> Any:
+        return self.steps[-1][1]
+
+    def fit(self, X: Any, y: Any = None) -> "Pipeline":
+        data = X
+        for _name, step in self.steps[:-1]:
+            data = step.fit_transform(data, y)
+        final = self._final()
+        if hasattr(final, "fit"):
+            final.fit(data, y)
+        return self
+
+    def _transform_through(self, X: Any) -> Any:
+        data = X
+        for _name, step in self.steps[:-1]:
+            data = step.transform(data)
+        return data
+
+    def predict(self, X: Any) -> np.ndarray:
+        return self._final().predict(self._transform_through(X))
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        return self._final().predict_proba(self._transform_through(X))
+
+    def transform(self, X: Any) -> Any:
+        data = self._transform_through(X)
+        final = self._final()
+        if hasattr(final, "transform"):
+            data = final.transform(data)
+        return data
+
+    def fit_transform(self, X: Any, y: Any = None) -> Any:
+        self.fit(X, y)
+        return self.transform(X)
+
+    def score(self, X: Any, y: Any) -> float:
+        return self._final().score(self._transform_through(X), y)
+
+    @property
+    def classes_(self):
+        return self._final().classes_
+
+
+class ColumnSelector(BaseEstimator, TransformerMixin):
+    """Project a :class:`Table` onto (or drop) a set of columns."""
+
+    def __init__(self, keep: Sequence[str] | None = None, drop: Sequence[str] | None = None) -> None:
+        if (keep is None) == (drop is None):
+            raise ValueError("pass exactly one of keep= or drop=")
+        self.keep = list(keep) if keep is not None else None
+        self.drop = list(drop) if drop is not None else None
+
+    def fit(self, table: Table, y: Any = None) -> "ColumnSelector":
+        self.fitted_ = True
+        return self
+
+    def transform(self, table: Table) -> Table:
+        if self.keep is not None:
+            return table.select([c for c in self.keep if c in table])
+        return table.drop([c for c in self.drop if c in table])
+
+
+_NUMERIC_DEFAULT = {"impute": "median", "scale": True, "clip_outliers": False}
+
+
+class TableVectorizer(BaseEstimator, TransformerMixin):
+    """Turn a :class:`Table` into a dense float matrix via a per-column plan.
+
+    Parameters
+    ----------
+    plan:
+        Mapping of column name to an encoding spec dict:
+
+        - ``{"encode": "numeric", "impute": "mean"|"median", "scale": bool,
+          "clip_outliers": bool}``
+        - ``{"encode": "onehot", "max_categories": int | None}``
+        - ``{"encode": "ordinal"}``
+        - ``{"encode": "khot", "delimiter": ",", "max_items": int | None}``
+        - ``{"encode": "hash", "n_features": int}``
+        - ``{"encode": "drop"}``
+
+        Columns not named in the plan are encoded by default rules: numeric
+        columns as numeric, string columns as one-hot capped at 50
+        categories, boolean columns as 0/1.
+    target:
+        Optional target column name; always excluded from the features.
+    """
+
+    def __init__(
+        self,
+        plan: Mapping[str, Mapping[str, Any]] | None = None,
+        target: str | None = None,
+    ) -> None:
+        self.plan = dict(plan) if plan else {}
+        self.target = target
+
+    def _spec_for(self, table: Table, name: str) -> dict[str, Any]:
+        if name in self.plan:
+            spec = dict(self.plan[name])
+            spec.setdefault("encode", "numeric")
+            return spec
+        column = table[name]
+        if column.kind is ColumnKind.NUMERIC:
+            return {"encode": "numeric", **_NUMERIC_DEFAULT}
+        if column.kind is ColumnKind.BOOLEAN:
+            return {"encode": "ordinal"}
+        return {"encode": "onehot", "max_categories": 50}
+
+    def fit(self, table: Table, y: Any = None) -> "TableVectorizer":
+        self._encoders: list[tuple[str, str, list[Any]]] = []
+        self.feature_names_: list[str] = []
+        for name in table.column_names:
+            if name == self.target:
+                continue
+            spec = self._spec_for(table, name)
+            encode = spec["encode"]
+            if encode == "drop":
+                continue
+            column = table[name]
+            if encode == "numeric":
+                values = column.astype_numeric().numeric_values().reshape(-1, 1)
+                stages: list[Any] = []
+                impute = spec.get("impute", "median")
+                if impute is not None:
+                    stages.append(SimpleImputer(strategy=impute))
+                if spec.get("clip_outliers"):
+                    stages.append(
+                        QuantileClipper(
+                            lower=spec.get("clip_lower", 0.01),
+                            upper=spec.get("clip_upper", 0.99),
+                        )
+                    )
+                if spec.get("scale", True):
+                    stages.append(StandardScaler())
+                data: Any = values
+                for stage in stages:
+                    data = stage.fit_transform(data)
+                self._encoders.append((name, encode, stages))
+                self.feature_names_.append(name)
+            elif encode == "onehot":
+                encoder = OneHotEncoder(max_categories=spec.get("max_categories"))
+                encoder.fit(np.asarray(column.to_list(), dtype=object))
+                self._encoders.append((name, encode, [encoder]))
+                self.feature_names_.extend(encoder.feature_names([name]))
+            elif encode == "ordinal":
+                encoder = OrdinalEncoder()
+                encoder.fit(np.asarray(
+                    [None if v is None else str(v) for v in column], dtype=object
+                ))
+                self._encoders.append((name, encode, [encoder]))
+                self.feature_names_.append(name)
+            elif encode == "khot":
+                encoder = KHotEncoder(
+                    delimiter=spec.get("delimiter", ","),
+                    max_items=spec.get("max_items"),
+                )
+                encoder.fit(np.asarray(column.to_list(), dtype=object))
+                self._encoders.append((name, encode, [encoder]))
+                self.feature_names_.extend(f"{name}[{item}]" for item in encoder.items_)
+            elif encode == "hash":
+                encoder = FeatureHasher(n_features=spec.get("n_features", 16))
+                encoder.fit(column.to_list())
+                self._encoders.append((name, encode, [encoder]))
+                self.feature_names_.extend(
+                    f"{name}#h{i}" for i in range(encoder.n_features)
+                )
+            else:
+                raise ValueError(f"unknown encoding {encode!r} for column {name!r}")
+        return self
+
+    def transform(self, table: Table) -> np.ndarray:
+        self._check_fitted("_encoders")
+        blocks: list[np.ndarray] = []
+        for name, encode, stages in self._encoders:
+            column = table[name]
+            if encode == "numeric":
+                data: Any = column.astype_numeric().numeric_values().reshape(-1, 1)
+                for stage in stages:
+                    data = stage.transform(data)
+                blocks.append(np.asarray(data, dtype=np.float64))
+            elif encode == "ordinal":
+                data = stages[0].transform(np.asarray(
+                    [None if v is None else str(v) for v in column], dtype=object
+                ))
+                blocks.append(np.asarray(data, dtype=np.float64))
+            else:
+                blocks.append(
+                    stages[0].transform(np.asarray(column.to_list(), dtype=object))
+                )
+        if not blocks:
+            return np.empty((table.n_rows, 0), dtype=np.float64)
+        return np.column_stack(blocks)
+
+    @property
+    def n_output_features_(self) -> int:
+        self._check_fitted("_encoders")
+        return len(self.feature_names_)

@@ -1,0 +1,37 @@
+"""Prompt construction (paper Section 3.3-3.4).
+
+Turns data-catalog contents into structured LLM prompts: metadata
+projection with top-K column selection (Algorithm 3), rule definition
+(Algorithm 2), the Table-1 metadata combinations, and the single /
+chained prompt templates of Figure 6 plus the error-correction template
+of Figure 7.
+"""
+
+from repro.prompt.builder import ChainPromptPlan, Prompt, build_prompt_plan
+from repro.prompt.combinations import (
+    METADATA_COMBINATIONS,
+    MetadataCombination,
+    get_combination,
+)
+from repro.prompt.projection import clean_catalog, project_schema, select_top_k_columns
+from repro.prompt.rules import Rule, build_rules
+from repro.prompt.templates import (
+    render_error_prompt,
+    render_pipeline_prompt,
+)
+
+__all__ = [
+    "ChainPromptPlan",
+    "Prompt",
+    "build_prompt_plan",
+    "METADATA_COMBINATIONS",
+    "MetadataCombination",
+    "get_combination",
+    "clean_catalog",
+    "project_schema",
+    "select_top_k_columns",
+    "Rule",
+    "build_rules",
+    "render_error_prompt",
+    "render_pipeline_prompt",
+]

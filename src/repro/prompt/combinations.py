@@ -1,0 +1,64 @@
+"""Table 1 — the eleven metadata combinations.
+
+Each combination selects which data-profiling items are projected into the
+prompt's schema messages.  The schema itself (column names and data types)
+is always present; the paper's micro-benchmark (Figure 10) sweeps these
+combinations to measure metadata impact on pipeline quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MetadataCombination", "METADATA_COMBINATIONS", "get_combination"]
+
+
+@dataclass(frozen=True)
+class MetadataCombination:
+    """One column of Table 1."""
+
+    number: int
+    distinct_value_count: bool
+    missing_value_frequency: bool
+    basic_statistics: bool
+    categorical_values: bool
+    user_description: bool = True  # optional row, included in all combos
+
+    @property
+    def name(self) -> str:
+        return f"#{self.number}"
+
+    @property
+    def items(self) -> list[str]:
+        included = ["Schema"]
+        if self.distinct_value_count:
+            included.append("Distinct Value Count")
+        if self.missing_value_frequency:
+            included.append("Missing Value Frequency")
+        if self.basic_statistics:
+            included.append("Basic Statistics")
+        if self.categorical_values:
+            included.append("Categorical Values")
+        return included
+
+
+METADATA_COMBINATIONS: dict[int, MetadataCombination] = {
+    1: MetadataCombination(1, False, False, False, False),
+    2: MetadataCombination(2, True, False, False, False),
+    3: MetadataCombination(3, False, True, False, False),
+    4: MetadataCombination(4, False, False, True, False),
+    5: MetadataCombination(5, False, False, False, True),
+    6: MetadataCombination(6, True, True, False, False),
+    7: MetadataCombination(7, True, False, True, False),
+    8: MetadataCombination(8, False, True, True, False),
+    9: MetadataCombination(9, False, True, False, True),
+    10: MetadataCombination(10, False, False, True, True),
+    11: MetadataCombination(11, True, True, True, True),
+}
+
+
+def get_combination(number: int) -> MetadataCombination:
+    """Combination ``#number`` of Table 1 (1-11); #11 is CatDB's default."""
+    if number not in METADATA_COMBINATIONS:
+        raise KeyError(f"metadata combination must be 1..11, got {number}")
+    return METADATA_COMBINATIONS[number]

@@ -1,0 +1,86 @@
+"""Few-shot example bank — the ablation counterpart to CatDB's zero-shot ICL.
+
+CatDB is deliberately zero-shot: "By adopting a zero-shot approach, CatDB
+eliminates the need for task-specific examples" (Section 1).  To quantify
+that design decision, this module supplies worked examples that *can* be
+prepended to prompts (``build_prompt_plan(..., few_shot=k)``); the
+benchmark shows they add token cost without improving pipeline quality —
+the metadata and rules already carry the needed grounding.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FEW_SHOT_EXAMPLES", "render_few_shot_block"]
+
+FEW_SHOT_EXAMPLES: list[dict[str, str]] = [
+    {
+        "title": "binary classification on a mixed-type customer table",
+        "prompt_sketch": (
+            "Columns: age (number, Numerical), plan (string, Categorical, "
+            "3 distinct), churn (string, TARGET). Rules: impute missing with "
+            "median, one-hot encode categoricals, train a tree ensemble."
+        ),
+        "pipeline_sketch": (
+            "PLAN = {'age': {'encode': 'numeric', 'impute': 'median', "
+            "'scale': True}, 'plan': {'encode': 'onehot'}}\n"
+            "model = RandomForestClassifier(n_estimators=60, max_depth=12)\n"
+            "... fit, predict, report accuracy and AUC ..."
+        ),
+    },
+    {
+        "title": "regression with an outlier-prone sensor reading",
+        "prompt_sketch": (
+            "Columns: reading (number, Numerical, std 48.2), site (string, "
+            "Categorical), load (number, TARGET). Rules: winsorize extreme "
+            "values, scale numerics, train a gradient-boosted regressor."
+        ),
+        "pipeline_sketch": (
+            "PLAN = {'reading': {'encode': 'numeric', 'impute': 'median', "
+            "'scale': True, 'clip_outliers': True}, 'site': {'encode': 'onehot'}}\n"
+            "model = GradientBoostingRegressor(n_estimators=80, max_depth=3)\n"
+            "... fit, predict, report R^2 ..."
+        ),
+    },
+    {
+        "title": "multi-class task with a list-valued tag column",
+        "prompt_sketch": (
+            "Columns: tags (string, List, delimiter ','), score (number, "
+            "Numerical), tier (string, TARGET, 5 classes). Rules: k-hot "
+            "encode list features, report accuracy and macro AUC."
+        ),
+        "pipeline_sketch": (
+            "PLAN = {'tags': {'encode': 'khot', 'delimiter': ','}, "
+            "'score': {'encode': 'numeric', 'impute': 'median', 'scale': True}}\n"
+            "model = GradientBoostingClassifier(n_estimators=40, max_depth=3)\n"
+            "... fit, predict_proba, roc_auc_score(..., labels=model.classes_) ..."
+        ),
+    },
+    {
+        "title": "imbalanced fraud detection",
+        "prompt_sketch": (
+            "Columns: amount (number), country (string, Categorical), fraud "
+            "(string, TARGET, 19:1 imbalance). Rules: oversample minority "
+            "classes before training."
+        ),
+        "pipeline_sketch": (
+            "X_train, y_train = oversample_minority(X_train, y_train)\n"
+            "model = RandomForestClassifier(n_estimators=60, max_depth=12)\n"
+            "... fit on the rebalanced data, evaluate on the untouched test ..."
+        ),
+    },
+]
+
+
+def render_few_shot_block(k: int) -> str:
+    """Render ``k`` worked examples as a prompt section (k <= bank size)."""
+    if k <= 0:
+        return ""
+    picked = FEW_SHOT_EXAMPLES[: min(k, len(FEW_SHOT_EXAMPLES))]
+    lines = ["## Worked examples"]
+    for i, example in enumerate(picked, start=1):
+        lines.append(f"### Example {i}: {example['title']}")
+        lines.append("Task:")
+        lines.append(example["prompt_sketch"])
+        lines.append("Generated pipeline (sketch):")
+        lines.append(example["pipeline_sketch"])
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Metadata projection (Algorithm 2a + Algorithm 3 lines 1-3).
+
+- :func:`clean_catalog` removes unnecessary columns: empty, constant, and
+  columns with values in fewer than 2% of rows.
+- :func:`select_top_k_columns` implements the paper's top-K ordering:
+  (1) categorical, (2) features highly correlated with the target but with
+  missing values, (3) sentence, (4) numerical, (5) boolean.
+- :func:`project_schema` emits the schema message entries ``S`` filtered
+  by a Table-1 metadata combination.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.catalog.catalog import ColumnProfile, DataCatalog
+from repro.catalog.feature_types import FeatureType
+from repro.prompt.combinations import MetadataCombination, get_combination
+
+__all__ = ["clean_catalog", "select_top_k_columns", "project_schema"]
+
+_MIN_COVERAGE_PCT = 2.0  # "columns with values in less than 2% of rows"
+
+
+def clean_catalog(catalog: DataCatalog) -> DataCatalog:
+    """Drop empty, constant, and near-empty columns (Algorithm 3, line 2)."""
+    drop: list[str] = []
+    for profile in catalog.feature_profiles():
+        coverage = 100.0 - profile.missing_percentage
+        if profile.feature_type is FeatureType.CONSTANT:
+            drop.append(profile.name)
+        elif profile.distinct_count == 0:
+            drop.append(profile.name)
+        elif coverage < _MIN_COVERAGE_PCT:
+            drop.append(profile.name)
+    if not drop:
+        return catalog
+    keep = [name for name in catalog.column_names if name not in set(drop)]
+    return catalog.subset([n for n in keep if n != catalog.info.target])
+
+
+def _priority_group(profile: ColumnProfile) -> int:
+    """Ordering of Section 3.4: categorical first, boolean last."""
+    if profile.feature_type is FeatureType.CATEGORICAL:
+        return 0
+    if profile.target_correlation >= 0.3 and profile.missing_percentage > 0:
+        return 1
+    if profile.feature_type in (FeatureType.SENTENCE, FeatureType.LIST):
+        return 2
+    if profile.feature_type is FeatureType.NUMERICAL:
+        return 3
+    return 4
+
+
+def select_top_k_columns(catalog: DataCatalog, alpha: int | None) -> DataCatalog:
+    """Keep the top-``alpha`` feature columns by priority group, then by
+    target correlation within a group (Algorithm 3, line 3)."""
+    if alpha is None or alpha >= len(catalog.feature_profiles()):
+        return catalog
+    if alpha < 1:
+        raise ValueError("alpha must be >= 1")
+    ranked = sorted(
+        catalog.feature_profiles(),
+        key=lambda p: (_priority_group(p), -p.target_correlation, p.name),
+    )
+    keep = [p.name for p in ranked[:alpha]]
+    return catalog.subset(keep)
+
+
+def project_schema(
+    catalog: DataCatalog,
+    combination: MetadataCombination | int = 11,
+) -> list[dict[str, Any]]:
+    """Build the schema entries ``S`` for the prompt payload.
+
+    Field presence follows the metadata combination; the target column is
+    always marked.  Entries keep the Section 3.4 priority ordering so that
+    truncation under context limits drops the least important groups first.
+    """
+    if isinstance(combination, int):
+        combination = get_combination(combination)
+    profiles = sorted(
+        catalog.feature_profiles(),
+        key=lambda p: (_priority_group(p), -p.target_correlation, p.name),
+    )
+    entries: list[dict[str, Any]] = []
+    for profile in profiles + [catalog.target_profile]:
+        entry: dict[str, Any] = {
+            "name": profile.name,
+            "data_type": profile.data_type,
+            "feature_type": profile.feature_type.value,
+        }
+        if profile.name == catalog.info.target:
+            entry["is_target"] = True
+        if combination.distinct_value_count:
+            entry["distinct_count"] = profile.distinct_count
+            entry["distinct_percentage"] = profile.distinct_percentage
+        if combination.missing_value_frequency:
+            entry["missing_count"] = profile.missing_count
+            entry["missing_percentage"] = profile.missing_percentage
+        if combination.basic_statistics and profile.statistics:
+            stats = {
+                k: v for k, v in profile.statistics.items() if k != "class_counts"
+            }
+            if stats:
+                entry["statistics"] = stats
+        if combination.categorical_values and profile.is_categorical:
+            entry["categorical_values"] = profile.categorical_values[:64]
+        if profile.feature_type is FeatureType.LIST and profile.list_delimiter:
+            entry["list_delimiter"] = profile.list_delimiter
+        if profile.target_correlation:
+            entry["target_correlation"] = profile.target_correlation
+        if profile.inclusion_dependencies:
+            entry["inclusion_dependencies"] = profile.inclusion_dependencies
+        entries.append(entry)
+    return entries

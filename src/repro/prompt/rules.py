@@ -1,0 +1,217 @@
+"""Rule definition (Algorithm 2b and Section 3.3).
+
+Rules guide the LLM without dictating one fixed recipe.  Four essential
+groups come from the data catalog: data-preparation, feature-dependency,
+feature-filter, and data-augmentation rules, plus the model-selection rule
+tied to the target column.  Each :class:`Rule` carries a machine-readable
+``kind``/``params`` (consumed by the simulated LLM's code generator) and
+the human-readable ``text`` that would steer a real model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.catalog.catalog import DataCatalog
+from repro.catalog.feature_types import FeatureType
+
+__all__ = ["Rule", "build_rules", "SECTION_PREPROCESSING", "SECTION_FE", "SECTION_MODEL"]
+
+SECTION_PREPROCESSING = "preprocessing"
+SECTION_FE = "fe-engineering"
+SECTION_MODEL = "model-selection"
+
+_IMBALANCE_THRESHOLD = 3.0  # majority/minority ratio that triggers rebalancing
+_SMALL_DATASET_ROWS = 400
+
+
+@dataclass
+class Rule:
+    """One instruction for the LLM."""
+
+    section: str
+    kind: str
+    text: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def to_payload(self) -> dict[str, Any]:
+        return {"section": self.section, "kind": self.kind,
+                "text": self.text, "params": self.params}
+
+
+def build_rules(catalog: DataCatalog) -> list[Rule]:
+    """Derive the full rule set for a catalog (Algorithm 2, lines 8-15)."""
+    rules: list[Rule] = []
+    rules.extend(_preprocessing_rules(catalog))
+    rules.extend(_feature_engineering_rules(catalog))
+    rules.append(_model_selection_rule(catalog))
+    return rules
+
+
+def _preprocessing_rules(catalog: DataCatalog) -> list[Rule]:
+    rules: list[Rule] = []
+    with_missing = [
+        p.name for p in catalog.feature_profiles() if p.missing_percentage > 0
+    ]
+    if with_missing:
+        rules.append(Rule(
+            SECTION_PREPROCESSING,
+            "impute_missing",
+            "Impute missing values: use the most frequent value for "
+            "categorical features and the median for numerical features "
+            f"(columns with gaps: {', '.join(with_missing[:20])}).",
+            {"columns": with_missing,
+             "strategy_categorical": "most_frequent",
+             "strategy_numeric": "median"},
+        ))
+    numeric = [
+        p.name for p in catalog.feature_profiles()
+        if p.feature_type is FeatureType.NUMERICAL
+    ]
+    if numeric:
+        rules.append(Rule(
+            SECTION_PREPROCESSING,
+            "normalize",
+            "Scale numerical features to comparable ranges before training "
+            f"({', '.join(numeric[:20])}).",
+            {"columns": numeric},
+        ))
+        spread = [
+            p.name for p in catalog.feature_profiles()
+            if p.statistics and p.statistics.get("std", 0) > 0
+        ]
+        if spread:
+            rules.append(Rule(
+                SECTION_PREPROCESSING,
+                "clip_outliers",
+                "Winsorize extreme numerical values (clip to robust quantiles) "
+                "instead of dropping rows.",
+                {"columns": spread},
+            ))
+    if catalog.info.task_type != "regression":
+        target = catalog.target_profile
+        counts = _label_counts(target)
+        if counts and max(counts) / max(1, min(counts)) >= _IMBALANCE_THRESHOLD:
+            rules.append(Rule(
+                SECTION_PREPROCESSING,
+                "rebalance",
+                "The class labels are imbalanced; oversample minority classes "
+                "before training.",
+                {},
+            ))
+    if catalog.info.n_rows < _SMALL_DATASET_ROWS:
+        rules.append(Rule(
+            SECTION_PREPROCESSING,
+            "augment_small",
+            "The dataset is small; augment the training data with jittered "
+            "copies to improve generalisation.",
+            {},
+        ))
+    return rules
+
+
+def _label_counts(profile) -> list[int]:
+    # class frequencies are not stored per-value; approximate imbalance from
+    # distinct count vs rows (fallback) unless categorical values carry counts
+    if not profile.is_categorical or not profile.distinct_count:
+        return []
+    counts = profile.statistics.get("class_counts") if profile.statistics else None
+    if isinstance(counts, (list, tuple)):
+        return [int(c) for c in counts]
+    return []
+
+
+def _feature_engineering_rules(catalog: DataCatalog) -> list[Rule]:
+    rules: list[Rule] = []
+    categorical = {
+        p.name: p.distinct_count
+        for p in catalog.feature_profiles()
+        if p.feature_type is FeatureType.CATEGORICAL
+    }
+    if categorical:
+        rules.append(Rule(
+            SECTION_FE,
+            "encode_categorical",
+            "One-hot encode the categorical features; use feature hashing "
+            "when a feature has many distinct values.",
+            {"columns": categorical},
+        ))
+    lists = {
+        p.name: (p.list_delimiter or ",")
+        for p in catalog.feature_profiles()
+        if p.feature_type is FeatureType.LIST
+    }
+    if lists:
+        rules.append(Rule(
+            SECTION_FE,
+            "encode_list",
+            "K-hot encode the list features (split on the delimiter, one "
+            "indicator per distinct item).",
+            {"columns": lists},
+        ))
+    sentences = [
+        p.name for p in catalog.feature_profiles()
+        if p.feature_type is FeatureType.SENTENCE
+    ]
+    if sentences:
+        rules.append(Rule(
+            SECTION_FE,
+            "hash_sentence",
+            "Hash free-text features into a fixed number of buckets.",
+            {"columns": sentences, "n_features": 16},
+        ))
+    low_value = [
+        p.name for p in catalog.feature_profiles()
+        if p.feature_type in (FeatureType.CONSTANT, FeatureType.ID)
+    ]
+    if low_value:
+        rules.append(Rule(
+            SECTION_FE,
+            "drop_low_value",
+            "Drop constant and identifier-like columns; they carry no signal "
+            f"({', '.join(low_value)}).",
+            {"columns": low_value},
+        ))
+    ranked = sorted(
+        catalog.feature_profiles(),
+        key=lambda p: p.target_correlation,
+        reverse=True,
+    )
+    if ranked:
+        rules.append(Rule(
+            SECTION_FE,
+            "feature_dependency",
+            "Prefer features correlated with the target; correlations are "
+            "listed in the schema metadata.",
+            {"ranked": [p.name for p in ranked]},
+        ))
+    return rules
+
+
+def _model_selection_rule(catalog: DataCatalog) -> Rule:
+    task = catalog.info.task_type
+    if task == "regression":
+        text = (
+            "Train a regression model; prefer tree ensembles "
+            "(random forest / gradient boosting) with fixed, sensible "
+            "hyper-parameters — do not run exhaustive grid search."
+        )
+        candidates = ["RandomForestRegressor", "GradientBoostingRegressor", "Ridge"]
+    else:
+        text = (
+            "Train a classification model; prefer tree ensembles "
+            "(random forest / gradient boosting) with fixed, sensible "
+            "hyper-parameters — do not run exhaustive grid search. "
+            "Report accuracy and AUC."
+        )
+        candidates = [
+            "RandomForestClassifier", "GradientBoostingClassifier",
+            "LogisticRegression",
+        ]
+    return Rule(
+        SECTION_MODEL,
+        "model_selection",
+        text,
+        {"task_type": task, "candidates": candidates, "tune": False},
+    )

@@ -1,0 +1,194 @@
+"""Prompt templates (Figure 6 for generation, Figure 7 for error fixing).
+
+Every prompt has two faces: the human-readable text a real LLM would read
+(task framing, schema tables, rule lists) and one machine-readable payload
+block the offline :class:`~repro.llm.MockLLM` parses.  Token costs are
+computed over the full rendered text, so prompt-size effects (chaining,
+top-K projection, metadata combinations) behave like the paper's.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+from repro.catalog.catalog import DatasetInfo
+from repro.llm.mock import embed_payload
+from repro.prompt.rules import Rule
+
+__all__ = ["render_pipeline_prompt", "render_error_prompt"]
+
+_TASK_NAMES = {
+    "binary": "binary classification",
+    "multiclass": "multi-class classification",
+    "regression": "regression",
+}
+
+
+def _dataset_section(info: DatasetInfo) -> str:
+    lines = [
+        "## Dataset",
+        f"- name: {info.name}",
+        f"- task: {_TASK_NAMES.get(info.task_type, info.task_type)}",
+        f"- target column: {info.target}",
+        f"- rows: {info.n_rows}, columns: {info.n_cols}, source tables: {info.n_tables}",
+        f"- file: {info.file_path} (format: {info.file_format}, delimiter: {info.delimiter!r})",
+    ]
+    if info.description:
+        lines.append(f"- description: {info.description}")
+    return "\n".join(lines)
+
+
+def _schema_section(schema: Sequence[dict[str, Any]]) -> str:
+    lines = ["## Schema and metadata"]
+    for entry in schema:
+        parts = [f"{entry['name']} ({entry['data_type']}, {entry['feature_type']})"]
+        if entry.get("is_target"):
+            parts.append("TARGET COLUMN")
+        if "distinct_count" in entry:
+            parts.append(
+                f"distinct: {entry['distinct_count']} "
+                f"({entry.get('distinct_percentage', 0):.1f}%)"
+            )
+        if "missing_percentage" in entry:
+            parts.append(f"missing: {entry['missing_percentage']:.1f}%")
+        if "statistics" in entry:
+            stats = entry["statistics"]
+            parts.append(
+                "stats: " + ", ".join(f"{k}={v:.3g}" for k, v in stats.items())
+            )
+        if "categorical_values" in entry:
+            shown = entry["categorical_values"][:12]
+            parts.append(f"values: {json.dumps(shown, default=str)}")
+        if "target_correlation" in entry:
+            parts.append(f"corr(target): {entry['target_correlation']:.2f}")
+        lines.append("- " + " | ".join(str(p) for p in parts))
+    return "\n".join(lines)
+
+
+def _rules_section(rules: Sequence[Rule]) -> str:
+    lines = ["## Rules"]
+    for i, rule in enumerate(rules, start=1):
+        lines.append(f"R{i} [{rule.section}] {rule.text}")
+    return "\n".join(lines)
+
+
+_SUBTASK_FRAMING = {
+    "preprocessing": (
+        "Generate ONLY the data pre-processing part of the pipeline for the "
+        "columns listed below (cleaning, imputation, scaling)."
+    ),
+    "fe-engineering": (
+        "Extend the pipeline with feature engineering for the columns listed "
+        "below (encodings, derived features, feature selection)."
+    ),
+    "model-selection": (
+        "Complete the pipeline with model selection and training based on "
+        "the target column, integrating the previously generated steps."
+    ),
+}
+
+
+def render_pipeline_prompt(
+    info: DatasetInfo,
+    schema: Sequence[dict[str, Any]],
+    rules: Sequence[Rule],
+    subtasks: Sequence[str] = ("preprocessing", "fe-engineering", "model-selection"),
+    previous_code: str | None = None,
+    previous_schema: Sequence[dict[str, Any]] = (),
+    iteration: int = 0,
+    few_shot: int = 0,
+) -> str:
+    """Render a single (or chain-step) pipeline-generation prompt.
+
+    ``few_shot > 0`` prepends worked examples (the ablation of CatDB's
+    zero-shot design; see :mod:`repro.prompt.fewshot`).
+    """
+    task_name = _TASK_NAMES.get(info.task_type, info.task_type)
+    header = [
+        "# CatDB pipeline generation",
+        "You are an expert data scientist. Generate a complete, runnable",
+        f"Python data-centric ML pipeline for the {task_name} task described",
+        "below. Follow every rule. Use only the documented `repro.table` and",
+        "`repro.ml` APIs. Return the code between <CODE> and </CODE> tags.",
+    ]
+    if len(subtasks) < 3:
+        header.append("")
+        header.extend(_SUBTASK_FRAMING[s] for s in subtasks)
+    sections = ["\n".join(header)]
+    if few_shot > 0:
+        from repro.prompt.fewshot import render_few_shot_block
+
+        sections.append(render_few_shot_block(few_shot))
+    sections.extend([
+        _dataset_section(info),
+        _schema_section(schema),
+        _rules_section(list(rules)),
+    ])
+    if previous_code:
+        sections.append("## Previously generated pipeline steps\n<CODE>\n"
+                        + previous_code + "\n</CODE>")
+    payload = {
+        "task": "pipeline",
+        "dataset": info.to_dict(),
+        "schema": list(schema),
+        "previous_schema": list(previous_schema),
+        "rules": [r.to_payload() for r in rules],
+        "subtasks": list(subtasks),
+        "iteration": iteration,
+    }
+    sections.append(embed_payload(payload))
+    return "\n\n".join(sections)
+
+
+def render_error_prompt(
+    info: DatasetInfo,
+    code: str,
+    error_type: str,
+    error_message: str,
+    error_line: int | None,
+    attempt: int,
+    schema: Sequence[dict[str, Any]] = (),
+    rules: Sequence[Rule] = (),
+    include_metadata: bool = True,
+) -> str:
+    """Render the Figure-7 error-correction prompt.
+
+    Combines (1) the erroneous code in ``<CODE>`` tags, (2) the error
+    message with line information in ``<ERROR>`` tags, and (3) a summary of
+    the original prompt — metadata included only for runtime errors, per
+    the paper.
+    """
+    location = f" at line {error_line}" if error_line is not None else ""
+    sections = [
+        "# CatDB pipeline error correction",
+        "The pipeline below fails. Fix the error and return the corrected",
+        "code between <CODE> and </CODE> tags. Keep all working parts.",
+        f"<CODE>\n{code}\n</CODE>",
+        f"<ERROR>\n{error_message}{location}\n</ERROR>",
+        f"(error category: {error_type}, repair attempt {attempt})",
+        _dataset_section(info),
+    ]
+    summary: dict[str, Any] | None = None
+    if include_metadata:
+        sections.append(_schema_section(schema))
+        summary = {
+            "task": "pipeline",
+            "dataset": info.to_dict(),
+            "schema": list(schema),
+            "rules": [r.to_payload() for r in rules],
+            "subtasks": ["preprocessing", "fe-engineering", "model-selection"],
+        }
+    payload = {
+        "task": "error_fix",
+        "code": code,
+        "error": {
+            "type": error_type,
+            "message": error_message,
+            "line": error_line,
+        },
+        "attempt": attempt,
+        "summary": summary,
+    }
+    sections.append(embed_payload(payload))
+    return "\n\n".join(sections)

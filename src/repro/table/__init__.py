@@ -1,0 +1,13 @@
+"""Lightweight columnar table substrate used by all of :mod:`repro`.
+
+The paper's pipelines operate on tabular data (pandas in the original
+system).  This subpackage provides the minimal relational / columnar
+feature set those pipelines need: typed columns with missing-value masks,
+row filtering, projections, joins, concatenation, and CSV I/O.
+"""
+
+from repro.table.column import Column, ColumnKind
+from repro.table.io_csv import read_csv, write_csv
+from repro.table.table import Table
+
+__all__ = ["Column", "ColumnKind", "Table", "read_csv", "write_csv"]

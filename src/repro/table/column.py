@@ -1,0 +1,299 @@
+"""Typed columns with explicit missing-value masks.
+
+A :class:`Column` stores its values in a numpy array plus a boolean
+``missing`` mask.  Numeric columns use ``float64`` storage (missing slots
+hold ``nan``); string and boolean columns use ``object`` storage (missing
+slots hold ``None``).  Keeping the mask explicit avoids the usual
+``nan``-in-object-array ambiguities when profiling dirty data.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Column", "ColumnKind"]
+
+
+class ColumnKind(str, enum.Enum):
+    """Physical storage kind of a column."""
+
+    NUMERIC = "numeric"
+    STRING = "string"
+    BOOLEAN = "boolean"
+
+
+_MISSING_TOKENS = {"", "na", "n/a", "nan", "null", "none", "?", "missing"}
+
+_TRUE_TOKENS = {"true", "t", "yes", "y"}
+_FALSE_TOKENS = {"false", "f", "no", "n"}
+
+
+def _is_missing_scalar(value: Any) -> bool:
+    if value is None:
+        return True
+    if isinstance(value, float) and math.isnan(value):
+        return True
+    if isinstance(value, str) and value.strip().lower() in _MISSING_TOKENS:
+        return True
+    return False
+
+
+class Column:
+    """A named, typed vector of values with a missing mask.
+
+    Parameters
+    ----------
+    name:
+        Column name; must be a non-empty string.
+    values:
+        Any iterable of scalars.  ``None``, ``nan`` and common textual
+        missing tokens (``""``, ``"NA"``, ``"?"`` ...) are treated as
+        missing.
+    kind:
+        Force a :class:`ColumnKind`; inferred from the values when omitted.
+    """
+
+    __slots__ = ("name", "kind", "data", "missing")
+
+    def __init__(
+        self,
+        name: str,
+        values: Iterable[Any],
+        kind: ColumnKind | str | None = None,
+    ) -> None:
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"column name must be a non-empty string, got {name!r}")
+        self.name = name
+        raw = list(values)
+        if kind is not None:
+            kind = ColumnKind(kind)
+        else:
+            kind = _infer_kind(raw)
+        self.kind = kind
+        self.data, self.missing = _coerce(raw, kind)
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_numpy(
+        cls,
+        name: str,
+        data: np.ndarray,
+        missing: np.ndarray | None = None,
+        kind: ColumnKind | str | None = None,
+    ) -> "Column":
+        """Wrap pre-coerced numpy storage without re-inferring types."""
+        col = cls.__new__(cls)
+        col.name = name
+        if kind is None:
+            kind = ColumnKind.NUMERIC if data.dtype.kind == "f" else ColumnKind.STRING
+        col.kind = ColumnKind(kind)
+        col.data = data
+        if missing is None:
+            if data.dtype.kind == "f":
+                missing = np.isnan(data)
+            else:
+                missing = np.array([v is None for v in data], dtype=bool)
+        col.missing = missing
+        return col
+
+    # -- basic protocol --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.data.shape[0])
+
+    def __iter__(self):
+        for value, is_missing in zip(self.data, self.missing):
+            yield None if is_missing else value
+
+    def __getitem__(self, idx: int) -> Any:
+        if self.missing[idx]:
+            return None
+        value = self.data[idx]
+        if self.kind is ColumnKind.NUMERIC:
+            return float(value)
+        return value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        if self.name != other.name or self.kind is not other.kind:
+            return False
+        if len(self) != len(other):
+            return False
+        return list(self) == list(other)
+
+    def __repr__(self) -> str:
+        return (
+            f"Column(name={self.name!r}, kind={self.kind.value}, "
+            f"n={len(self)}, missing={int(self.missing.sum())})"
+        )
+
+    # -- accessors --------------------------------------------------------------
+
+    def to_list(self) -> list[Any]:
+        """Values with missing entries as ``None``."""
+        return list(self)
+
+    def non_missing(self) -> np.ndarray:
+        """All present values, in row order."""
+        return self.data[~self.missing]
+
+    @property
+    def n_missing(self) -> int:
+        return int(self.missing.sum())
+
+    @property
+    def missing_fraction(self) -> float:
+        return float(self.missing.mean()) if len(self) else 0.0
+
+    def unique(self) -> list[Any]:
+        """Distinct non-missing values, in first-seen order."""
+        seen: dict[Any, None] = {}
+        for value in self.non_missing():
+            if self.kind is ColumnKind.NUMERIC:
+                value = float(value)
+            seen.setdefault(value, None)
+        return list(seen)
+
+    def value_counts(self) -> dict[Any, int]:
+        """Counts of distinct non-missing values, most frequent first."""
+        counts: dict[Any, int] = {}
+        for value in self.non_missing():
+            if self.kind is ColumnKind.NUMERIC:
+                value = float(value)
+            counts[value] = counts.get(value, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0]))))
+
+    @property
+    def n_distinct(self) -> int:
+        return len(self.unique())
+
+    # -- transformation ----------------------------------------------------------
+
+    def take(self, indices: Sequence[int] | np.ndarray) -> "Column":
+        idx = np.asarray(indices, dtype=np.intp)
+        return Column.from_numpy(self.name, self.data[idx], self.missing[idx], self.kind)
+
+    def mask_rows(self, keep: np.ndarray) -> "Column":
+        keep = np.asarray(keep, dtype=bool)
+        return Column.from_numpy(self.name, self.data[keep], self.missing[keep], self.kind)
+
+    def renamed(self, name: str) -> "Column":
+        return Column.from_numpy(name, self.data, self.missing, self.kind)
+
+    def copy(self) -> "Column":
+        return Column.from_numpy(self.name, self.data.copy(), self.missing.copy(), self.kind)
+
+    def astype_numeric(self) -> "Column":
+        """Best-effort conversion to a numeric column (unparseable -> missing)."""
+        if self.kind is ColumnKind.NUMERIC:
+            return self.copy()
+        return Column(self.name, list(self), kind=ColumnKind.NUMERIC)
+
+    def astype_string(self) -> "Column":
+        if self.kind is ColumnKind.STRING:
+            return self.copy()
+        values = [None if v is None else _format_value(v) for v in self]
+        return Column(self.name, values, kind=ColumnKind.STRING)
+
+    def fill_missing(self, fill_value: Any) -> "Column":
+        values = [fill_value if v is None else v for v in self]
+        return Column(self.name, values, kind=self.kind)
+
+    def numeric_values(self) -> np.ndarray:
+        """Float array with ``nan`` in missing slots (numeric columns only)."""
+        if self.kind is not ColumnKind.NUMERIC:
+            raise TypeError(f"column {self.name!r} is {self.kind.value}, not numeric")
+        return self.data
+
+
+def _infer_kind(values: list[Any]) -> ColumnKind:
+    saw_bool = saw_number = saw_string = False
+    for value in values:
+        if _is_missing_scalar(value):
+            continue
+        if isinstance(value, bool):
+            saw_bool = True
+        elif isinstance(value, (int, float, np.integer, np.floating)):
+            saw_number = True
+        elif isinstance(value, str):
+            token = value.strip().lower()
+            if token in _TRUE_TOKENS or token in _FALSE_TOKENS:
+                saw_bool = True
+            else:
+                try:
+                    float(value)
+                except ValueError:
+                    saw_string = True
+                else:
+                    saw_number = True
+        else:
+            saw_string = True
+    if saw_string:
+        return ColumnKind.STRING
+    if saw_number:
+        return ColumnKind.NUMERIC
+    if saw_bool:
+        return ColumnKind.BOOLEAN
+    return ColumnKind.STRING
+
+
+def _coerce(values: list[Any], kind: ColumnKind) -> tuple[np.ndarray, np.ndarray]:
+    n = len(values)
+    missing = np.zeros(n, dtype=bool)
+    if kind is ColumnKind.NUMERIC:
+        data = np.empty(n, dtype=np.float64)
+        for i, value in enumerate(values):
+            if _is_missing_scalar(value):
+                data[i] = np.nan
+                missing[i] = True
+                continue
+            try:
+                data[i] = float(value)
+            except (TypeError, ValueError):
+                data[i] = np.nan
+                missing[i] = True
+        return data, missing
+    data = np.empty(n, dtype=object)
+    for i, value in enumerate(values):
+        if _is_missing_scalar(value):
+            data[i] = None
+            missing[i] = True
+        elif kind is ColumnKind.BOOLEAN:
+            data[i] = _to_bool(value)
+        else:
+            data[i] = _format_value(value)
+    return data, missing
+
+
+def _to_bool(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return bool(value)
+    token = str(value).strip().lower()
+    if token in _TRUE_TOKENS:
+        return True
+    if token in _FALSE_TOKENS:
+        return False
+    raise ValueError(f"cannot interpret {value!r} as boolean")
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (float, np.floating)):
+        as_float = float(value)
+        if as_float.is_integer():
+            return str(int(as_float))
+        return repr(as_float)
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)

@@ -1,0 +1,93 @@
+"""CSV reading/writing with delimiter sniffing and type inference.
+
+CatDB encodes the file path, format and delimiter of a dataset into its
+prompts so the generated pipeline can load data without exploration (paper
+Section 4.1).  This module is the substrate behind that: a small, strict
+CSV layer over :class:`repro.table.Table`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import Any, Sequence
+
+from repro.table.column import Column
+from repro.table.table import Table
+
+__all__ = ["read_csv", "write_csv", "sniff_delimiter"]
+
+_CANDIDATE_DELIMITERS = (",", ";", "\t", "|")
+
+
+def sniff_delimiter(sample: str) -> str:
+    """Pick the delimiter that yields the most consistent column count."""
+    lines = [line for line in sample.splitlines() if line.strip()][:20]
+    if not lines:
+        return ","
+    best, best_score = ",", -1.0
+    for delim in _CANDIDATE_DELIMITERS:
+        counts = [line.count(delim) for line in lines]
+        if max(counts) == 0:
+            continue
+        mean = sum(counts) / len(counts)
+        variance = sum((c - mean) ** 2 for c in counts) / len(counts)
+        score = mean - variance
+        if score > best_score:
+            best, best_score = delim, score
+    return best
+
+
+def read_csv(
+    path: str | os.PathLike[str],
+    delimiter: str | None = None,
+    name: str | None = None,
+) -> Table:
+    """Read a CSV file into a :class:`Table` with inferred column types."""
+    with open(path, "r", newline="", encoding="utf-8") as handle:
+        text = handle.read()
+    if delimiter is None:
+        delimiter = sniff_delimiter(text[:8192])
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    rows = list(reader)
+    if not rows:
+        return Table(name=name or _default_name(path))
+    header = [h.strip() for h in rows[0]]
+    body = rows[1:]
+    columns = []
+    for i, col_name in enumerate(header):
+        values = [row[i] if i < len(row) else None for row in body]
+        columns.append(Column(col_name, values))
+    return Table(columns, name=name or _default_name(path))
+
+
+def write_csv(
+    table: Table,
+    path: str | os.PathLike[str],
+    delimiter: str = ",",
+    columns: Sequence[str] | None = None,
+) -> None:
+    """Write a :class:`Table` to CSV; missing values become empty cells."""
+    names = list(columns) if columns is not None else table.column_names
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(names)
+        cols = [table[n] for n in names]
+        for i in range(table.n_rows):
+            writer.writerow([_cell(col[i]) for col in cols])
+
+
+def _cell(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def _default_name(path: str | os.PathLike[str]) -> str:
+    base = os.path.basename(os.fspath(path))
+    return os.path.splitext(base)[0] or "table"

@@ -1,0 +1,98 @@
+"""Relational helpers over :class:`~repro.table.Table`.
+
+Small set of operations the dataset generators, cleaners, and generated
+pipelines rely on: sorting, group-by aggregation, and duplicate removal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.table.table import Table
+
+__all__ = [
+    "sort_by",
+    "group_by",
+    "drop_duplicate_rows",
+    "drop_missing_rows",
+    "stack_tables",
+]
+
+
+def drop_missing_rows(table: Table, subset: Sequence[str] | None = None) -> Table:
+    """Drop every row with a missing value in ``subset`` (default: all columns)."""
+    names = list(subset) if subset is not None else table.column_names
+    keep = np.ones(table.n_rows, dtype=bool)
+    for name in names:
+        keep &= ~table[name].missing
+    return table.filter_mask(keep)
+
+
+def sort_by(table: Table, name: str, descending: bool = False) -> Table:
+    """Stable sort by one column; missing values sort last."""
+    col = table[name]
+    keys = []
+    for i in range(table.n_rows):
+        value = col[i]
+        keys.append((value is None, value if value is not None else 0, i))
+    order = sorted(range(table.n_rows), key=lambda i: keys[i], reverse=descending)
+    if descending:
+        # keep missing values last even when descending
+        order = [i for i in order if col[i] is not None] + [
+            i for i in order if col[i] is None
+        ]
+    return table.take(np.asarray(order, dtype=np.intp))
+
+
+def group_by(
+    table: Table,
+    key: str,
+    aggregations: Mapping[str, tuple[str, Callable[[list[Any]], Any]]],
+) -> Table:
+    """Group rows by ``key`` and aggregate.
+
+    ``aggregations`` maps output column name to ``(input column, fn)`` where
+    ``fn`` receives the list of non-missing values of that group.
+    """
+    groups: dict[Any, list[int]] = {}
+    key_col = table[key]
+    for i in range(table.n_rows):
+        groups.setdefault(key_col[i], []).append(i)
+    out: dict[str, list[Any]] = {key: []}
+    for out_name in aggregations:
+        out[out_name] = []
+    for group_key, indices in groups.items():
+        out[key].append(group_key)
+        for out_name, (in_name, fn) in aggregations.items():
+            source = table[in_name]
+            values = [source[i] for i in indices if source[i] is not None]
+            out[out_name].append(fn(values) if values else None)
+    return Table.from_dict(out, name=table.name)
+
+
+def drop_duplicate_rows(table: Table, subset: Sequence[str] | None = None) -> Table:
+    """Keep the first occurrence of each distinct row (or ``subset`` of columns)."""
+    names = list(subset) if subset is not None else table.column_names
+    cols = [table[n] for n in names]
+    seen: set[tuple[Any, ...]] = set()
+    keep: list[int] = []
+    for i in range(table.n_rows):
+        signature = tuple(col[i] for col in cols)
+        if signature in seen:
+            continue
+        seen.add(signature)
+        keep.append(i)
+    return table.take(np.asarray(keep, dtype=np.intp))
+
+
+def stack_tables(tables: Sequence[Table], name: str = "stacked") -> Table:
+    """Vertically concatenate tables with identical schemas."""
+    if not tables:
+        return Table(name=name)
+    result = tables[0]
+    for other in tables[1:]:
+        result = result.concat_rows(other)
+    result.name = name
+    return result

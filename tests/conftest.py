@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.profiler import profile_table
+from repro.table.table import Table
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def small_classification_table(rng) -> Table:
+    """300 rows, informative numerics + categorical + missing values."""
+    n = 300
+    x1 = rng.normal(size=n)
+    x2 = rng.normal(size=n)
+    score = x1 + 0.5 * x2 + rng.normal(scale=0.3, size=n)
+    label = np.where(score > 0, "yes", "no")
+    cat = np.where(x2 > 0, "A", "B")
+    x1 = x1.copy()
+    x1[rng.choice(n, 20, replace=False)] = np.nan
+    return Table.from_dict(
+        {"x1": x1, "x2": x2, "cat": cat, "label": label}, name="clf"
+    )
+
+
+@pytest.fixture
+def small_regression_table(rng) -> Table:
+    n = 250
+    x1 = rng.normal(size=n)
+    x2 = rng.normal(size=n)
+    y = 3 * x1 - 2 * x2 + rng.normal(scale=0.2, size=n)
+    return Table.from_dict(
+        {"x1": x1, "x2": x2, "grp": np.where(x1 > 0, "hi", "lo"), "y": y},
+        name="reg",
+    )
+
+
+@pytest.fixture
+def classification_catalog(small_classification_table):
+    return profile_table(
+        small_classification_table, target="label", task_type="binary"
+    )
+
+
+@pytest.fixture
+def regression_catalog(small_regression_table):
+    return profile_table(
+        small_regression_table, target="y", task_type="regression"
+    )
+
+
+@pytest.fixture
+def salary_table(rng) -> Table:
+    """Figure 1/3-style dirty table: composite, list, messy categoricals."""
+    n = 200
+    exp = rng.choice(
+        ["1 year", "2 years", "12 Months", "two years", "3 years"], size=n
+    ).tolist()
+    gender = rng.choice(["F", "Female", "M", "Male"], size=n).tolist()
+    skills = [
+        ", ".join(rng.choice(["Python", "Java", "C++", "SQL"],
+                             size=rng.integers(1, 4), replace=False))
+        for _ in range(n)
+    ]
+    addr = [f"{rng.integers(1000, 9999)} " + rng.choice(["CA", "TX", "NY"])
+            for _ in range(n)]
+    x = rng.normal(size=n)
+    salary = 100 + 50 * x + rng.normal(scale=10, size=n)
+    return Table.from_dict(
+        {"Experience": exp, "Gender": gender, "Skills": skills,
+         "Address": addr, "Score": x, "Salary": salary},
+        name="salary",
+    )

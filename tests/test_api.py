@@ -1,0 +1,116 @@
+"""Tests for the paper-style user API (Section 2)."""
+
+import pytest
+
+from repro.api import LLM, catdb_collect, catdb_pipgen, catdb_refine
+from repro.catalog.catalog import DataCatalog
+from repro.llm.mock import MockLLM
+from repro.table.io_csv import write_csv
+
+
+class TestLLMFactory:
+    def test_returns_mock_with_profile(self):
+        llm = LLM("gemini-1.5")
+        assert isinstance(llm, MockLLM)
+        assert llm.model == "gemini-1.5"
+
+    def test_config_seed_and_faults(self):
+        llm = LLM("gpt-4o", config={"seed": 7, "fault_injection": False})
+        assert llm.seed == 7
+        assert llm.fault_injection is False
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            LLM("gpt-9")
+
+
+class TestCatdbCollect:
+    def test_from_table(self, small_classification_table):
+        md = catdb_collect(small_classification_table, target="label",
+                           task_type="binary")
+        assert isinstance(md, DataCatalog)
+        assert md.info.target == "label"
+
+    def test_from_mapping(self, small_classification_table):
+        md = catdb_collect({
+            "data": small_classification_table,
+            "target": "label", "task_type": "binary",
+        })
+        assert md.info.task_type == "binary"
+
+    def test_from_csv_path(self, small_classification_table, tmp_path):
+        path = tmp_path / "d.csv"
+        write_csv(small_classification_table, path)
+        md = catdb_collect(str(path), target="label", task_type="binary")
+        assert md.info.n_rows == small_classification_table.n_rows
+
+    def test_requires_target_and_task(self, small_classification_table):
+        with pytest.raises(ValueError):
+            catdb_collect(small_classification_table)
+
+    def test_multi_table_with_join_plan(self, small_classification_table):
+        from repro.table.table import Table
+
+        fact = Table.from_dict({"k": [0, 1] * 20, "y": ["a", "b"] * 20}, name="fact")
+        dim = Table.from_dict({"k": [0, 1], "v": [1.0, 2.0]}, name="dim")
+        md = catdb_collect([fact, dim], target="y", task_type="binary",
+                           join_plan=[("fact", "dim", "k")])
+        assert "v" in md
+
+
+class TestCatdbPipgen:
+    def test_end_to_end_classification(self, small_classification_table):
+        md = catdb_collect(small_classification_table, target="label",
+                           task_type="binary")
+        llm = LLM("gpt-4o", config={"fault_injection": False})
+        P = catdb_pipgen(md, llm, data=small_classification_table)
+        assert P.success
+        assert "test_auc" in P.results
+        assert "def run_pipeline" in P.code
+
+    def test_explicit_train_test(self, small_classification_table):
+        from repro.ml.model_selection import train_test_split
+
+        md = catdb_collect(small_classification_table, target="label",
+                           task_type="binary")
+        train, test = train_test_split(small_classification_table,
+                                       test_size=0.3, random_state=0)
+        llm = LLM("gpt-4o", config={"fault_injection": False})
+        P = catdb_pipgen(md, llm, train=train, test=test)
+        assert P.success
+
+    def test_missing_data_arguments(self, classification_catalog):
+        with pytest.raises(ValueError):
+            catdb_pipgen(classification_catalog, LLM("gpt-4o"))
+
+    def test_chain_variant(self, small_classification_table):
+        md = catdb_collect(small_classification_table, target="label",
+                           task_type="binary")
+        llm = LLM("gpt-4o", config={"fault_injection": False})
+        P = catdb_pipgen(md, llm, data=small_classification_table, beta=2)
+        assert P.success
+        assert P.report.variant == "catdb-chain"
+
+    def test_refine_pipeline_on_dirty_data(self, salary_table):
+        md = catdb_collect(salary_table, target="Salary", task_type="regression")
+        llm = LLM("gemini-1.5", config={"fault_injection": False})
+        P = catdb_pipgen(md, llm, data=salary_table, refine=True)
+        assert P.success
+        assert P.refinement is not None
+        assert P.refinement.n_refined_columns >= 3
+        assert "test_r2" in P.results
+
+    def test_refined_code_uses_split_columns(self, salary_table):
+        md = catdb_collect(salary_table, target="Salary", task_type="regression")
+        llm = LLM("gemini-1.5", config={"fault_injection": False})
+        P = catdb_pipgen(md, llm, data=salary_table, refine=True)
+        assert "State" in P.code or "Zip" in P.code
+
+
+class TestCatdbRefine:
+    def test_standalone_refine(self, salary_table):
+        md = catdb_collect(salary_table, target="Salary", task_type="regression")
+        llm = LLM("gemini-1.5", config={"fault_injection": False})
+        result = catdb_refine(salary_table, md, llm)
+        assert result.table is not salary_table
+        assert result.operations

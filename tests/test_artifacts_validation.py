@@ -1,0 +1,144 @@
+"""Tests for the artifact store, expectation suites, and feature importances."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.catalog.validation import Expectation, ExpectationSuite
+from repro.datasets.corruption import inject_missing_values, inject_outliers
+from repro.generation.artifacts import ArtifactStore
+from repro.generation.generator import CatDB
+from repro.llm.mock import MockLLM
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.model_selection import train_test_split
+from repro.table.table import Table
+
+
+class TestArtifactStore:
+    @pytest.fixture
+    def report(self, small_classification_table, classification_catalog):
+        train, test = train_test_split(
+            small_classification_table, test_size=0.3, random_state=0
+        )
+        generator = CatDB(MockLLM("gpt-4o", fault_injection=False))
+        return generator.generate(train, test, classification_catalog)
+
+    def test_save_writes_three_files(self, tmp_path, report,
+                                     classification_catalog):
+        store = ArtifactStore(tmp_path)
+        artifact = store.save(report, catalog=classification_catalog)
+        assert artifact.pipeline_path.exists()
+        assert artifact.report_path.exists()
+        assert artifact.catalog_path is not None and artifact.catalog_path.exists()
+
+    def test_saved_pipeline_is_the_code(self, tmp_path, report):
+        store = ArtifactStore(tmp_path)
+        artifact = store.save(report)
+        assert store.load_pipeline(artifact) == report.code
+
+    def test_report_payload_fields(self, tmp_path, report):
+        store = ArtifactStore(tmp_path)
+        artifact = store.save(report)
+        payload = store.load_report(artifact)
+        assert payload["success"] is True
+        assert payload["tokens"]["total"] == report.total_tokens
+        assert payload["interactions"]["gamma"] == report.cost.gamma
+        assert "test_auc" in payload["metrics"]
+
+    def test_list_runs(self, tmp_path, report):
+        store = ArtifactStore(tmp_path)
+        store.save(report)
+        store.save(report)
+        assert len(store.list_runs()) == 2
+        assert len(store.list_runs(dataset=report.dataset)) == 2
+        assert store.list_runs(dataset="nonexistent") == []
+
+    def test_custom_run_id_slugged(self, tmp_path, report):
+        store = ArtifactStore(tmp_path)
+        artifact = store.save(report, run_id="exp/1: baseline!")
+        assert "/" not in artifact.directory.name
+
+
+class TestExpectationSuite:
+    @pytest.fixture
+    def suite(self, classification_catalog):
+        return ExpectationSuite.from_catalog(classification_catalog)
+
+    def test_clean_data_passes(self, suite, small_classification_table):
+        report = suite.validate(small_classification_table)
+        assert report.ok, report.render()
+        assert report.n_checked > 0
+
+    def test_missing_column_fails(self, suite, small_classification_table):
+        report = suite.validate(small_classification_table.drop("x2"))
+        assert not report.ok
+        assert any("absent" in reason for _e, reason in report.failed)
+
+    def test_type_drift_fails(self, suite, small_classification_table):
+        drifted = small_classification_table.copy()
+        drifted.set_column(drifted["x2"].astype_string())
+        report = suite.validate(drifted)
+        assert any(e.kind == "type" for e, _r in report.failed)
+
+    def test_out_of_range_outliers_fail(self, suite, small_classification_table):
+        corrupted = inject_outliers(
+            small_classification_table, "label", 0.10, magnitude=50, seed=0
+        )
+        report = suite.validate(corrupted)
+        assert any(e.kind == "range" for e, _r in report.failed)
+
+    def test_missing_explosion_fails(self, suite, small_classification_table):
+        corrupted = inject_missing_values(
+            small_classification_table, "label", 0.5, seed=0
+        )
+        report = suite.validate(corrupted)
+        assert any(e.kind == "missing_rate" for e, _r in report.failed)
+
+    def test_novel_categories_fail(self, suite, small_classification_table):
+        drifted = small_classification_table.copy()
+        values = ["Z" if i % 3 == 0 else v
+                  for i, v in enumerate(drifted["cat"])]
+        from repro.table.column import Column
+
+        drifted.set_column(Column("cat", values))
+        report = suite.validate(drifted)
+        assert any(e.kind == "categories" for e, _r in report.failed)
+
+    def test_describe_all_kinds(self, suite):
+        descriptions = [e.describe() for e in suite.expectations]
+        assert all(isinstance(d, str) and d for d in descriptions)
+
+    def test_render_mentions_failures(self, suite, small_classification_table):
+        report = suite.validate(small_classification_table.drop("x1"))
+        assert "FAIL" in report.render()
+
+    def test_unknown_kind_rejected(self, small_classification_table):
+        suite = ExpectationSuite([Expectation("x1", "entropy")])
+        with pytest.raises(ValueError):
+            suite.validate(small_classification_table)
+
+
+class TestFeatureImportances:
+    def test_classifier_finds_signal_feature(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(400, 6))
+        y = np.where(X[:, 4] > 0, "a", "b")
+        forest = RandomForestClassifier(n_estimators=12, max_depth=6).fit(X, y)
+        importances = forest.feature_importances_
+        assert importances.argmax() == 4
+        assert importances.sum() == pytest.approx(1.0)
+
+    def test_regressor_importances(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(300, 4))
+        y = 5 * X[:, 1] + 0.1 * rng.normal(size=300)
+        forest = RandomForestRegressor(n_estimators=10, max_depth=6).fit(X, y)
+        assert forest.feature_importances_.argmax() == 1
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(100, 3))
+        y = np.where(X[:, 0] > 0, "p", "n")
+        forest = RandomForestClassifier(n_estimators=5, max_depth=4).fit(X, y)
+        assert (forest.feature_importances_ >= 0).all()

@@ -1,0 +1,53 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.experiments.ascii_plot import bar_chart, series_plot
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        out = bar_chart(["catdb", "flaml"], [0.9, 0.45], title="AUC")
+        lines = out.splitlines()
+        assert lines[0] == "AUC"
+        assert lines[1].startswith("catdb")
+        assert "0.9" in lines[1]
+
+    def test_longest_bar_is_max(self):
+        out = bar_chart(["a", "bb"], [1.0, 0.5])
+        bar_a = out.splitlines()[0].split("|")[1]
+        bar_b = out.splitlines()[1].split("|")[1]
+        assert bar_a.count("█") > bar_b.count("█")
+
+    def test_empty(self):
+        assert bar_chart([], [], title="t") == "t"
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+
+    def test_zero_values_ok(self):
+        out = bar_chart(["a"], [0.0])
+        assert "0.0" in out
+
+
+class TestSeriesPlot:
+    def test_markers_present(self):
+        out = series_plot(
+            [0, 1, 2],
+            {"catdb": [0.9, 0.88, 0.85], "flaml": [0.9, 0.7, 0.5]},
+        )
+        assert "C" in out and "F" in out
+        assert "C=catdb" in out
+
+    def test_none_values_skipped(self):
+        out = series_plot([0, 1], {"x": [None, 1.0]})
+        # one plotted marker plus the legend entry
+        assert out.count("X") == 2
+
+    def test_empty_series(self):
+        assert series_plot([0], {"x": [None]}, title="t") == "t"
+
+    def test_constant_series_no_crash(self):
+        out = series_plot([0, 1], {"k": [1.0, 1.0]})
+        assert "K" in out

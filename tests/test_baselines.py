@@ -1,0 +1,288 @@
+"""Tests for AutoML tools, LLM baselines, cleaning, and augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.aide import AIDEBaseline
+from repro.baselines.autogen import AutoGenBaseline
+from repro.baselines.augmentation import adasyn_like, imbalanced_regression_resample
+from repro.baselines.automl import AutoGluonLike, AutoSklearnLike, FlamlLike, H2OLike
+from repro.baselines.caafe import CAAFEBaseline
+from repro.baselines.cleaning import (
+    CLEANING_PRIMITIVES,
+    Learn2CleanLike,
+    SagaLike,
+)
+from repro.llm.mock import MockLLM
+from repro.ml.model_selection import train_test_split
+from repro.table.table import Table
+
+
+@pytest.fixture(scope="module")
+def clf_split():
+    rng = np.random.default_rng(0)
+    n = 300
+    x1 = rng.normal(size=n)
+    x2 = rng.normal(size=n)
+    t = Table.from_dict({
+        "x1": x1, "x2": x2, "cat": np.where(x2 > 0, "A", "B"),
+        "y": np.where(x1 + 0.5 * x2 > 0, "p", "n"),
+    }, name="clf")
+    labels = [str(v) for v in t["y"]]
+    return train_test_split(t, test_size=0.3, random_state=0, stratify=labels)
+
+
+@pytest.fixture(scope="module")
+def reg_split():
+    rng = np.random.default_rng(1)
+    n = 300
+    x1 = rng.normal(size=n)
+    x2 = rng.normal(size=n)
+    t = Table.from_dict({
+        "x1": x1, "x2": x2,
+        "y": 3 * x1 - x2 + 0.2 * rng.normal(size=n),
+    }, name="reg")
+    return train_test_split(t, test_size=0.3, random_state=0)
+
+
+class TestAutoMLTools:
+    @pytest.mark.parametrize("tool_cls", [H2OLike, FlamlLike, AutoGluonLike])
+    def test_classification_succeeds(self, tool_cls, clf_split):
+        train, test = clf_split
+        report = tool_cls(time_budget_seconds=6).run(train, test, "y", "binary")
+        assert report.success, report.failure_reason
+        assert report.metrics["test_auc"] > 0.8
+        assert report.details["n_evaluated"] >= 1
+
+    @pytest.mark.parametrize("tool_cls", [FlamlLike, AutoGluonLike, AutoSklearnLike])
+    def test_regression_succeeds(self, tool_cls, reg_split):
+        train, test = reg_split
+        report = tool_cls(time_budget_seconds=6).run(train, test, "y", "regression")
+        assert report.success, report.failure_reason
+        assert report.metrics["test_r2"] > 0.8
+
+    def test_autosklearn_times_out_on_classification_small_budget(self, clf_split):
+        train, test = clf_split
+        report = AutoSklearnLike(time_budget_seconds=5).run(train, test, "y", "binary")
+        assert not report.success
+        assert report.failure_reason == "TO"
+
+    def test_oom_on_paper_scale(self, clf_split):
+        train, test = clf_split
+        report = AutoSklearnLike(time_budget_seconds=30).run(
+            train, test, "y", "binary",
+            meta={"paper_cells": 30_000_000 * 15},  # IMDB-scale
+        )
+        assert report.failure_reason == "OOM"
+
+    def test_h2o_rejects_high_cardinality_regression(self, reg_split):
+        train, test = reg_split
+        report = H2OLike(time_budget_seconds=6).run(train, test, "y", "regression")
+        assert not report.success
+        assert "No trained models" in report.failure_reason or "N/A" in report.failure_reason
+
+    def test_flaml_cheap_first_ordering(self):
+        tool = FlamlLike(time_budget_seconds=5)
+        ordered = tool.search_order(tool.portfolio("binary", 100, 5))
+        costs = [c.cost_rank for c in ordered]
+        assert costs == sorted(costs)
+
+    def test_leaderboard_sorted(self, clf_split):
+        train, test = clf_split
+        report = FlamlLike(time_budget_seconds=6).run(train, test, "y", "binary")
+        scores = [s for _n, s in report.details["leaderboard"]]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestCAAFE:
+    def test_tabpfn_small_data(self, clf_split):
+        train, test = clf_split
+        report = CAAFEBaseline(MockLLM("gpt-4o"), model="tabpfn").run(
+            train, test, "y", "binary"
+        )
+        assert report.success
+        assert report.total_tokens > 0
+        assert report.n_llm_requests >= 1
+
+    def test_tabpfn_oom_at_paper_scale(self, clf_split):
+        train, test = clf_split
+        report = CAAFEBaseline(MockLLM("gpt-4o"), model="tabpfn").run(
+            train, test, "y", "binary",
+            meta={"paper_rows": 229_907},  # Yelp-scale
+        )
+        assert not report.success
+        assert report.failure_reason == "OOM"
+
+    def test_tabpfn_subsamples_beyond_its_training_limit(self):
+        rng = np.random.default_rng(0)
+        n = 2500
+        x = rng.normal(size=n)
+        t = Table.from_dict({
+            "x": x, "y": np.where(x > 0, "a", "b"),
+        }, name="big")
+        train, test = train_test_split(t, test_size=0.3, random_state=0)
+        report = CAAFEBaseline(MockLLM("gpt-4o"), model="tabpfn").run(
+            train, test, "y", "binary"
+        )
+        # in-process rows exceed 1000, but CAAFE feeds TabPFN a subsample
+        assert report.success
+        assert report.metrics["test_accuracy"] > 0.8
+
+    def test_rforest_scales_past_tabpfn_limits(self):
+        rng = np.random.default_rng(0)
+        n = 1600
+        x = rng.normal(size=n)
+        t = Table.from_dict({
+            "x": x, "y": np.where(x > 0, "a", "b"),
+        }, name="big")
+        train, test = train_test_split(t, test_size=0.3, random_state=0)
+        report = CAAFEBaseline(MockLLM("gpt-4o"), model="rforest").run(
+            train, test, "y", "binary"
+        )
+        assert report.success
+
+    def test_regression_unsupported(self, reg_split):
+        train, test = reg_split
+        report = CAAFEBaseline(MockLLM("gpt-4o")).run(train, test, "y", "regression")
+        assert not report.success
+        assert "regression" in report.failure_reason
+
+    def test_invalid_model_name(self):
+        with pytest.raises(ValueError):
+            CAAFEBaseline(MockLLM("gpt-4o"), model="xgboost")
+
+
+class TestAIDEAndAutoGen:
+    def test_aide_succeeds_eventually(self, clf_split):
+        train, test = clf_split
+        report = AIDEBaseline(MockLLM("gpt-4o", seed=0), max_retries=6).run(
+            train, test, "y", "binary"
+        )
+        assert report.success
+        assert report.details["attempts"] >= 1
+
+    def test_aide_token_accounting(self, clf_split):
+        train, test = clf_split
+        llm = MockLLM("gpt-4o", seed=0)
+        report = AIDEBaseline(llm, max_retries=4).run(train, test, "y", "binary")
+        assert report.total_tokens == llm.usage.total_tokens
+
+    def test_aide_can_fail_with_zero_retries_budget(self, clf_split):
+        train, test = clf_split
+        # max_retries=1 with an error-prone profile fails at least sometimes
+        failures = 0
+        for seed in range(8):
+            report = AIDEBaseline(
+                MockLLM("llama3.1-70b", seed=seed), max_retries=1
+            ).run(train, test, "y", "binary")
+            failures += 0 if report.success else 1
+        assert failures >= 1
+
+    def test_autogen_succeeds(self, clf_split):
+        train, test = clf_split
+        report = AutoGenBaseline(MockLLM("gemini-1.5", seed=0)).run(
+            train, test, "y", "binary"
+        )
+        assert report.success
+        assert report.details["rounds"] >= 1
+
+    def test_autogen_overhead_tokens_exceed_plain_prompt(self, clf_split):
+        train, test = clf_split
+        llm = MockLLM("gpt-4o", seed=0)
+        report = AutoGenBaseline(llm).run(train, test, "y", "binary")
+        assert report.prompt_tokens > llm.usage.prompt_tokens  # includes overhead
+
+
+class TestCleaningPrimitives:
+    def test_all_eight_primitives_registered(self):
+        assert set(CLEANING_PRIMITIVES) == {
+            "DS", "ED", "AD", "IQR", "LOF", "EM", "MEDIAN", "DROP"
+        }
+
+    def test_median_impute_fills_everything(self):
+        t = Table.from_dict({"a": [1.0, None, 3.0], "b": ["x", None, "x"],
+                             "y": [1, 2, 3]})
+        out = CLEANING_PRIMITIVES["MEDIAN"](t, "y")
+        assert out.missing_cells() == 0
+
+    def test_drop_removes_incomplete_rows(self):
+        t = Table.from_dict({"a": [1.0, None] * 10, "y": list(range(20))})
+        out = CLEANING_PRIMITIVES["DROP"](t, "y")
+        assert out.n_rows == 10
+
+    def test_iqr_removes_outlier_rows(self):
+        values = [1.0] * 30 + [1000.0]
+        t = Table.from_dict({"a": values, "y": list(range(31))})
+        out = CLEANING_PRIMITIVES["IQR"](t, "y")
+        assert out.n_rows == 30
+
+    def test_ds_scales_into_unit_range(self):
+        t = Table.from_dict({"a": [100.0, 5000.0], "y": [1, 2]})
+        out = CLEANING_PRIMITIVES["DS"](t, "y")
+        assert np.abs(out["a"].non_missing()).max() <= 1.0
+
+    def test_ed_drops_exact_duplicates(self):
+        t = Table.from_dict({"a": [1, 1, 2], "y": [5, 5, 6]})
+        assert CLEANING_PRIMITIVES["ED"](t, "y").n_rows == 2
+
+    def test_em_removes_numeric_missing(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=50)
+        a[:5] = np.nan
+        t = Table.from_dict({"a": a, "b": rng.normal(size=50), "y": range(50)})
+        out = CLEANING_PRIMITIVES["EM"](t, "y")
+        assert out["a"].n_missing == 0
+
+    def test_target_never_touched(self):
+        t = Table.from_dict({"a": [1.0, 2.0], "y": [1000.0, -1000.0]})
+        out = CLEANING_PRIMITIVES["DS"](t, "y")
+        assert out["y"].to_list() == [1000.0, -1000.0]
+
+
+class TestCleaningSearch:
+    def test_saga_returns_pipeline(self, clf_split):
+        train, _ = clf_split
+        report = SagaLike(generations=1, population=3).clean(train, "y", "binary")
+        assert report.success
+        assert report.cleaned is not None
+
+    def test_learn2clean_greedy(self, reg_split):
+        train, _ = reg_split
+        report = Learn2CleanLike(max_steps=2).clean(train, "y", "regression")
+        assert report.success
+
+    def test_learn2clean_fails_without_continuous_columns(self):
+        t = Table.from_dict({
+            "c1": ["a", "b"] * 20, "c2": ["x", "y"] * 20, "y": ["p", "n"] * 20,
+        })
+        report = Learn2CleanLike().clean(t, "y", "multiclass")
+        assert not report.success
+        assert "continuous" in report.failure_reason
+
+
+class TestAugmentation:
+    def test_adasyn_balances_table(self):
+        rng = np.random.default_rng(0)
+        n = 80
+        t = Table.from_dict({
+            "x1": rng.normal(size=n), "x2": rng.normal(size=n),
+            "y": ["maj"] * 70 + ["min"] * 10,
+        })
+        out = adasyn_like(t, "y", seed=0)
+        counts = out["y"].value_counts()
+        assert counts["min"] == counts["maj"]
+
+    def test_adasyn_single_class_noop(self):
+        t = Table.from_dict({"x": [1.0, 2.0], "y": ["a", "a"]})
+        assert adasyn_like(t, "y").n_rows == 2
+
+    def test_regression_resample_adds_tail_rows(self):
+        rng = np.random.default_rng(0)
+        y = rng.normal(size=100)
+        t = Table.from_dict({"x": rng.normal(size=100), "y": y})
+        out = imbalanced_regression_resample(t, "y", seed=0)
+        assert out.n_rows > 100
+
+    def test_regression_resample_small_noop(self):
+        t = Table.from_dict({"x": [1.0] * 5, "y": [1.0] * 5})
+        assert imbalanced_regression_resample(t, "y").n_rows == 5

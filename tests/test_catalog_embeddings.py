@@ -1,0 +1,122 @@
+"""Tests for column embeddings and derived dependency metadata."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.embeddings import (
+    EMBEDDING_DIM,
+    column_correlation,
+    column_embedding,
+    cosine_similarity,
+    find_inclusion_dependencies,
+    inclusion_coefficient,
+    pairwise_similarities,
+)
+from repro.table.column import Column
+from repro.table.table import Table
+
+
+class TestEmbeddings:
+    def test_dimension_and_norm(self):
+        vec = column_embedding(Column("a", ["x", "y", "z"]))
+        assert vec.shape == (EMBEDDING_DIM,)
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        a = column_embedding(Column("a", ["x", "y"]))
+        b = column_embedding(Column("b", ["x", "y"]))
+        assert (a == b).all()
+
+    def test_identical_value_sets_similar(self):
+        a = column_embedding(Column("a", ["p", "q", "r"] * 10))
+        b = column_embedding(Column("b", ["p", "q", "r"] * 10))
+        assert cosine_similarity(a, b) == pytest.approx(1.0)
+
+    def test_disjoint_values_dissimilar(self):
+        a = column_embedding(Column("a", [f"u{i}" for i in range(50)]))
+        b = column_embedding(Column("b", [f"v{i}" for i in range(50)]))
+        assert cosine_similarity(a, b) < 0.5
+
+    def test_all_missing_zero_vector(self):
+        vec = column_embedding(Column("a", [None, None]))
+        assert np.linalg.norm(vec) == 0.0
+
+    def test_numeric_canonical_tokens(self):
+        a = column_embedding(Column("a", [1.0, 2.0]))
+        b = column_embedding(Column("b", ["1", "2"], kind="string"))
+        assert cosine_similarity(a, b) == pytest.approx(1.0)
+
+
+class TestInclusion:
+    def test_subset_detected(self):
+        small = Column("fk", ["a", "b"])
+        big = Column("pk", ["a", "b", "c", "d"])
+        assert inclusion_coefficient(small, big) == 1.0
+        assert inclusion_coefficient(big, small) == 0.5
+
+    def test_empty_candidate(self):
+        assert inclusion_coefficient(Column("a", [None]), Column("b", ["x"])) == 0.0
+
+    def test_find_inclusion_dependencies(self):
+        t = Table.from_dict({
+            "fk": ["a", "b", "a"],
+            "pk": ["a", "b", "c"],
+            "other": ["x", "y", "z"],
+        })
+        deps = find_inclusion_dependencies(t)
+        assert "pk" in deps["fk"]
+        assert "fk" not in deps["pk"]
+
+
+class TestCorrelation:
+    def test_numeric_numeric_perfect(self):
+        a = Column("a", [1, 2, 3, 4])
+        b = Column("b", [2, 4, 6, 8])
+        assert column_correlation(a, b) == pytest.approx(1.0)
+
+    def test_numeric_numeric_independent(self):
+        rng = np.random.default_rng(0)
+        a = Column("a", rng.normal(size=500))
+        b = Column("b", rng.normal(size=500))
+        assert column_correlation(a, b) < 0.15
+
+    def test_categorical_numeric_eta(self):
+        cats = ["lo"] * 50 + ["hi"] * 50
+        values = [0.0] * 50 + [10.0] * 50
+        assert column_correlation(Column("c", cats), Column("v", values)) > 0.95
+
+    def test_categorical_categorical_cramers_v(self):
+        a = Column("a", ["x", "y"] * 50)
+        b = Column("b", ["p", "q"] * 50)  # perfectly associated
+        assert column_correlation(a, b) > 0.95
+
+    def test_missing_rows_dropped_pairwise(self):
+        a = Column("a", [1, 2, None, 4, 5])
+        b = Column("b", [1, 2, 3, None, 5])
+        assert column_correlation(a, b) == pytest.approx(1.0)
+
+    def test_too_few_pairs_zero(self):
+        assert column_correlation(Column("a", [1]), Column("b", [1])) == 0.0
+
+    def test_constant_column_zero(self):
+        a = Column("a", [1, 1, 1, 1])
+        b = Column("b", [1, 2, 3, 4])
+        assert column_correlation(a, b) == 0.0
+
+
+class TestPairwiseSimilarities:
+    def test_threshold_filters(self):
+        t = Table.from_dict({
+            "a": ["x", "y", "z"] * 5,
+            "b": ["x", "y", "z"] * 5,
+            "c": [f"w{i}" for i in range(15)],
+        })
+        sims = pairwise_similarities(t, threshold=0.9)
+        assert any(name == "b" for name, _ in sims["a"])
+        assert all(name != "c" for name, _ in sims["a"])
+
+    def test_symmetric(self):
+        t = Table.from_dict({"a": ["x"] * 5, "b": ["x"] * 5})
+        sims = pairwise_similarities(t, threshold=0.5)
+        assert sims["a"][0][0] == "b"
+        assert sims["b"][0][0] == "a"

@@ -1,0 +1,166 @@
+"""Tests for Algorithm 1 profiling and the DataCatalog store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.catalog.catalog import ColumnProfile, DataCatalog, DatasetInfo
+from repro.catalog.feature_types import FeatureType
+from repro.catalog.profiler import numeric_statistics, profile_dataset, profile_table
+from repro.table.column import Column
+from repro.table.table import Table
+
+
+class TestNumericStatistics:
+    def test_basic_stats(self):
+        col = Column("a", [1.0, 2.0, 3.0, None])
+        stats = numeric_statistics(col)
+        assert stats["min"] == 1.0
+        assert stats["max"] == 3.0
+        assert stats["median"] == 2.0
+
+    def test_empty_column(self):
+        assert numeric_statistics(Column("a", [None], kind="numeric")) == {}
+
+
+class TestProfileTable:
+    def test_target_required(self, small_classification_table):
+        with pytest.raises(KeyError):
+            profile_table(small_classification_table, target="zz", task_type="binary")
+
+    def test_column_coverage(self, classification_catalog):
+        assert set(classification_catalog.column_names) == {"x1", "x2", "cat", "label"}
+
+    def test_numeric_feature_typed(self, classification_catalog):
+        assert classification_catalog["x2"].feature_type is FeatureType.NUMERICAL
+
+    def test_categorical_feature_typed(self, classification_catalog):
+        profile = classification_catalog["cat"]
+        assert profile.feature_type is FeatureType.CATEGORICAL
+        assert set(profile.categorical_values) == {"A", "B"}
+
+    def test_missing_percentage(self, classification_catalog):
+        assert classification_catalog["x1"].missing_percentage == pytest.approx(
+            100 * 20 / 300, abs=0.01
+        )
+
+    def test_target_correlation_orders_features(self, classification_catalog):
+        # x1 drives the label more than the noise-only cat column
+        assert (
+            classification_catalog["x1"].target_correlation
+            > classification_catalog["cat"].target_correlation - 0.3
+        )
+
+    def test_class_counts_recorded_for_categorical_target(self, classification_catalog):
+        target = classification_catalog.target_profile
+        counts = target.statistics.get("class_counts")
+        assert counts is not None and sum(counts) == 300
+
+    def test_categorical_samples_are_all_uniques(self, classification_catalog):
+        profile = classification_catalog["cat"]
+        assert sorted(profile.samples) == sorted(profile.categorical_values)
+
+    def test_numeric_samples_bounded_by_tau(self, small_classification_table):
+        catalog = profile_table(
+            small_classification_table, target="label", task_type="binary", tau_1=5
+        )
+        assert len(catalog["x2"].samples) == 5
+
+    def test_constant_column_detected(self):
+        t = Table.from_dict({"k": ["c"] * 30, "x": range(30), "y": [0, 1] * 15})
+        catalog = profile_table(t, target="y", task_type="binary")
+        assert catalog["k"].feature_type is FeatureType.CONSTANT
+
+    def test_id_column_detected(self):
+        t = Table.from_dict({
+            "id": list(range(100)),
+            "x": np.random.default_rng(0).normal(size=100),
+            "y": [0, 1] * 50,
+        })
+        catalog = profile_table(t, target="y", task_type="binary")
+        assert catalog["id"].feature_type is FeatureType.ID
+
+    def test_without_dependencies_is_faster_path(self, small_classification_table):
+        catalog = profile_table(
+            small_classification_table, target="label", task_type="binary",
+            with_dependencies=False,
+        )
+        assert catalog["x1"].target_correlation == 0.0
+
+
+class TestProfileDataset:
+    def test_multi_table_joined_before_profiling(self):
+        fact = Table.from_dict({"k": [1, 2, 1], "y": ["a", "b", "a"]}, name="fact")
+        dim = Table.from_dict({"k": [1, 2], "v": [10.0, 20.0]}, name="dim")
+        catalog = profile_dataset(
+            [fact, dim], target="y", task_type="binary",
+            join_plan=[("fact", "dim", "k")],
+        )
+        assert "v" in catalog
+        assert catalog.info.n_tables == 2
+
+    def test_single_table(self, small_classification_table):
+        catalog = profile_dataset(
+            [small_classification_table], target="label", task_type="binary"
+        )
+        assert catalog.info.n_tables == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            profile_dataset([], target="y", task_type="binary")
+
+
+class TestDataCatalogStore:
+    def test_subset_keeps_target(self, classification_catalog):
+        sub = classification_catalog.subset(["x1"])
+        assert set(sub.column_names) == {"x1", "label"}
+
+    def test_replace_profile(self, classification_catalog):
+        replacement = ColumnProfile(
+            name="cat2", data_type="string",
+            feature_type=FeatureType.CATEGORICAL, is_categorical=True,
+            distinct_count=1, distinct_percentage=1.0,
+            missing_count=0, missing_percentage=0.0,
+        )
+        classification_catalog.replace("cat", [replacement])
+        assert "cat2" in classification_catalog
+        assert "cat" not in classification_catalog
+
+    def test_replace_unknown_raises(self, classification_catalog):
+        with pytest.raises(KeyError):
+            classification_catalog.replace("zz", [])
+
+    def test_drop(self, classification_catalog):
+        classification_catalog.drop(["x1"])
+        assert "x1" not in classification_catalog
+
+    def test_duplicate_profile_rejected(self):
+        info = DatasetInfo("d", "binary", "y", 1, 1)
+        profile = ColumnProfile(
+            name="y", data_type="string", feature_type=FeatureType.CATEGORICAL,
+            is_categorical=True, distinct_count=2, distinct_percentage=100,
+            missing_count=0, missing_percentage=0,
+        )
+        with pytest.raises(ValueError):
+            DataCatalog(info, [profile, profile])
+
+    def test_json_roundtrip(self, classification_catalog, tmp_path):
+        path = tmp_path / "catalog.json"
+        classification_catalog.save(path)
+        loaded = DataCatalog.load(path)
+        assert loaded.column_names == classification_catalog.column_names
+        assert loaded.info.target == "label"
+        assert loaded["cat"].feature_type is FeatureType.CATEGORICAL
+
+    def test_to_json_valid(self, classification_catalog):
+        parsed = json.loads(classification_catalog.to_json())
+        assert parsed["info"]["name"] == "clf"
+
+    def test_getitem_unknown(self, classification_catalog):
+        with pytest.raises(KeyError):
+            classification_catalog["zz"]
+
+    def test_feature_profiles_exclude_target(self, classification_catalog):
+        names = [p.name for p in classification_catalog.feature_profiles()]
+        assert "label" not in names

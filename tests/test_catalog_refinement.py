@@ -1,0 +1,127 @@
+"""Tests for LLM-assisted catalog refinement (Section 3.2 / Figures 4-5)."""
+
+import pytest
+
+from repro.catalog.feature_types import FeatureType
+from repro.catalog.materialize import (
+    apply_category_mapping,
+    join_multi_table,
+    materialize_refined,
+)
+from repro.catalog.profiler import profile_table
+from repro.catalog.refinement import refine_catalog
+from repro.llm.mock import MockLLM
+from repro.table.table import Table
+
+
+@pytest.fixture
+def llm():
+    return MockLLM("gemini-1.5", fault_injection=False)
+
+
+@pytest.fixture
+def salary_refinement(salary_table, llm):
+    catalog = profile_table(salary_table, target="Salary", task_type="regression")
+    return refine_catalog(salary_table, catalog, llm)
+
+
+class TestRefinementWorkflow:
+    def test_gender_deduplicated(self, salary_refinement):
+        table = salary_refinement.table
+        assert set(table["Gender"].unique()) == {"Female", "Male"}
+
+    def test_experience_normalized(self, salary_refinement):
+        values = set(salary_refinement.table["Experience"].unique())
+        assert "12 Months" not in values
+        assert "1 year" in values
+
+    def test_skills_detected_as_list(self, salary_refinement):
+        profile = salary_refinement.catalog["Skills"]
+        assert profile.feature_type is FeatureType.LIST
+        assert profile.list_delimiter == ","
+
+    def test_address_split_into_state_and_zip(self, salary_refinement):
+        table = salary_refinement.table
+        assert "Address" not in table
+        assert "State" in table and "Zip" in table
+        assert set(table["State"].unique()) <= {"CA", "TX", "NY"}
+
+    def test_distinct_counts_reduced(self, salary_refinement):
+        before = salary_refinement.distinct_before
+        after = salary_refinement.distinct_after
+        assert after["Gender"] < before["Gender"]
+        assert after["Experience"] < before["Experience"]
+
+    def test_operations_logged(self, salary_refinement):
+        ops = {op["column"]: op["op"] for op in salary_refinement.operations}
+        assert ops["Gender"] == "dedupe_categories"
+        assert ops["Skills"] == "list_feature"
+        assert ops["Address"] == "composite_split"
+
+    def test_category_mappings_recorded(self, salary_refinement):
+        mapping = salary_refinement.category_mappings["Gender"]
+        assert mapping["F"] == "Female"
+
+    def test_catalog_refreshed_after_refinement(self, salary_refinement):
+        # refreshed catalog reflects the refined table's schema
+        assert set(salary_refinement.catalog.column_names) == set(
+            salary_refinement.table.column_names
+        )
+
+    def test_constant_column_dropped(self, llm):
+        t = Table.from_dict({
+            "const": ["k"] * 40,
+            "x": range(40),
+            "y": [0.0, 1.0] * 20,
+        })
+        catalog = profile_table(t, target="y", task_type="regression")
+        result = refine_catalog(t, catalog, llm)
+        assert "const" not in result.table
+
+    def test_numeric_strings_converted(self, llm):
+        t = Table.from_dict({
+            "n": [str(i) for i in range(50)],
+            "y": [float(i) for i in range(50)],
+        })
+        # force the profiler to see n as a string column
+        t.set_column(t["n"].astype_string())
+        catalog = profile_table(t, target="y", task_type="regression")
+        result = refine_catalog(t, catalog, llm)
+        assert result.table["n"].kind.value == "numeric"
+
+
+class TestMaterialize:
+    def test_apply_category_mapping(self):
+        t = Table.from_dict({"g": ["F", "Male", None]})
+        out = apply_category_mapping(t, "g", {"F": "Female"})
+        assert out["g"].to_list() == ["Female", "Male", None]
+
+    def test_materialize_refined_applies_all(self):
+        t = Table.from_dict({"g": ["F", "Male"], "drop_me": [1, 2], "keep": [2, 3]})
+        out = materialize_refined(
+            t, {"g": {"F": "Female"}}, drop_columns=["drop_me", "ghost"]
+        )
+        assert out["g"].to_list() == ["Female", "Male"]
+        assert "drop_me" not in out
+
+    def test_join_multi_table_chain(self):
+        fact = Table.from_dict({"a_id": [0, 1], "y": ["p", "q"]}, name="fact")
+        dim_a = Table.from_dict({"a_id": [0, 1], "va": ["x", "y"]}, name="dim_a")
+        dim_b = Table.from_dict({"b_id": [0], "vb": ["z"]}, name="dim_b")
+        fact.set_column(Table.from_dict({"b_id": [0, 0]})["b_id"])
+        joined = join_multi_table(
+            [fact, dim_a, dim_b],
+            [("fact", "dim_a", "a_id"), ("fact", "dim_b", "b_id")],
+        )
+        assert joined.n_rows == 2
+        assert "va" in joined and "vb" in joined
+
+    def test_join_requires_plan_for_multi(self):
+        a = Table.from_dict({"x": [1]}, name="a")
+        b = Table.from_dict({"x": [1]}, name="b")
+        with pytest.raises(ValueError):
+            join_multi_table([a, b], [])
+
+    def test_single_table_passthrough(self):
+        t = Table.from_dict({"x": [1]}, name="only")
+        assert join_multi_table([t], []) is t

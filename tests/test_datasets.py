@@ -1,0 +1,161 @@
+"""Tests for the 20 dataset generators, registry, and corruption injection."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.feature_types import FeatureType
+from repro.datasets.corruption import (
+    inject_missing_values,
+    inject_mixed_errors,
+    inject_outliers,
+)
+from repro.datasets.registry import DATASET_SPECS, list_datasets, load_dataset
+from repro.table.column import ColumnKind
+
+
+class TestRegistry:
+    def test_twenty_datasets(self):
+        assert len(DATASET_SPECS) == 20
+
+    def test_table3_order(self):
+        names = list_datasets()
+        assert names[0] == "wifi"
+        assert names[-1] == "house_sales"
+
+    def test_task_filter(self):
+        regression = list_datasets("regression")
+        assert set(regression) == {"bike_sharing", "utility", "nyc", "house_sales"}
+        assert len(list_datasets("binary")) == 5
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("mnist")
+
+    def test_generator_overrides(self):
+        bundle = load_dataset("diabetes", n=100)
+        assert bundle.unified.n_rows == 100
+
+    def test_scale_factor(self):
+        bundle = load_dataset("imdb", n=1000)
+        assert bundle.scale_factor == pytest.approx(30_530_313 / 1000)
+
+
+@pytest.mark.parametrize("name", list_datasets())
+class TestEveryDataset:
+    def test_loads_and_profiles(self, name):
+        bundle = load_dataset(name, n=200) if name != "wifi" else load_dataset(name)
+        unified = bundle.unified
+        assert unified.n_rows > 50
+        assert bundle.target in unified
+        catalog = bundle.profile()
+        assert catalog.info.task_type == bundle.task_type
+        assert catalog.info.n_tables == len(bundle.tables)
+
+    def test_deterministic(self, name):
+        kwargs = {} if name == "wifi" else {"n": 120}
+        a = load_dataset(name, seed=3, **kwargs).unified
+        b = load_dataset(name, seed=3, **kwargs).unified
+        assert a == b
+
+    def test_seed_changes_data(self, name):
+        kwargs = {} if name == "wifi" else {"n": 120}
+        a = load_dataset(name, seed=0, **kwargs).unified
+        b = load_dataset(name, seed=99, **kwargs).unified
+        assert a != b
+
+
+class TestDatasetCharacteristics:
+    def test_multi_table_counts_match_table3(self):
+        for name, expected in [("imdb", 7), ("accidents", 3), ("financial", 8),
+                               ("airline", 19), ("yelp", 4)]:
+            bundle = load_dataset(name, n=150)
+            assert len(bundle.tables) == expected, name
+
+    def test_wifi_has_constant_column(self):
+        bundle = load_dataset("wifi")
+        catalog = bundle.profile()
+        types = {p.name: p.feature_type for p in catalog.profiles()}
+        assert types["band"] is FeatureType.CONSTANT
+
+    def test_eu_it_target_has_duplicate_spellings(self):
+        bundle = load_dataset("eu_it", n=400)
+        distinct = bundle.unified["position"].n_distinct
+        assert distinct > 12  # 12 clean roles, many dirty variants
+
+    def test_yelp_categories_is_list_feature(self):
+        bundle = load_dataset("yelp", n=400)
+        catalog = bundle.profile()
+        assert catalog["categories"].feature_type is FeatureType.LIST
+
+    def test_cmc_integer_coded_categoricals(self):
+        bundle = load_dataset("cmc", n=400)
+        catalog = bundle.profile()
+        assert catalog["wife_education"].feature_type is FeatureType.CATEGORICAL
+        assert catalog["wife_education"].data_type == "number"
+
+    def test_kdd98_wide_and_sparse(self):
+        bundle = load_dataset("kdd98", n=300)
+        unified = bundle.unified
+        assert unified.n_cols > 150
+        assert unified.missing_cells() > 0
+
+    def test_walking_has_22_classes(self):
+        bundle = load_dataset("walking", n=2000)
+        assert bundle.unified["person"].n_distinct == 22
+
+    def test_regression_targets_numeric(self):
+        for name in list_datasets("regression"):
+            bundle = load_dataset(name, n=150)
+            assert bundle.unified[bundle.target].kind is ColumnKind.NUMERIC
+
+    def test_diabetes_has_missing_clinicals(self):
+        bundle = load_dataset("diabetes")
+        assert bundle.unified["glucose"].n_missing > 0
+
+    def test_tictactoe_pure_categorical(self):
+        bundle = load_dataset("tictactoe", n=300)
+        features = [c for c in bundle.unified if c.name != "result"]
+        assert all(c.kind is ColumnKind.STRING for c in features)
+
+
+class TestCorruption:
+    @pytest.fixture
+    def table(self):
+        return load_dataset("utility", n=300).unified
+
+    def test_outlier_injection_changes_values(self, table):
+        out = inject_outliers(table, "usage_kwh", 0.05, seed=0)
+        original = table["sqft"].non_missing()
+        corrupted = out["sqft"].non_missing()
+        assert np.abs(corrupted).max() > np.abs(original).max() * 2
+
+    def test_outliers_never_touch_target(self, table):
+        out = inject_outliers(table, "usage_kwh", 0.05, seed=0)
+        assert out["usage_kwh"] == table["usage_kwh"]
+
+    def test_zero_ratio_identity(self, table):
+        assert inject_outliers(table, "usage_kwh", 0.0) is table
+        assert inject_missing_values(table, "usage_kwh", 0.0) is table
+
+    def test_missing_injection_ratio(self, table):
+        out = inject_missing_values(table, "usage_kwh", 0.10, seed=0)
+        feature_cols = [c for c in out.column_names if c != "usage_kwh"]
+        total = sum(out[c].n_missing for c in feature_cols)
+        expected = sum(
+            int(round(0.10 * (table.n_rows - table[c].n_missing)))
+            for c in feature_cols
+        )
+        assert total == pytest.approx(expected, abs=3)
+
+    def test_mixed_injects_both(self, table):
+        out = inject_mixed_errors(table, "usage_kwh", 0.10, seed=0)
+        assert out.missing_cells() > table.missing_cells()
+
+    def test_invalid_ratio(self, table):
+        with pytest.raises(ValueError):
+            inject_outliers(table, "usage_kwh", 1.5)
+
+    def test_original_untouched(self, table):
+        before = table["sqft"].to_list()
+        inject_outliers(table, "usage_kwh", 0.05, seed=0)
+        assert table["sqft"].to_list() == before

@@ -1,0 +1,82 @@
+"""Tests for generator options: alpha, fallback, artifact fields."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.profiler import profile_table
+from repro.generation.generator import CatDB
+from repro.llm.mock import MockLLM
+from repro.ml.model_selection import train_test_split
+from repro.table.table import Table
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(1)
+    n = 260
+    data = {f"v{i}": rng.normal(size=n) for i in range(8)}
+    data["y"] = np.where(data["v0"] + data["v1"] > 0, "a", "b").tolist()
+    t = Table.from_dict(data, name="opts")
+    labels = [str(v) for v in t["y"]]
+    train, test = train_test_split(t, test_size=0.3, random_state=0,
+                                   stratify=labels)
+    return train, test, profile_table(t, target="y", task_type="binary")
+
+
+class TestAlpha:
+    def test_alpha_reduces_prompt_tokens(self, setup):
+        train, test, catalog = setup
+        full = CatDB(MockLLM("gpt-4o", fault_injection=False)).generate(
+            train, test, catalog
+        )
+        narrow = CatDB(MockLLM("gpt-4o", fault_injection=False), alpha=2).generate(
+            train, test, catalog
+        )
+        assert narrow.cost.prompt_tokens < full.cost.prompt_tokens
+        assert narrow.success
+
+    def test_alpha_pipeline_uses_fewer_features(self, setup):
+        train, test, catalog = setup
+        narrow = CatDB(MockLLM("gpt-4o", fault_injection=False), alpha=3).generate(
+            train, test, catalog
+        )
+        assert narrow.metrics["n_features"] <= 3
+
+
+class TestFallback:
+    def test_zero_repair_budget_forces_fallback_on_fault(self, setup):
+        train, test, catalog = setup
+        # near-certain fault on the first generation, no repair attempts
+        for seed in range(10):
+            llm = MockLLM("llama3.1-70b", seed=seed, error_rate_multiplier=10.0)
+            report = CatDB(llm, max_fix_attempts=0).generate(
+                train, test, catalog, iteration=seed
+            )
+            assert report.success  # fallback guarantees a pipeline
+            if report.fallback_used:
+                return
+        pytest.fail("no injected fault in 10 stress-mode generations")
+
+    def test_fallback_metrics_reasonable(self, setup):
+        train, test, catalog = setup
+        llm = MockLLM("llama3.1-70b", seed=0, error_rate_multiplier=10.0)
+        report = CatDB(llm, max_fix_attempts=0).generate(train, test, catalog)
+        assert report.primary_metric is not None
+        assert report.primary_metric > 0.6
+
+
+class TestReportShape:
+    def test_tokens_match_client_usage(self, setup):
+        train, test, catalog = setup
+        llm = MockLLM("gemini-1.5", seed=2)
+        report = CatDB(llm).generate(train, test, catalog)
+        assert report.total_tokens == llm.usage.total_tokens
+
+    def test_variant_labels(self, setup):
+        train, test, catalog = setup
+        report = CatDB(MockLLM("gpt-4o", fault_injection=False)).generate(
+            train, test, catalog
+        )
+        assert report.variant == "catdb"
+        assert report.dataset == "opts"
+        assert report.llm == "gpt-4o"

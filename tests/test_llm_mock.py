@@ -1,0 +1,177 @@
+"""Tests for the mock LLM: dispatch, determinism, profiles, token accounting."""
+
+import json
+
+import pytest
+
+from repro.llm.base import ChatMessage
+from repro.llm.mock import MockLLM, embed_payload, extract_payload
+from repro.llm.profiles import get_profile, list_profiles
+from repro.llm.tokenizer import count_tokens
+
+
+class TestTokenizer:
+    def test_empty(self):
+        assert count_tokens("") == 0
+
+    def test_words_counted(self):
+        assert count_tokens("one two three") == 3
+
+    def test_long_words_split(self):
+        assert count_tokens("internationalization") > 1
+
+    def test_punctuation_counts(self):
+        assert count_tokens("a,b") == 3
+
+    def test_monotone_in_length(self):
+        assert count_tokens("word " * 100) > count_tokens("word " * 10)
+
+
+class TestProfiles:
+    def test_canonical_names(self):
+        assert set(list_profiles()) == {"gpt-4o", "gemini-1.5", "llama3.1-70b"}
+
+    def test_aliases(self):
+        assert get_profile("gemini").name == "gemini-1.5"
+        assert get_profile("LLAMA").name == "llama3.1-70b"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_profile("claude")
+
+    def test_error_mix_matches_table2(self):
+        llama = get_profile("llama3.1-70b")
+        assert llama.error_mix[2] == pytest.approx(0.946, abs=0.01)
+        gemini = get_profile("gemini-1.5")
+        assert gemini.error_mix[0] == pytest.approx(0.212, abs=0.01)
+
+
+class TestPayloadEmbedding:
+    def test_roundtrip(self):
+        payload = {"task": "pipeline", "x": [1, 2]}
+        text = "intro\n" + embed_payload(payload) + "\noutro"
+        assert extract_payload(text) == payload
+
+    def test_absent(self):
+        assert extract_payload("no payload here") is None
+
+
+def _pipeline_payload(**overrides):
+    payload = {
+        "task": "pipeline",
+        "dataset": {"name": "d", "task_type": "binary", "target": "y",
+                    "n_rows": 100, "n_cols": 3},
+        "schema": [
+            {"name": "a", "data_type": "number", "feature_type": "Numerical",
+             "missing_percentage": 0.0},
+            {"name": "y", "data_type": "string", "feature_type": "Categorical",
+             "is_target": True},
+        ],
+        "rules": [{"section": "model-selection", "kind": "model_selection",
+                   "text": "t", "params": {}}],
+        "subtasks": ["preprocessing", "fe-engineering", "model-selection"],
+        "iteration": 0,
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestMockLLMPipeline:
+    def test_returns_code_in_tags(self):
+        llm = MockLLM("gpt-4o", fault_injection=False)
+        response = llm.complete("generate\n" + embed_payload(_pipeline_payload()))
+        assert "<CODE>" in response.content
+        assert "def run_pipeline" in response.content
+
+    def test_deterministic_for_same_prompt(self):
+        prompt = "p\n" + embed_payload(_pipeline_payload())
+        a = MockLLM("gpt-4o", seed=3).complete(prompt).content
+        b = MockLLM("gpt-4o", seed=3).complete(prompt).content
+        assert a == b
+
+    def test_iteration_varies_output_somewhere(self):
+        outputs = set()
+        for iteration in range(8):
+            prompt = "p\n" + embed_payload(_pipeline_payload(iteration=iteration))
+            outputs.add(MockLLM("llama3.1-70b").complete(prompt).content)
+        assert len(outputs) > 1
+
+    def test_usage_accumulates(self):
+        llm = MockLLM("gpt-4o", fault_injection=False)
+        prompt = "p\n" + embed_payload(_pipeline_payload())
+        llm.complete(prompt)
+        llm.complete(prompt)
+        assert llm.usage.n_requests == 2
+        assert llm.usage.prompt_tokens > 0
+        assert llm.usage.completion_tokens > 0
+
+    def test_latency_metadata(self):
+        llm = MockLLM("gpt-4o", fault_injection=False)
+        response = llm.complete("p\n" + embed_payload(_pipeline_payload()))
+        assert response.metadata["latency_seconds"] > 0
+
+    def test_fault_metadata_when_injected(self):
+        # find some seed that fails within a few tries for the weak profile
+        faults = []
+        for seed in range(12):
+            llm = MockLLM("llama3.1-70b", seed=seed)
+            response = llm.complete("p\n" + embed_payload(_pipeline_payload()))
+            faults.append(response.metadata.get("fault"))
+        assert any(f is not None for f in faults)
+
+    def test_chat_message_input(self):
+        llm = MockLLM("gpt-4o", fault_injection=False)
+        messages = [ChatMessage("system", "be helpful"),
+                    ChatMessage("user", embed_payload(_pipeline_payload()))]
+        assert "<CODE>" in llm.complete(messages).content
+
+
+class TestMockLLMStructuredTasks:
+    def test_feature_type_answer(self):
+        llm = MockLLM("gpt-4o")
+        payload = {"task": "feature_type", "column": "skills",
+                   "samples": ["a, b", "b", "a, c", "c, b"]}
+        answer = json.loads(llm.complete(embed_payload(payload)).content)
+        assert answer["feature_type"] == "List"
+        assert answer["delimiter"] == ","
+
+    def test_dedupe_answer(self):
+        llm = MockLLM("gpt-4o")
+        payload = {"task": "dedupe", "column": "g", "values": ["F", "Female"]}
+        answer = json.loads(llm.complete(embed_payload(payload)).content)
+        assert answer["F"] == "Female"
+
+    def test_caafe_features_answer(self):
+        llm = MockLLM("gpt-4o")
+        payload = {"task": "caafe_features", "schema": [
+            {"name": "a", "data_type": "number"},
+            {"name": "b", "data_type": "number"},
+        ]}
+        content = llm.complete(embed_payload(payload)).content
+        assert "engineer_features" in content
+
+    def test_freeform_fallback(self):
+        llm = MockLLM("gpt-4o")
+        response = llm.complete("what is a data catalog?")
+        assert response.metadata["task"] == "freeform"
+        assert response.content
+
+
+class TestContextLimit:
+    def test_oversized_prompt_truncates_schema_and_rules(self):
+        llm = MockLLM("llama3.1-70b", fault_injection=False)
+        big_schema = [
+            {"name": f"c{i}", "data_type": "number", "feature_type": "Numerical"}
+            for i in range(400)
+        ]
+        payload = _pipeline_payload(schema=big_schema + [
+            {"name": "y", "data_type": "string", "feature_type": "Categorical",
+             "is_target": True},
+        ])
+        # blow up the prompt way beyond the llama context window
+        filler = "metadata " * 40_000
+        response = llm.complete(filler + embed_payload(payload))
+        code = response.content
+        # the generated pipeline uses only a truncated feature subset
+        used = code.split("FEATURES = ")[1].split("]")[0]
+        assert used.count("'c") < 400

@@ -1,0 +1,63 @@
+"""Tests for the deterministic hashing utilities."""
+
+import numpy as np
+import pytest
+
+from repro.llm.rand import stable_hash, stable_rng, weighted_pick
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("a", 1, 2.5) == stable_hash("a", 1, 2.5)
+
+    def test_order_sensitive(self):
+        assert stable_hash("a", "b") != stable_hash("b", "a")
+
+    def test_distinct_inputs_differ(self):
+        values = {stable_hash(i) for i in range(200)}
+        assert len(values) == 200
+
+    def test_64_bit_range(self):
+        assert 0 <= stable_hash("x") < 2**64
+
+
+class TestStableRng:
+    def test_reproducible_stream(self):
+        a = stable_rng("seed").normal(size=5)
+        b = stable_rng("seed").normal(size=5)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = stable_rng("s1").normal(size=5)
+        b = stable_rng("s2").normal(size=5)
+        assert not (a == b).all()
+
+
+class TestWeightedPick:
+    def test_deterministic(self):
+        pick1 = weighted_pick(["a", "b"], [1, 1], "ctx", 7)
+        pick2 = weighted_pick(["a", "b"], [1, 1], "ctx", 7)
+        assert pick1 == pick2
+
+    def test_respects_weights_statistically(self):
+        picks = [
+            weighted_pick(["rare", "common"], [0.05, 0.95], "w", i)
+            for i in range(400)
+        ]
+        common_share = picks.count("common") / len(picks)
+        assert common_share > 0.85
+
+    def test_zero_weight_never_picked(self):
+        picks = {
+            weighted_pick(["never", "always"], [0.0, 1.0], "z", i)
+            for i in range(100)
+        }
+        assert picks == {"always"}
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_pick(["a"], [1, 2], "x")
+
+    def test_non_positive_weights(self):
+        with pytest.raises(ValueError):
+            weighted_pick(["a", "b"], [0, 0], "x")

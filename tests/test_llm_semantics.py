@@ -1,0 +1,140 @@
+"""Tests for the deterministic semantic layer behind the mock LLM."""
+
+import pytest
+
+from repro.llm.semantics import (
+    CompositeSpec,
+    dedupe_categories,
+    detect_composite,
+    detect_list_delimiter,
+    infer_semantic_feature_type,
+    normalize_category,
+)
+
+
+class TestNormalizeCategory:
+    @pytest.mark.parametrize("raw,expected", [
+        ("F", "Female"),
+        ("female ", "Female"),
+        ("M", "Male"),
+        ("man", "Male"),
+        ("YES", "Yes"),
+        ("unknown", "Unknown"),
+        ("lo", "Low"),
+        ("moderate", "Medium"),
+    ])
+    def test_synonyms(self, raw, expected):
+        assert normalize_category(raw) == expected
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("12 Months", "1 year"),
+        ("one year", "1 year"),
+        ("two years", "2 years"),
+        ("24 months", "2 years"),
+        ("3 years", "3 years"),
+        ("1 yr", "1 year"),
+    ])
+    def test_durations(self, raw, expected):
+        assert normalize_category(raw) == expected
+
+    def test_whitespace_and_case(self):
+        assert normalize_category("  hello   WORLD ") == "Hello world"
+
+    def test_short_codes_stay_upper(self):
+        assert normalize_category("CA") == "CA"
+        assert normalize_category("TX") == "TX"
+
+    def test_idempotent(self):
+        once = normalize_category("some Value")
+        assert normalize_category(once) == once
+
+
+class TestDedupeCategories:
+    def test_merges_equivalents(self):
+        mapping = dedupe_categories(["F", "Female", "M", "Male"])
+        assert mapping["F"] == mapping["Female"] == "Female"
+        assert mapping["M"] == mapping["Male"] == "Male"
+
+    def test_distinct_values_survive(self):
+        mapping = dedupe_categories(["red", "blue"])
+        assert mapping["red"] != mapping["blue"]
+
+
+class TestDetectComposite:
+    def test_zip_state_mix(self):
+        spec = detect_composite(["7050 CA", "TX 7871", "CA", "1234 NY"])
+        assert spec is not None
+        assert set(spec.parts) == {"State", "Zip"}
+
+    def test_split_extracts_parts(self):
+        spec = detect_composite(["7050 CA", "TX 7871", "NY 1234"])
+        parts = spec.split("7050 CA")
+        assert parts["Zip"] == "7050"
+        assert parts["State"] == "CA"
+
+    def test_split_handles_missing_part(self):
+        spec = CompositeSpec(parts=detect_composite(["7050 CA", "TX 7871", "NY 1111"]).parts)
+        assert spec.split("CA")["Zip"] is None
+
+    def test_plain_categories_not_composite(self):
+        assert detect_composite(["red", "blue", "green", "red"]) is None
+
+    def test_too_few_samples(self):
+        assert detect_composite(["7050 CA"]) is None
+
+
+class TestDetectListDelimiter:
+    def test_comma_list(self):
+        samples = ["Python, Java", "Java", "C++, Python", "SQL, Java"]
+        assert detect_list_delimiter(samples) == ","
+
+    def test_semicolon_list(self):
+        samples = ["a; b", "b; c", "a; c", "b"]
+        assert detect_list_delimiter(samples) == ";"
+
+    def test_free_text_not_list(self):
+        samples = [
+            "the quick brown fox", "lorem ipsum dolor",
+            "completely different words", "yet more unique text",
+        ]
+        assert detect_list_delimiter(samples) is None
+
+    def test_too_few_samples(self):
+        assert detect_list_delimiter(["a,b"]) is None
+
+
+class TestInferSemanticFeatureType:
+    def test_list(self):
+        kind, details = infer_semantic_feature_type(
+            "skills", ["Python, Java", "Java", "SQL, Python", "Java, SQL"]
+        )
+        assert kind == "List"
+        assert details["delimiter"] == ","
+
+    def test_composite(self):
+        kind, details = infer_semantic_feature_type(
+            "address", ["7050 CA", "TX 7871", "NY 1234"]
+        )
+        assert kind == "Composite"
+        assert "composite" in details
+
+    def test_categorical_from_messy_values(self):
+        kind, _ = infer_semantic_feature_type(
+            "gender", ["F", "Female", "M", "Male", "female"]
+        )
+        assert kind == "Categorical"
+
+    def test_numeric_strings(self):
+        kind, _ = infer_semantic_feature_type("amount", ["1.5", "2", "-3.25"])
+        assert kind == "Numerical"
+
+    def test_sentences(self):
+        kind, _ = infer_semantic_feature_type(
+            "comment", ["great product quality", "terrible support experience",
+                        "would recommend highly", "arrived late and broken"]
+        )
+        assert kind == "Sentence"
+
+    def test_empty_constant(self):
+        kind, _ = infer_semantic_feature_type("x", [])
+        assert kind == "Constant"

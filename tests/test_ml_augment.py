@@ -1,0 +1,71 @@
+"""Tests for rebalancing / augmentation primitives."""
+
+import numpy as np
+import pytest
+
+from repro.ml.augment import class_imbalance_ratio, gaussian_augment, oversample_minority
+
+
+class TestImbalanceRatio:
+    def test_balanced(self):
+        assert class_imbalance_ratio(["a", "b", "a", "b"]) == 1.0
+
+    def test_skewed(self):
+        assert class_imbalance_ratio(["a"] * 9 + ["b"]) == 9.0
+
+    def test_single_class(self):
+        assert class_imbalance_ratio(["a", "a"]) == 1.0
+
+
+class TestOversampleMinority:
+    def test_balances_classes(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 3))
+        y = np.array(["maj"] * 90 + ["min"] * 10, dtype=object)
+        X2, y2 = oversample_minority(X, y, random_state=0)
+        values, counts = np.unique(y2, return_counts=True)
+        assert counts.min() == counts.max() == 90
+
+    def test_original_rows_preserved(self):
+        X = np.arange(20, dtype=float).reshape(10, 2)
+        y = np.array(["a"] * 8 + ["b"] * 2, dtype=object)
+        X2, _ = oversample_minority(X, y, random_state=0)
+        np.testing.assert_array_equal(X2[:10], X)
+
+    def test_synthetic_rows_near_minority_manifold(self):
+        rng = np.random.default_rng(1)
+        X = np.vstack([rng.normal(0, 1, (50, 2)), rng.normal(10, 1, (5, 2))])
+        y = np.array(["a"] * 50 + ["b"] * 5, dtype=object)
+        X2, y2 = oversample_minority(X, y, jitter=0.01, random_state=0)
+        synthetic = X2[55:]
+        assert (synthetic.mean(axis=0) > 5).all()
+
+    def test_already_balanced_is_noop(self):
+        X = np.zeros((4, 2))
+        y = np.array(["a", "a", "b", "b"], dtype=object)
+        X2, y2 = oversample_minority(X, y)
+        assert X2.shape == (4, 2)
+
+
+class TestGaussianAugment:
+    def test_adds_rows(self):
+        X = np.zeros((10, 2))
+        y = np.array(["a"] * 10, dtype=object)
+        X2, y2 = gaussian_augment(X, y, factor=0.5, random_state=0)
+        assert X2.shape[0] == 15
+        assert y2.shape[0] == 15
+
+    def test_zero_factor_noop(self):
+        X = np.zeros((10, 2))
+        y = np.array(["a"] * 10, dtype=object)
+        X2, _ = gaussian_augment(X, y, factor=0.0)
+        assert X2.shape[0] == 10
+
+    def test_noise_scales_with_std(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(0, 10.0, size=(100, 1))
+        y = np.array(["a"] * 100, dtype=object)
+        X2, _ = gaussian_augment(X, y, factor=1.0, noise=0.1, random_state=0)
+        extra = X2[100:]
+        # jitter should be small relative to the data spread
+        assert extra.std() < 3 * X.std()

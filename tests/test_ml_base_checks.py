@@ -1,0 +1,48 @@
+"""Tests for input-validation helpers in repro.ml.base."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import check_X, check_X_y
+
+
+class TestCheckX:
+    def test_1d_reshaped_to_column(self):
+        assert check_X([1.0, 2.0]).shape == (2, 1)
+
+    def test_2d_passthrough(self):
+        X = np.zeros((3, 2))
+        assert check_X(X).shape == (3, 2)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError):
+            check_X(np.zeros((2, 2, 2)))
+
+    def test_nan_rejected_by_default(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_X([[np.nan]])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError):
+            check_X([[np.inf]])
+
+    def test_nan_allowed_when_opted_in(self):
+        X = check_X([[np.nan]], allow_nan=True)
+        assert np.isnan(X[0, 0])
+
+    def test_coerces_to_float(self):
+        assert check_X([[1, 2]]).dtype == np.float64
+
+
+class TestCheckXY:
+    def test_aligned(self):
+        X, y = check_X_y([[1.0], [2.0]], ["a", "b"])
+        assert X.shape[0] == y.shape[0] == 2
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="rows"):
+            check_X_y([[1.0]], ["a", "b"])
+
+    def test_2d_y_flattened(self):
+        _X, y = check_X_y([[1.0], [2.0]], np.array([[0], [1]]))
+        assert y.ndim == 1

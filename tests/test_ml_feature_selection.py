@@ -1,0 +1,83 @@
+"""Tests for univariate feature selection."""
+
+import numpy as np
+import pytest
+
+from repro.ml.feature_selection import SelectKBest, correlation_scores, f_classif
+
+
+@pytest.fixture(scope="module")
+def clf_data():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(300, 5))
+    y = np.where(X[:, 2] > 0, "a", "b").astype(object)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def reg_data():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(300, 4))
+    y = 4 * X[:, 1] + 0.2 * rng.normal(size=300)
+    return X, y
+
+
+class TestScores:
+    def test_f_classif_finds_informative_feature(self, clf_data):
+        X, y = clf_data
+        scores = f_classif(X, y)
+        assert scores.argmax() == 2
+        assert (scores >= 0).all()
+
+    def test_f_classif_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            f_classif(np.zeros((5, 2)), np.array(["a"] * 5, dtype=object))
+
+    def test_correlation_finds_informative_feature(self, reg_data):
+        X, y = reg_data
+        scores = correlation_scores(X, y)
+        assert scores.argmax() == 1
+        assert (scores <= 1.0 + 1e-9).all()
+
+    def test_constant_feature_scores_zero(self):
+        X = np.column_stack([np.ones(50), np.arange(50, dtype=float)])
+        y = np.arange(50, dtype=float)
+        scores = correlation_scores(X, y)
+        assert scores[0] == 0.0
+        assert scores[1] == pytest.approx(1.0)
+
+
+class TestSelectKBest:
+    def test_classification_selection(self, clf_data):
+        X, y = clf_data
+        selector = SelectKBest(k=1, task_type="classification").fit(X, y)
+        assert selector.selected_.tolist() == [2]
+        assert selector.transform(X).shape == (300, 1)
+
+    def test_regression_selection(self, reg_data):
+        X, y = reg_data
+        selector = SelectKBest(k=2, task_type="regression").fit(X, y)
+        assert 1 in selector.selected_
+
+    def test_k_capped_at_width(self, clf_data):
+        X, y = clf_data
+        selector = SelectKBest(k=99, task_type="classification").fit(X, y)
+        assert selector.transform(X).shape == X.shape
+
+    def test_support_mask(self, clf_data):
+        X, y = clf_data
+        selector = SelectKBest(k=2, task_type="classification").fit(X, y)
+        mask = selector.get_support()
+        assert mask.sum() == 2
+        assert mask[2]
+
+    def test_selection_preserves_column_order(self, clf_data):
+        X, y = clf_data
+        selector = SelectKBest(k=3, task_type="classification").fit(X, y)
+        assert selector.selected_.tolist() == sorted(selector.selected_.tolist())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelectKBest(k=0)
+        with pytest.raises(ValueError):
+            SelectKBest(task_type="clustering")

@@ -1,0 +1,124 @@
+"""Unit tests for repro.ml.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    log_loss,
+    mean_absolute_error,
+    mean_squared_error,
+    precision_score,
+    r2_score,
+    recall_score,
+    roc_auc_score,
+    root_mean_squared_error,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_half(self):
+        assert accuracy_score([1, 1], [1, 0]) == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1], [1, 2])
+
+
+class TestConfusionAndF1:
+    def test_confusion_matrix_counts(self):
+        matrix, labels = confusion_matrix(["a", "a", "b"], ["a", "b", "b"])
+        assert labels == ["a", "b"]
+        assert matrix.tolist() == [[1, 1], [0, 1]]
+
+    def test_precision_recall_perfect(self):
+        assert precision_score(["a", "b"], ["a", "b"]) == 1.0
+        assert recall_score(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_f1_zero_when_all_wrong(self):
+        assert f1_score(["a", "a"], ["b", "b"]) == 0.0
+
+    def test_f1_macro_averages_classes(self):
+        # one class perfectly predicted, one never predicted
+        score = f1_score(["a", "a", "b"], ["a", "a", "a"])
+        assert 0.0 < score < 1.0
+
+
+class TestAuc:
+    def test_perfect_separation(self):
+        auc = roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9])
+        assert auc == 1.0
+
+    def test_inverted_scores(self):
+        auc = roc_auc_score([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1])
+        assert auc == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 2000)
+        scores = rng.random(2000)
+        assert abs(roc_auc_score(y, scores) - 0.5) < 0.05
+
+    def test_ties_give_half_credit(self):
+        assert roc_auc_score([0, 1], [0.5, 0.5]) == 0.5
+
+    def test_single_class_returns_half(self):
+        assert roc_auc_score([1, 1], [0.2, 0.9]) == 0.5
+
+    def test_binary_matrix_input(self):
+        proba = np.array([[0.9, 0.1], [0.1, 0.9]])
+        assert roc_auc_score([0, 1], proba, labels=[0, 1]) == 1.0
+
+    def test_multiclass_ovr(self):
+        y = ["a", "b", "c"]
+        proba = np.eye(3)
+        assert roc_auc_score(y, proba, labels=["a", "b", "c"]) == 1.0
+
+    def test_multiclass_wrong_width_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc_score(["a", "b", "c"], np.eye(2)[[0, 1, 0]], labels=["a", "b", "c"])
+
+    def test_1d_scores_multiclass_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc_score(["a", "b", "c"], [0.1, 0.2, 0.3])
+
+
+class TestLogLoss:
+    def test_confident_correct_is_small(self):
+        assert log_loss([1, 0], [0.99, 0.01]) < 0.05
+
+    def test_confident_wrong_is_large(self):
+        assert log_loss([1, 0], [0.01, 0.99]) > 2.0
+
+    def test_matrix_input(self):
+        proba = np.array([[0.8, 0.2], [0.3, 0.7]])
+        value = log_loss(["a", "b"], proba, labels=["a", "b"])
+        expected = -(np.log(0.8) + np.log(0.7)) / 2
+        assert value == pytest.approx(expected, rel=1e-6)
+
+
+class TestRegressionMetrics:
+    def test_r2_perfect(self):
+        assert r2_score([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_r2_mean_predictor_is_zero(self):
+        assert r2_score([1, 2, 3], [2, 2, 2]) == pytest.approx(0.0)
+
+    def test_r2_constant_target(self):
+        assert r2_score([5, 5], [5, 5]) == 1.0
+        assert r2_score([5, 5], [4, 6]) == 0.0
+
+    def test_mse_rmse_mae(self):
+        y, p = [0, 0], [3, -3]
+        assert mean_squared_error(y, p) == 9.0
+        assert root_mean_squared_error(y, p) == 3.0
+        assert mean_absolute_error(y, p) == 3.0

@@ -1,0 +1,157 @@
+"""Tests for splits, CV, and hyper-parameter search."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import Ridge
+from repro.ml.model_selection import (
+    GridSearchCV,
+    KFold,
+    RandomizedSearchCV,
+    StratifiedKFold,
+    cross_val_score,
+    train_test_split,
+)
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.tree import DecisionTreeClassifier
+from repro.table.table import Table
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(100).reshape(-1, 1)
+        X_tr, X_te = train_test_split(X, test_size=0.3, random_state=0)
+        assert X_te.shape[0] == 30 and X_tr.shape[0] == 70
+
+    def test_no_overlap_and_complete(self):
+        X = np.arange(50)
+        X_tr, X_te = train_test_split(X, test_size=0.2, random_state=1)
+        assert sorted(np.concatenate([X_tr, X_te]).tolist()) == list(range(50))
+
+    def test_multiple_arrays_aligned(self):
+        X = np.arange(20).reshape(-1, 1)
+        y = np.arange(20)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, random_state=2)
+        assert (X_tr[:, 0] == y_tr).all()
+        assert (X_te[:, 0] == y_te).all()
+
+    def test_stratify_preserves_ratio(self):
+        y = np.array(["a"] * 80 + ["b"] * 20, dtype=object)
+        _tr, te = train_test_split(y, test_size=0.25, stratify=y, random_state=0)
+        b_ratio = np.mean(te == "b")
+        assert 0.1 < b_ratio < 0.3
+
+    def test_table_input(self):
+        t = Table.from_dict({"a": list(range(10))})
+        tr, te = train_test_split(t, test_size=0.3, random_state=0)
+        assert tr.n_rows + te.n_rows == 10
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.arange(5), np.arange(6))
+
+    def test_bad_test_size(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.arange(5), test_size=1.5)
+
+    def test_deterministic(self):
+        X = np.arange(30)
+        a = train_test_split(X, random_state=3)[1]
+        b = train_test_split(X, random_state=3)[1]
+        assert (a == b).all()
+
+
+class TestKFold:
+    def test_partition(self):
+        folds = list(KFold(5, random_state=0).split(25))
+        all_test = np.concatenate([test for _tr, test in folds])
+        assert sorted(all_test.tolist()) == list(range(25))
+
+    def test_train_test_disjoint(self):
+        for train, test in KFold(4).split(20):
+            assert set(train).isdisjoint(test)
+
+    def test_too_few_rows(self):
+        with pytest.raises(ValueError):
+            list(KFold(5).split(3))
+
+    def test_min_splits(self):
+        with pytest.raises(ValueError):
+            KFold(1)
+
+
+class TestStratifiedKFold:
+    def test_each_fold_has_both_classes(self):
+        y = np.array(["a"] * 30 + ["b"] * 10, dtype=object)
+        for _train, test in StratifiedKFold(5, random_state=0).split(y):
+            labels = set(y[test].tolist())
+            assert labels == {"a", "b"}
+
+    def test_partition(self):
+        y = np.array(["a", "b"] * 10, dtype=object)
+        all_test = np.concatenate([t for _tr, t in StratifiedKFold(4).split(y)])
+        assert sorted(all_test.tolist()) == list(range(20))
+
+
+class TestCrossValScore:
+    def test_returns_per_fold_scores(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(90, 3))
+        y = np.where(X[:, 0] > 0, "p", "n").astype(object)
+        scores = cross_val_score(GaussianNB(), X, y, cv=3)
+        assert scores.shape == (3,)
+        assert (scores > 0.7).all()
+
+    def test_custom_scoring(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(60, 2))
+        y = X[:, 0] * 2.0
+        scores = cross_val_score(
+            Ridge(), X, y, cv=3,
+            scoring=lambda t, p: -float(np.mean((np.asarray(t) - np.asarray(p)) ** 2)),
+        )
+        assert (scores <= 0).all()
+
+
+class TestSearch:
+    def _data(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(150, 3))
+        y = np.where(X[:, 0] + X[:, 1] > 0, "a", "b").astype(object)
+        return X, y
+
+    def test_grid_search_picks_best(self):
+        X, y = self._data()
+        search = GridSearchCV(
+            DecisionTreeClassifier(), {"max_depth": [1, 6]}, cv=3
+        ).fit(X, y)
+        assert search.best_params_["max_depth"] == 6
+        assert len(search.results_) == 2
+
+    def test_grid_search_predict(self):
+        X, y = self._data()
+        search = GridSearchCV(DecisionTreeClassifier(), {"max_depth": [3]}).fit(X, y)
+        assert search.predict(X[:5]).shape == (5,)
+        assert search.predict_proba(X[:5]).shape == (5, 2)
+        assert 0 <= search.score(X, y) <= 1
+
+    def test_empty_grid_yields_default_params(self):
+        X, y = self._data()
+        search = GridSearchCV(DecisionTreeClassifier(), {}).fit(X, y)
+        assert search.best_params_ == {}
+
+    def test_randomized_search_bounded(self):
+        X, y = self._data()
+        search = RandomizedSearchCV(
+            DecisionTreeClassifier(),
+            {"max_depth": [1, 2, 3, 4, 5, 6], "min_samples_leaf": [1, 2, 5]},
+            n_iter=4,
+        ).fit(X, y)
+        assert len(search.results_) == 4
+
+    def test_randomized_search_small_space_exhaustive(self):
+        X, y = self._data()
+        search = RandomizedSearchCV(
+            DecisionTreeClassifier(), {"max_depth": [2, 4]}, n_iter=10
+        ).fit(X, y)
+        assert len(search.results_) == 2

@@ -1,0 +1,148 @@
+"""Tests for Pipeline, ColumnSelector, and TableVectorizer."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import LogisticRegression
+from repro.ml.pipeline import ColumnSelector, Pipeline, TableVectorizer
+from repro.ml.preprocessing import SimpleImputer, StandardScaler
+from repro.table.table import Table
+
+
+class TestPipeline:
+    def test_fit_predict_chain(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 3))
+        X[::10, 0] = np.nan
+        y = np.where(np.nan_to_num(X[:, 0]) + X[:, 1] > 0, "a", "b").astype(object)
+        pipe = Pipeline([
+            ("impute", SimpleImputer("mean")),
+            ("scale", StandardScaler()),
+            ("model", LogisticRegression(max_iter=100)),
+        ])
+        pipe.fit(X, y)
+        assert pipe.predict(X).shape == (100,)
+        assert pipe.predict_proba(X).shape == (100, 2)
+        assert 0 <= pipe.score(X, y) <= 1
+        assert pipe.classes_ == ["a", "b"]
+
+    def test_transform_only_pipeline(self):
+        X = np.array([[1.0], [np.nan]])
+        pipe = Pipeline([("impute", SimpleImputer("mean")), ("scale", StandardScaler())])
+        out = pipe.fit_transform(X)
+        assert not np.isnan(out).any()
+
+    def test_named_steps(self):
+        pipe = Pipeline([("a", SimpleImputer())])
+        assert "a" in pipe.named_steps
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline([("x", SimpleImputer()), ("x", StandardScaler())])
+
+
+class TestColumnSelector:
+    def test_keep(self):
+        t = Table.from_dict({"a": [1], "b": [2]})
+        out = ColumnSelector(keep=["b"]).fit_transform(t)
+        assert out.column_names == ["b"]
+
+    def test_drop(self):
+        t = Table.from_dict({"a": [1], "b": [2]})
+        out = ColumnSelector(drop=["b"]).fit_transform(t)
+        assert out.column_names == ["a"]
+
+    def test_missing_columns_tolerated(self):
+        t = Table.from_dict({"a": [1]})
+        assert ColumnSelector(keep=["a", "zz"]).fit_transform(t).column_names == ["a"]
+
+    def test_exactly_one_mode(self):
+        with pytest.raises(ValueError):
+            ColumnSelector()
+        with pytest.raises(ValueError):
+            ColumnSelector(keep=["a"], drop=["b"])
+
+
+class TestTableVectorizer:
+    @pytest.fixture
+    def table(self):
+        return Table.from_dict({
+            "num": [1.0, 2.0, None, 4.0],
+            "cat": ["a", "b", "a", None],
+            "skills": ["x,y", "y", "x", "z"],
+            "free": ["one two", "three four", "five six", "seven eight"],
+            "label": ["p", "n", "p", "n"],
+        })
+
+    def test_default_plan(self, table):
+        vec = TableVectorizer(target="label")
+        X = vec.fit_transform(table)
+        assert X.shape[0] == 4
+        assert not np.isnan(X).any()
+        assert vec.n_output_features_ == X.shape[1]
+
+    def test_explicit_plan_khot_and_hash(self, table):
+        plan = {
+            "num": {"encode": "numeric", "impute": "mean", "scale": True},
+            "cat": {"encode": "onehot"},
+            "skills": {"encode": "khot"},
+            "free": {"encode": "hash", "n_features": 4},
+        }
+        vec = TableVectorizer(plan=plan, target="label")
+        X = vec.fit_transform(table)
+        names = vec.feature_names_
+        assert any(name.startswith("skills[") for name in names)
+        assert sum(name.startswith("free#h") for name in names) == 4
+
+    def test_drop_encoding(self, table):
+        vec = TableVectorizer(plan={"free": {"encode": "drop"}}, target="label")
+        vec.fit(table)
+        assert all(not n.startswith("free") for n in vec.feature_names_)
+
+    def test_impute_none_lets_nan_through(self, table):
+        vec = TableVectorizer(
+            plan={"num": {"encode": "numeric", "impute": None, "scale": False}},
+            target="label",
+        )
+        X = vec.fit_transform(table.select(["num", "label"]))
+        assert np.isnan(X).any()
+
+    def test_clip_outliers_in_plan(self):
+        t = Table.from_dict({"v": [1.0] * 50 + [1000.0], "y": ["a", "b"] * 25 + ["a"]})
+        vec = TableVectorizer(
+            plan={"v": {"encode": "numeric", "impute": "median",
+                        "scale": False, "clip_outliers": True}},
+            target="y",
+        )
+        X = vec.fit_transform(t)
+        assert X.max() < 1000.0
+
+    def test_transform_consistent_width_on_new_data(self, table):
+        vec = TableVectorizer(target="label")
+        X_train = vec.fit_transform(table)
+        new = Table.from_dict({
+            "num": [9.0], "cat": ["zz"], "skills": ["unknown"],
+            "free": ["brand new"], "label": ["p"],
+        })
+        X_new = vec.transform(new)
+        assert X_new.shape[1] == X_train.shape[1]
+
+    def test_unknown_encoding_rejected(self, table):
+        vec = TableVectorizer(plan={"num": {"encode": "wavelet"}}, target="label")
+        with pytest.raises(ValueError, match="wavelet"):
+            vec.fit(table)
+
+    def test_target_excluded(self, table):
+        vec = TableVectorizer(target="label")
+        vec.fit(table)
+        assert all("label" not in name for name in vec.feature_names_)
+
+    def test_ordinal_boolean(self):
+        t = Table.from_dict({"flag": [True, False, True], "y": [1, 2, 3]})
+        vec = TableVectorizer(target="y")
+        X = vec.fit_transform(t)
+        assert X.shape == (3, 1)

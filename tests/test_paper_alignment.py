@@ -1,0 +1,134 @@
+"""Paper-alignment tests: published constants encoded as assertions.
+
+These tests pin the reproduction's structures to the paper's published
+facts — dataset inventory (Table 3), metadata combinations (Table 1),
+error taxonomy size (Section 4.2), Table-2 error mixes, and the dataset
+groups each experiment uses — so drift from the paper is caught by CI.
+"""
+
+import pytest
+
+from repro.datasets.registry import DATASET_SPECS
+from repro.experiments.fig11_iterations import ITERATION_DATASETS
+from repro.experiments.fig13_tokens import FIG13_DATASETS
+from repro.experiments.table4_refinement import REFINEMENT_DATASETS
+from repro.experiments.table7_single_iteration import TABLE7_DATASETS
+from repro.generation.errors import ERROR_TYPES, ErrorGroup
+from repro.llm.profiles import get_profile
+from repro.prompt.combinations import METADATA_COMBINATIONS
+
+
+class TestTable3Inventory:
+    """Dataset facts straight from the paper's Table 3."""
+
+    PAPER_TABLE_3 = {
+        # name: (tables, rows, cols, classes)
+        "wifi": (1, 98, 9, 2),
+        "diabetes": (1, 768, 9, 2),
+        "tictactoe": (1, 958, 10, 2),
+        "imdb": (7, 30_530_313, 15, 2),
+        "kdd98": (1, 82_318, 478, 2),
+        "walking": (1, 149_332, 5, 22),
+        "cmc": (1, 1_473, 10, 3),
+        "eu_it": (1, 1_253, 23, 148),
+        "survey": (1, 2_778, 29, 9),
+        "etailing": (1, 439, 44, 5),
+        "accidents": (3, 954_036, 46, 6),
+        "financial": (8, 552_017, 62, 4),
+        "airline": (19, 445_827, 115, 3),
+        "gas_drift": (1, 13_910, 129, 6),
+        "volkert": (1, 58_310, 181, 10),
+        "yelp": (4, 229_907, 194, 9),
+        "bike_sharing": (1, 17_379, 12, 869),
+        "utility": (1, 4_574, 13, 95),
+        "nyc": (1, 581_835, 17, 1_811),
+        "house_sales": (1, 21_613, 18, 4_028),
+    }
+
+    def test_all_20_registered(self):
+        assert set(DATASET_SPECS) == set(self.PAPER_TABLE_3)
+
+    @pytest.mark.parametrize("name", sorted(PAPER_TABLE_3))
+    def test_paper_scale_facts(self, name):
+        spec = DATASET_SPECS[name]
+        tables, rows, cols, classes = self.PAPER_TABLE_3[name]
+        assert spec.paper_tables == tables
+        assert spec.paper_rows == rows
+        assert spec.paper_cols == cols
+        assert spec.paper_classes == classes
+
+
+class TestTable1Combinations:
+    """The check-mark pattern of the paper's Table 1."""
+
+    # (distinct, missing, statistics, categorical) per combination number
+    PAPER_TABLE_1 = {
+        1: (0, 0, 0, 0), 2: (1, 0, 0, 0), 3: (0, 1, 0, 0), 4: (0, 0, 1, 0),
+        5: (0, 0, 0, 1), 6: (1, 1, 0, 0), 7: (1, 0, 1, 0), 8: (0, 1, 1, 0),
+        9: (0, 1, 0, 1), 10: (0, 0, 1, 1), 11: (1, 1, 1, 1),
+    }
+
+    @pytest.mark.parametrize("number", sorted(PAPER_TABLE_1))
+    def test_pattern(self, number):
+        combo = METADATA_COMBINATIONS[number]
+        expected = self.PAPER_TABLE_1[number]
+        actual = (
+            int(combo.distinct_value_count),
+            int(combo.missing_value_frequency),
+            int(combo.basic_statistics),
+            int(combo.categorical_values),
+        )
+        assert actual == expected
+
+
+class TestErrorTaxonomy:
+    def test_23_types_as_in_figure_8(self):
+        assert len(ERROR_TYPES) == 23
+
+    def test_kb_group_has_six_types(self):
+        """'The CatDB Knowledge Base (KB) API manages six error types.'"""
+        kb = [e for e in ERROR_TYPES.values() if e.group is ErrorGroup.KB]
+        assert len(kb) == 6
+
+    def test_within_group_weights_normalised(self):
+        for group in ErrorGroup:
+            total = sum(e.weight for e in ERROR_TYPES.values()
+                        if e.group is group)
+            assert total == pytest.approx(1.0, abs=0.02)
+
+
+class TestTable2Calibration:
+    def test_llama_row(self):
+        profile = get_profile("llama3.1-70b")
+        kb, se, re = profile.error_mix
+        assert kb == pytest.approx(0.02464, abs=0.005)
+        assert se == pytest.approx(0.02907, abs=0.005)
+        assert re == pytest.approx(0.94629, abs=0.005)
+
+    def test_gemini_row(self):
+        profile = get_profile("gemini-1.5")
+        kb, se, re = profile.error_mix
+        assert kb == pytest.approx(0.21213, abs=0.005)
+        assert se == pytest.approx(0.02092, abs=0.005)
+        assert re == pytest.approx(0.76695, abs=0.005)
+
+
+class TestExperimentDatasetGroups:
+    def test_refinement_six(self):
+        """Tables 4-6 use EU IT, Wifi, Etailing, Survey, Utility, Yelp."""
+        assert set(REFINEMENT_DATASETS) == {
+            "eu_it", "wifi", "etailing", "survey", "utility", "yelp"
+        }
+
+    def test_iteration_three(self):
+        """Figures 11-12 use Diabetes, Gas-Drift, Volkert."""
+        assert set(ITERATION_DATASETS) == {"diabetes", "gas_drift", "volkert"}
+
+    def test_table7_eight(self):
+        assert set(TABLE7_DATASETS) == {
+            "airline", "imdb", "accidents", "financial",
+            "cmc", "bike_sharing", "house_sales", "nyc",
+        }
+
+    def test_fig13_ten(self):
+        assert len(FIG13_DATASETS) == 10

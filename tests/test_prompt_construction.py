@@ -1,0 +1,224 @@
+"""Tests for rules, projection, combinations, templates, and the builder."""
+
+import pytest
+
+from repro.catalog.profiler import profile_table
+from repro.llm.mock import extract_payload
+from repro.prompt.builder import build_prompt_plan
+from repro.prompt.combinations import METADATA_COMBINATIONS, get_combination
+from repro.prompt.projection import clean_catalog, project_schema, select_top_k_columns
+from repro.prompt.rules import SECTION_FE, SECTION_MODEL, SECTION_PREPROCESSING, build_rules
+from repro.prompt.templates import render_error_prompt, render_pipeline_prompt
+from repro.table.table import Table
+
+
+class TestCombinations:
+    def test_eleven_combinations(self):
+        assert len(METADATA_COMBINATIONS) == 11
+
+    def test_combination_1_schema_only(self):
+        combo = get_combination(1)
+        assert combo.items == ["Schema"]
+
+    def test_combination_11_everything(self):
+        combo = get_combination(11)
+        assert len(combo.items) == 5
+
+    def test_table1_pattern_spot_checks(self):
+        assert get_combination(6).distinct_value_count
+        assert get_combination(6).missing_value_frequency
+        assert not get_combination(6).basic_statistics
+        assert get_combination(9).missing_value_frequency
+        assert get_combination(9).categorical_values
+        assert not get_combination(9).distinct_value_count
+
+    def test_out_of_range(self):
+        with pytest.raises(KeyError):
+            get_combination(12)
+
+
+class TestRules:
+    def test_missing_values_trigger_impute_rule(self, classification_catalog):
+        rules = build_rules(classification_catalog)
+        kinds = {r.kind for r in rules}
+        assert "impute_missing" in kinds
+
+    def test_model_selection_rule_always_present(self, classification_catalog):
+        rules = build_rules(classification_catalog)
+        model_rules = [r for r in rules if r.section == SECTION_MODEL]
+        assert len(model_rules) == 1
+        assert "classification" in model_rules[0].text
+
+    def test_regression_rule_text(self, regression_catalog):
+        rules = build_rules(regression_catalog)
+        model = next(r for r in rules if r.section == SECTION_MODEL)
+        assert "regression" in model.text
+        assert "Regressor" in str(model.params["candidates"])
+
+    def test_categorical_encoding_rule(self, classification_catalog):
+        rules = build_rules(classification_catalog)
+        fe = [r for r in rules if r.section == SECTION_FE]
+        assert any(r.kind == "encode_categorical" for r in fe)
+
+    def test_imbalance_triggers_rebalance(self):
+        t = Table.from_dict({
+            "x": list(range(100)),
+            "y": ["maj"] * 90 + ["min"] * 10,
+        })
+        catalog = profile_table(t, target="y", task_type="binary")
+        kinds = {r.kind for r in build_rules(catalog)}
+        assert "rebalance" in kinds
+
+    def test_small_dataset_triggers_augmentation(self):
+        t = Table.from_dict({"x": range(50), "y": ["a", "b"] * 25})
+        catalog = profile_table(t, target="y", task_type="binary")
+        kinds = {r.kind for r in build_rules(catalog)}
+        assert "augment_small" in kinds
+
+    def test_rule_payload_shape(self, classification_catalog):
+        rule = build_rules(classification_catalog)[0]
+        payload = rule.to_payload()
+        assert set(payload) == {"section", "kind", "text", "params"}
+
+
+class TestProjection:
+    def test_clean_catalog_drops_constant(self):
+        t = Table.from_dict({
+            "const": ["k"] * 50, "x": range(50), "y": [0, 1] * 25,
+        })
+        catalog = profile_table(t, target="y", task_type="binary")
+        cleaned = clean_catalog(catalog)
+        assert "const" not in cleaned
+
+    def test_clean_catalog_drops_low_coverage(self):
+        t = Table.from_dict({
+            "sparse": [1.0] + [None] * 99,
+            "x": range(100), "y": [0, 1] * 50,
+        })
+        catalog = profile_table(t, target="y", task_type="binary")
+        assert "sparse" not in clean_catalog(catalog)
+
+    def test_top_k_prioritizes_categorical(self, classification_catalog):
+        sub = select_top_k_columns(classification_catalog, 1)
+        names = [p.name for p in sub.feature_profiles()]
+        assert names == ["cat"]
+
+    def test_top_k_none_is_identity(self, classification_catalog):
+        assert select_top_k_columns(classification_catalog, None) is classification_catalog
+
+    def test_top_k_validates(self, classification_catalog):
+        with pytest.raises(ValueError):
+            select_top_k_columns(classification_catalog, 0)
+
+    def test_project_schema_combination_1_minimal(self, classification_catalog):
+        entries = project_schema(classification_catalog, 1)
+        entry = next(e for e in entries if e["name"] == "x1")
+        assert "missing_percentage" not in entry
+        assert "distinct_count" not in entry
+        assert "statistics" not in entry
+
+    def test_project_schema_combination_11_full(self, classification_catalog):
+        entries = project_schema(classification_catalog, 11)
+        entry = next(e for e in entries if e["name"] == "x1")
+        assert "missing_percentage" in entry
+        assert "distinct_count" in entry
+        cat_entry = next(e for e in entries if e["name"] == "cat")
+        assert "categorical_values" in cat_entry
+
+    def test_target_marked(self, classification_catalog):
+        entries = project_schema(classification_catalog, 11)
+        target = next(e for e in entries if e["name"] == "label")
+        assert target["is_target"] is True
+
+
+class TestTemplates:
+    def test_pipeline_prompt_has_payload(self, classification_catalog):
+        schema = project_schema(classification_catalog, 11)
+        rules = build_rules(classification_catalog)
+        text = render_pipeline_prompt(classification_catalog.info, schema, rules)
+        payload = extract_payload(text)
+        assert payload["task"] == "pipeline"
+        assert payload["dataset"]["target"] == "label"
+        assert len(payload["rules"]) == len(rules)
+
+    def test_prompt_text_readable_sections(self, classification_catalog):
+        schema = project_schema(classification_catalog, 11)
+        rules = build_rules(classification_catalog)
+        text = render_pipeline_prompt(classification_catalog.info, schema, rules)
+        assert "## Dataset" in text
+        assert "## Schema and metadata" in text
+        assert "## Rules" in text
+
+    def test_error_prompt_structure(self, classification_catalog):
+        text = render_error_prompt(
+            classification_catalog.info, "code here", "unknown_column",
+            "KeyError: 'zz'", 12, attempt=1,
+            schema=project_schema(classification_catalog, 11),
+            rules=build_rules(classification_catalog),
+        )
+        assert "<CODE>" in text and "<ERROR>" in text
+        payload = extract_payload(text)
+        assert payload["task"] == "error_fix"
+        assert payload["error"]["line"] == 12
+        assert payload["summary"] is not None
+
+    def test_error_prompt_syntax_without_metadata(self, classification_catalog):
+        text = render_error_prompt(
+            classification_catalog.info, "code", "stray_prose", "bad syntax",
+            None, attempt=0, include_metadata=False,
+        )
+        payload = extract_payload(text)
+        assert payload["summary"] is None
+
+
+class TestBuilder:
+    def test_single_prompt_plan(self, classification_catalog):
+        plan = build_prompt_plan(classification_catalog, beta=1)
+        assert not plan.is_chain
+        assert plan.single is not None
+        payload = extract_payload(plan.single.text)
+        assert payload["subtasks"] == [
+            SECTION_PREPROCESSING, SECTION_FE, SECTION_MODEL
+        ]
+
+    def test_chain_plan_chunks(self, classification_catalog):
+        plan = build_prompt_plan(classification_catalog, beta=2)
+        assert plan.is_chain
+        assert plan.beta == 2
+        feature_names = {
+            e["name"] for chunk in plan.schema_chunks for e in chunk
+            if e["name"] != "label"
+        }
+        assert feature_names == {"x1", "x2", "cat"}
+
+    def test_chain_chunks_all_contain_target(self, classification_catalog):
+        plan = build_prompt_plan(classification_catalog, beta=2)
+        for chunk in plan.schema_chunks:
+            assert any(e["name"] == "label" for e in chunk)
+
+    def test_chain_step_carries_previous_code(self, classification_catalog):
+        plan = build_prompt_plan(classification_catalog, beta=2)
+        prompt = plan.chain_step(SECTION_PREPROCESSING, 1, "PREVIOUS_CODE_XYZ")
+        assert "PREVIOUS_CODE_XYZ" in prompt.text
+
+    def test_chain_step_single_raises(self, classification_catalog):
+        plan = build_prompt_plan(classification_catalog, beta=1)
+        with pytest.raises(ValueError):
+            plan.chain_step(SECTION_PREPROCESSING, 0, None)
+
+    def test_model_step_sees_full_schema(self, classification_catalog):
+        plan = build_prompt_plan(classification_catalog, beta=2)
+        prompt = plan.chain_step(SECTION_MODEL, 0, "code")
+        names = {e["name"] for e in prompt.schema}
+        assert names == {"x1", "x2", "cat", "label"}
+
+    def test_alpha_reduces_schema(self, classification_catalog):
+        plan = build_prompt_plan(classification_catalog, alpha=1, beta=1)
+        feature_names = {
+            e["name"] for e in plan.single.schema if e["name"] != "label"
+        }
+        assert len(feature_names) == 1
+
+    def test_invalid_beta(self, classification_catalog):
+        with pytest.raises(ValueError):
+            build_prompt_plan(classification_catalog, beta=0)

@@ -1,0 +1,42 @@
+"""Tests for the few-shot example bank and its prompt integration."""
+
+from repro.llm.tokenizer import count_tokens
+from repro.prompt.builder import build_prompt_plan
+from repro.prompt.fewshot import FEW_SHOT_EXAMPLES, render_few_shot_block
+
+
+class TestFewShotBlock:
+    def test_zero_is_empty(self):
+        assert render_few_shot_block(0) == ""
+
+    def test_negative_is_empty(self):
+        assert render_few_shot_block(-2) == ""
+
+    def test_k_examples_rendered(self):
+        block = render_few_shot_block(2)
+        assert block.count("### Example") == 2
+
+    def test_capped_at_bank_size(self):
+        block = render_few_shot_block(99)
+        assert block.count("### Example") == len(FEW_SHOT_EXAMPLES)
+
+    def test_examples_have_both_parts(self):
+        for example in FEW_SHOT_EXAMPLES:
+            assert example["prompt_sketch"]
+            assert example["pipeline_sketch"]
+
+
+class TestFewShotPrompting:
+    def test_prompt_grows_with_examples(self, classification_catalog):
+        zero = build_prompt_plan(classification_catalog, few_shot=0).single.text
+        few = build_prompt_plan(classification_catalog, few_shot=3).single.text
+        assert count_tokens(few) > count_tokens(zero)
+        assert "Worked examples" in few
+        assert "Worked examples" not in zero
+
+    def test_payload_unchanged_by_examples(self, classification_catalog):
+        from repro.llm.mock import extract_payload
+
+        zero = build_prompt_plan(classification_catalog, few_shot=0).single.text
+        few = build_prompt_plan(classification_catalog, few_shot=3).single.text
+        assert extract_payload(zero) == extract_payload(few)

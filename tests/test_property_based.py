@@ -1,0 +1,168 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.semantics import dedupe_categories, normalize_category
+from repro.llm.tokenizer import count_tokens
+from repro.ml.metrics import accuracy_score, r2_score, roc_auc_score
+from repro.ml.preprocessing import MinMaxScaler, OneHotEncoder, StandardScaler
+from repro.table.column import Column, ColumnKind
+from repro.table.table import Table
+
+# -- strategies -----------------------------------------------------------------
+
+cell_values = st.one_of(
+    st.none(),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(min_size=0, max_size=12),
+    st.booleans(),
+)
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6
+)
+
+
+class TestColumnProperties:
+    @given(st.lists(cell_values, max_size=60))
+    def test_length_preserved(self, values):
+        assert len(Column("c", values)) == len(values)
+
+    @given(st.lists(cell_values, max_size=60))
+    def test_missing_plus_present_is_total(self, values):
+        col = Column("c", values)
+        assert col.n_missing + len(col.non_missing()) == len(col)
+
+    @given(st.lists(cell_values, max_size=60))
+    def test_unique_has_no_duplicates(self, values):
+        uniques = Column("c", values).unique()
+        assert len(uniques) == len(set(map(str, uniques)))
+
+    @given(st.lists(finite_floats, min_size=1, max_size=60))
+    def test_numeric_roundtrip(self, values):
+        col = Column("c", values, kind="numeric")
+        assert col.to_list() == pytest.approx(values)
+
+    @given(st.lists(cell_values, min_size=1, max_size=40))
+    def test_take_reverses(self, values):
+        col = Column("c", values)
+        reversed_col = col.take(list(range(len(values) - 1, -1, -1)))
+        assert reversed_col.to_list() == col.to_list()[::-1]
+
+
+class TestTableProperties:
+    @given(st.lists(finite_floats, min_size=1, max_size=40),
+           st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=40))
+    def test_filter_then_count(self, nums, cats):
+        n = min(len(nums), len(cats))
+        t = Table.from_dict({"x": nums[:n], "c": cats[:n]})
+        kept = t.filter(lambda row: row["c"] == "a")
+        assert kept.n_rows == sum(1 for c in cats[:n] if c == "a")
+
+    @given(st.lists(finite_floats, min_size=2, max_size=40))
+    def test_concat_rows_length_additive(self, values):
+        t = Table.from_dict({"x": values})
+        assert t.concat_rows(t).n_rows == 2 * len(values)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=30))
+    def test_roundtrip_through_rows(self, values):
+        t = Table.from_dict({"x": values})
+        assert Table.from_rows(t.to_rows()) == t
+
+
+class TestMetricProperties:
+    @given(st.lists(st.sampled_from(["a", "b"]), min_size=2, max_size=50))
+    def test_accuracy_self_is_one(self, labels):
+        assert accuracy_score(labels, labels) == 1.0
+
+    @given(st.lists(finite_floats, min_size=2, max_size=50))
+    def test_r2_self_is_one(self, values):
+        assert r2_score(values, values) == 1.0
+
+    @given(st.lists(st.tuples(st.booleans(), st.floats(0, 1, allow_nan=False)),
+                    min_size=4, max_size=60))
+    def test_auc_in_unit_interval(self, pairs):
+        y = [int(b) for b, _ in pairs]
+        scores = [s for _, s in pairs]
+        auc = roc_auc_score(y, scores)
+        assert 0.0 <= auc <= 1.0
+
+    @given(st.lists(st.tuples(st.booleans(), st.floats(0, 1, allow_nan=False)),
+                    min_size=4, max_size=60))
+    def test_auc_complement_symmetry(self, pairs):
+        y = [int(b) for b, _ in pairs]
+        if len(set(y)) < 2:
+            return
+        scores = np.array([s for _, s in pairs])
+        a = roc_auc_score(y, scores)
+        b = roc_auc_score(y, -scores)  # exact order reversal, ties preserved
+        assert a + b == pytest.approx(1.0, abs=1e-9)
+
+
+class TestScalerProperties:
+    @given(st.lists(finite_floats, min_size=3, max_size=50))
+    def test_standard_scaler_output_stats(self, values):
+        X = np.asarray(values).reshape(-1, 1)
+        out = StandardScaler().fit_transform(X)
+        if np.std(values) > 1e-9:
+            assert abs(out.mean()) < 1e-6
+            assert abs(out.std() - 1.0) < 1e-6
+
+    @given(st.lists(finite_floats, min_size=2, max_size=50))
+    def test_minmax_scaler_bounds(self, values):
+        X = np.asarray(values).reshape(-1, 1)
+        out = MinMaxScaler().fit_transform(X)
+        assert out.min() >= -1e-9
+        assert out.max() <= 1.0 + 1e-9
+
+    @given(st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=50))
+    def test_onehot_row_sums(self, values):
+        X = np.asarray(values, dtype=object).reshape(-1, 1)
+        out = OneHotEncoder().fit_transform(X)
+        assert (out.sum(axis=1) == 1.0).all()
+
+
+class TestSemanticsProperties:
+    @given(st.text(min_size=1, max_size=20))
+    def test_normalize_idempotent(self, value):
+        once = normalize_category(value)
+        assert normalize_category(once) == once
+
+    @given(st.lists(st.text(min_size=1, max_size=10), min_size=1, max_size=25))
+    def test_dedupe_covers_all_inputs(self, values):
+        mapping = dedupe_categories(values)
+        assert set(mapping) == set(values)
+
+    @given(st.text(max_size=300))
+    def test_token_count_non_negative_and_bounded(self, text):
+        tokens = count_tokens(text)
+        assert 0 <= tokens <= max(1, 2 * len(text))
+
+
+class TestSplitProperties:
+    @settings(max_examples=25)
+    @given(st.integers(min_value=10, max_value=200),
+           st.integers(min_value=0, max_value=10_000))
+    def test_train_test_split_partition(self, n, seed):
+        from repro.ml.model_selection import train_test_split
+
+        X = np.arange(n)
+        train, test = train_test_split(X, test_size=0.3, random_state=seed)
+        combined = sorted(np.concatenate([train, test]).tolist())
+        assert combined == list(range(n))
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=12, max_value=100),
+           st.integers(min_value=2, max_value=4))
+    def test_kfold_partition(self, n, k):
+        from repro.ml.model_selection import KFold
+
+        seen = []
+        for _train, test in KFold(k, random_state=0).split(n):
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(n))

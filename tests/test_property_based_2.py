@@ -1,0 +1,113 @@
+"""Second property-based suite: relational ops, encoders, cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generation.cost import CostModel
+from repro.ml.preprocessing import FeatureHasher, KHotEncoder, SimpleImputer
+from repro.table.ops import drop_duplicate_rows, drop_missing_rows, sort_by
+from repro.table.table import Table
+
+small_floats = st.floats(allow_nan=False, allow_infinity=False,
+                         min_value=-1e3, max_value=1e3)
+cells = st.one_of(st.none(), small_floats)
+
+
+class TestRelationalProperties:
+    @given(st.lists(cells, min_size=1, max_size=40))
+    def test_sort_is_permutation(self, values):
+        t = Table.from_dict({"a": values})
+        out = sort_by(t, "a")
+        assert sorted(map(str, out["a"].to_list())) == sorted(map(str, values))
+
+    @given(st.lists(small_floats, min_size=1, max_size=40))
+    def test_sort_ascending_order(self, values):
+        t = Table.from_dict({"a": values})
+        out = sort_by(t, "a")["a"].to_list()
+        assert out == sorted(values)
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=40))
+    def test_dedup_idempotent(self, values):
+        t = Table.from_dict({"a": values})
+        once = drop_duplicate_rows(t)
+        twice = drop_duplicate_rows(once)
+        assert once == twice
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=40))
+    def test_dedup_count_matches_distinct(self, values):
+        t = Table.from_dict({"a": values})
+        assert drop_duplicate_rows(t).n_rows == len(set(values))
+
+    @given(st.lists(cells, min_size=1, max_size=40))
+    def test_drop_missing_leaves_no_gaps(self, values):
+        t = Table.from_dict({"a": values})
+        out = drop_missing_rows(t)
+        assert out.missing_cells() == 0
+        assert out.n_rows == sum(1 for v in values if v is not None)
+
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=30),
+           st.lists(st.integers(0, 9), min_size=1, max_size=30))
+    def test_inner_join_row_count(self, left_keys, right_keys):
+        left = Table.from_dict({"k": left_keys})
+        right = Table.from_dict({"k": sorted(set(right_keys)), })
+        joined = left.join(right, on="k", how="inner")
+        expected = sum(1 for k in left_keys if k in set(right_keys))
+        assert joined.n_rows == expected
+
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=30))
+    def test_left_join_preserves_left_rows(self, keys):
+        left = Table.from_dict({"k": keys})
+        right = Table.from_dict({"k": [0, 1], "v": ["a", "b"]})
+        assert left.join(right, on="k", how="left").n_rows == len(keys)
+
+
+class TestEncoderProperties:
+    @given(st.lists(st.sampled_from(["a", "b", "c", None]), min_size=1, max_size=40))
+    def test_imputer_most_frequent_fills_all(self, values):
+        X = np.asarray(values, dtype=object).reshape(-1, 1)
+        if all(v is None for v in values):
+            return
+        out = SimpleImputer("most_frequent").fit_transform(X)
+        assert all(v is not None for v in out[:, 0])
+
+    @given(st.lists(st.text(alphabet="abc,", min_size=0, max_size=8),
+                    min_size=1, max_size=30))
+    def test_khot_binary_output(self, values):
+        enc = KHotEncoder().fit(values)
+        out = enc.transform(values)
+        assert set(np.unique(out)) <= {0.0, 1.0}
+
+    @given(st.lists(st.text(min_size=0, max_size=10), min_size=1, max_size=30),
+           st.integers(1, 16))
+    def test_hasher_width_invariant(self, values, n_features):
+        h = FeatureHasher(n_features).fit([])
+        out = h.transform(values)
+        assert out.shape == (len(values), n_features)
+
+    @given(st.lists(st.text(min_size=1, max_size=10), min_size=1, max_size=30))
+    def test_hasher_deterministic(self, values):
+        h = FeatureHasher(8).fit([])
+        assert (h.transform(values) == h.transform(values)).all()
+
+
+class TestCostModelProperties:
+    @given(st.lists(st.tuples(st.sampled_from(["pipeline", "error"]),
+                              st.integers(0, 5000), st.integers(0, 5000)),
+                    max_size=30))
+    def test_totals_additive(self, interactions):
+        cost = CostModel()
+        for role, p, c in interactions:
+            cost.record(role, "single", p, c)
+        assert cost.total_cost() == cost.pipeline_cost() + cost.error_cost()
+        assert cost.total_tokens == cost.prompt_tokens + cost.completion_tokens
+        assert cost.total_tokens == sum(p + c for _r, p, c in interactions)
+
+    @given(st.lists(st.sampled_from(["preprocessing", "fe-engineering",
+                                     "model-selection"]), max_size=20))
+    def test_section_decomposition_covers_total(self, sections):
+        cost = CostModel()
+        for section in sections:
+            cost.record("pipeline", section, 10, 5)
+        assert sum(cost.cost_by_section().values()) == cost.total_tokens

@@ -1,0 +1,50 @@
+"""Tests for the sentence-to-category sentiment mapping (Survey case)."""
+
+import pytest
+
+from repro.llm.semantics import dedupe_categories, normalize_category
+
+
+class TestSentimentMapping:
+    @pytest.mark.parametrize("text,expected", [
+        ("not satisfied at all", "Low"),
+        ("2 out of 10", "Low"),
+        ("very low satisfaction", "Low"),
+        ("it is okay overall", "Medium"),
+        ("5 out of 10", "Medium"),
+        ("moderate satisfaction", "Medium"),
+        ("extremely satisfied user", "High"),
+        ("9 out of 10", "High"),
+        ("very high satisfaction", "High"),
+    ])
+    def test_sentences_map_to_levels(self, text, expected):
+        assert normalize_category(text) == expected
+
+    def test_single_words_unaffected(self):
+        # single non-rating tokens keep the ordinary normalization path
+        assert normalize_category("Berlin") == "Berlin"
+
+    def test_survey_feature_collapses_to_three_levels(self):
+        values = [
+            "not satisfied at all", "2 out of 10", "very low satisfaction",
+            "it is okay overall", "5 out of 10", "moderate satisfaction",
+            "extremely satisfied user", "9 out of 10", "very high satisfaction",
+        ]
+        mapping = dedupe_categories(values)
+        assert set(mapping.values()) == {"Low", "Medium", "High"}
+
+    def test_refinement_turns_survey_sentences_categorical(self):
+        from repro.catalog.profiler import profile_table
+        from repro.catalog.refinement import refine_catalog
+        from repro.datasets.registry import load_dataset
+        from repro.llm.mock import MockLLM
+
+        bundle = load_dataset("survey", n=400)
+        catalog = bundle.profile()
+        result = refine_catalog(
+            bundle.unified, catalog, MockLLM("gemini-1.5", fault_injection=False)
+        )
+        before = result.distinct_before.get("satisfaction_text")
+        after = result.distinct_after.get("satisfaction_text")
+        assert before is not None and after is not None
+        assert after <= 4 < before

@@ -1,0 +1,116 @@
+"""Tests for CSV I/O and relational ops."""
+
+import numpy as np
+import pytest
+
+from repro.table.io_csv import read_csv, sniff_delimiter, write_csv
+from repro.table.ops import (
+    drop_duplicate_rows,
+    drop_missing_rows,
+    group_by,
+    sort_by,
+    stack_tables,
+)
+from repro.table.table import Table
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        t = Table.from_dict({"a": [1, 2], "b": ["x", None]})
+        path = tmp_path / "t.csv"
+        write_csv(t, path)
+        back = read_csv(path)
+        assert back["a"].to_list() == [1.0, 2.0]
+        assert back["b"].to_list() == ["x", None]
+
+    def test_sniff_comma(self):
+        assert sniff_delimiter("a,b,c\n1,2,3\n") == ","
+
+    def test_sniff_semicolon(self):
+        assert sniff_delimiter("a;b;c\n1;2;3\n4;5;6\n") == ";"
+
+    def test_sniff_tab(self):
+        assert sniff_delimiter("a\tb\n1\t2\n") == "\t"
+
+    def test_sniff_empty_defaults_comma(self):
+        assert sniff_delimiter("") == ","
+
+    def test_read_custom_delimiter(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a|b\n1|x\n")
+        t = read_csv(path, delimiter="|")
+        assert t.column_names == ["a", "b"]
+
+    def test_read_ragged_rows_pads_missing(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        t = read_csv(path)
+        assert t["b"].to_list() == [2.0, None]
+
+    def test_table_name_from_filename(self, tmp_path):
+        path = tmp_path / "sales.csv"
+        write_csv(Table.from_dict({"a": [1]}), path)
+        assert read_csv(path).name == "sales"
+
+    def test_write_selected_columns(self, tmp_path):
+        t = Table.from_dict({"a": [1], "b": [2]})
+        path = tmp_path / "t.csv"
+        write_csv(t, path, columns=["b"])
+        assert read_csv(path).column_names == ["b"]
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "e.csv"
+        path.write_text("")
+        assert read_csv(path).n_rows == 0
+
+    def test_boolean_cells_roundtrip(self, tmp_path):
+        t = Table.from_dict({"flag": [True, False]})
+        path = tmp_path / "t.csv"
+        write_csv(t, path)
+        assert read_csv(path)["flag"].to_list() == [True, False]
+
+
+class TestOps:
+    def test_sort_by_ascending_missing_last(self):
+        t = Table.from_dict({"a": [3, None, 1]})
+        assert sort_by(t, "a")["a"].to_list() == [1.0, 3.0, None]
+
+    def test_sort_by_descending(self):
+        t = Table.from_dict({"a": [3, 1, 2]})
+        assert sort_by(t, "a", descending=True)["a"].to_list() == [3.0, 2.0, 1.0]
+
+    def test_group_by_aggregates(self):
+        t = Table.from_dict({"k": ["a", "a", "b"], "v": [1, 3, 5]})
+        grouped = group_by(t, "k", {"total": ("v", sum), "n": ("v", len)})
+        rows = {r["k"]: r for r in grouped.to_rows()}
+        assert rows["a"]["total"] == 4.0
+        assert rows["b"]["n"] == 1.0
+
+    def test_group_by_skips_missing_values(self):
+        t = Table.from_dict({"k": ["a", "a"], "v": [1, None]})
+        grouped = group_by(t, "k", {"n": ("v", len)})
+        assert grouped["n"].to_list() == [1.0]
+
+    def test_drop_duplicate_rows(self):
+        t = Table.from_dict({"a": [1, 1, 2], "b": ["x", "x", "y"]})
+        assert drop_duplicate_rows(t).n_rows == 2
+
+    def test_drop_duplicate_rows_subset(self):
+        t = Table.from_dict({"a": [1, 1], "b": ["x", "y"]})
+        assert drop_duplicate_rows(t, subset=["a"]).n_rows == 1
+
+    def test_drop_missing_rows_all_columns(self):
+        t = Table.from_dict({"a": [1, None], "b": ["x", "y"]})
+        assert drop_missing_rows(t).n_rows == 1
+
+    def test_drop_missing_rows_subset(self):
+        t = Table.from_dict({"a": [1, None], "b": [None, "y"]})
+        assert drop_missing_rows(t, subset=["b"]).n_rows == 1
+
+    def test_stack_tables(self):
+        t = Table.from_dict({"a": [1]})
+        stacked = stack_tables([t, t, t])
+        assert stacked.n_rows == 3
+
+    def test_stack_empty(self):
+        assert stack_tables([]).n_rows == 0

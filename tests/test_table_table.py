@@ -1,0 +1,178 @@
+"""Unit tests for repro.table.table."""
+
+import numpy as np
+import pytest
+
+from repro.table.column import Column
+from repro.table.table import Table
+
+
+@pytest.fixture
+def table():
+    return Table.from_dict({
+        "a": [1, 2, 3, 4],
+        "b": ["x", "y", "x", None],
+        "c": [0.5, None, 1.5, 2.5],
+    }, name="t")
+
+
+class TestConstruction:
+    def test_from_dict_shape(self, table):
+        assert table.shape == (4, 3)
+        assert table.column_names == ["a", "b", "c"]
+
+    def test_from_rows_dicts(self):
+        t = Table.from_rows([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert t.shape == (2, 2)
+        assert t["b"].to_list() == ["x", "y"]
+
+    def test_from_rows_tuples(self):
+        t = Table.from_rows([(1, "x"), (2, "y")], columns=["a", "b"])
+        assert t["a"].to_list() == [1.0, 2.0]
+
+    def test_from_rows_tuples_requires_columns(self):
+        with pytest.raises(ValueError):
+            Table.from_rows([(1,)])
+
+    def test_empty_rows_with_columns(self):
+        t = Table.from_rows([], columns=["a"])
+        assert t.shape == (0, 1)
+
+    def test_duplicate_column_rejected(self, table):
+        with pytest.raises(ValueError):
+            table.add_column(Column("a", [9, 9, 9, 9]))
+
+    def test_length_mismatch_rejected(self, table):
+        with pytest.raises(ValueError):
+            table.add_column(Column("d", [1]))
+
+    def test_set_column_replaces(self, table):
+        table.set_column(Column("a", [9, 9, 9, 9]))
+        assert table["a"].to_list() == [9.0] * 4
+
+
+class TestAccess:
+    def test_getitem_missing_raises_keyerror_with_names(self, table):
+        with pytest.raises(KeyError, match="available"):
+            table["zz"]
+
+    def test_contains(self, table):
+        assert "a" in table
+        assert "zz" not in table
+
+    def test_row(self, table):
+        assert table.row(0) == {"a": 1.0, "b": "x", "c": 0.5}
+
+    def test_to_rows_roundtrip(self, table):
+        rebuilt = Table.from_rows(table.to_rows())
+        assert rebuilt == table
+
+    def test_missing_cells(self, table):
+        assert table.missing_cells() == 2
+
+
+class TestProjectionSelection:
+    def test_select_order(self, table):
+        assert table.select(["c", "a"]).column_names == ["c", "a"]
+
+    def test_drop(self, table):
+        assert table.drop("b").column_names == ["a", "c"]
+
+    def test_drop_unknown_raises(self, table):
+        with pytest.raises(KeyError):
+            table.drop(["nope"])
+
+    def test_rename(self, table):
+        assert table.rename({"a": "alpha"}).column_names == ["alpha", "b", "c"]
+
+    def test_take(self, table):
+        assert table.take([3, 0])["a"].to_list() == [4.0, 1.0]
+
+    def test_filter_mask(self, table):
+        kept = table.filter_mask(np.array([True, False, True, False]))
+        assert kept.n_rows == 2
+
+    def test_filter_mask_wrong_length(self, table):
+        with pytest.raises(ValueError):
+            table.filter_mask(np.array([True]))
+
+    def test_filter_predicate(self, table):
+        kept = table.filter(lambda row: row["b"] == "x")
+        assert kept.n_rows == 2
+
+    def test_head(self, table):
+        assert table.head(2).n_rows == 2
+
+    def test_sample_rows_bounded(self, table):
+        assert table.sample_rows(100).n_rows == 4
+        assert table.sample_rows(2, seed=1).n_rows == 2
+
+
+class TestCombination:
+    def test_concat_rows(self, table):
+        doubled = table.concat_rows(table)
+        assert doubled.n_rows == 8
+
+    def test_concat_rows_schema_mismatch(self, table):
+        with pytest.raises(ValueError):
+            table.concat_rows(table.drop("a"))
+
+    def test_concat_columns(self, table):
+        extra = Table.from_dict({"d": [1, 2, 3, 4]})
+        combined = table.concat_columns(extra)
+        assert combined.column_names == ["a", "b", "c", "d"]
+
+    def test_inner_join(self):
+        left = Table.from_dict({"k": [1, 2, 3], "v": ["a", "b", "c"]})
+        right = Table.from_dict({"k": [2, 3, 4], "w": ["B", "C", "D"]})
+        joined = left.join(right, on="k", how="inner")
+        assert joined.n_rows == 2
+        assert joined["w"].to_list() == ["B", "C"]
+
+    def test_left_join_keeps_all_left_rows(self):
+        left = Table.from_dict({"k": [1, 2], "v": ["a", "b"]})
+        right = Table.from_dict({"k": [2], "w": ["B"]})
+        joined = left.join(right, on="k", how="left")
+        assert joined.n_rows == 2
+        assert joined["w"].to_list() == [None, "B"]
+
+    def test_left_join_first_match_only(self):
+        left = Table.from_dict({"k": [1]})
+        right = Table.from_dict({"k": [1, 1], "w": ["A", "B"]})
+        joined = left.join(right, on="k", how="left")
+        assert joined.n_rows == 1
+        assert joined["w"].to_list() == ["A"]
+
+    def test_join_different_key_names(self):
+        left = Table.from_dict({"lk": [1], "v": ["a"]})
+        right = Table.from_dict({"rk": [1], "w": ["A"]})
+        joined = left.join(right, on=("lk", "rk"))
+        assert joined["w"].to_list() == ["A"]
+
+    def test_join_name_collision_gets_suffix(self):
+        left = Table.from_dict({"k": [1], "v": ["a"]})
+        right = Table.from_dict({"k": [1], "v": ["A"]})
+        joined = left.join(right, on="k")
+        assert "v_r" in joined
+
+    def test_join_rejects_unknown_how(self):
+        left = Table.from_dict({"k": [1]})
+        with pytest.raises(ValueError):
+            left.join(left, on="k", how="outer")
+
+
+class TestNumericViews:
+    def test_to_numeric_matrix(self, table):
+        matrix = table.to_numeric_matrix(["a"])
+        assert matrix.shape == (4, 1)
+
+    def test_to_numeric_matrix_defaults_to_numeric_columns(self, table):
+        assert table.to_numeric_matrix().shape == (4, 2)
+
+    def test_to_numeric_matrix_rejects_strings(self, table):
+        with pytest.raises(TypeError):
+            table.to_numeric_matrix(["b"])
+
+    def test_numeric_and_string_names(self, table):
+        assert table.numeric_column_names() == ["a", "c"]
+        assert table.string_column_names() == ["b"]
