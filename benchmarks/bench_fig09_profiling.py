@@ -20,3 +20,15 @@ def test_fig09_profiling(benchmark):
     total_numerical = sum(t.get("Numerical", 0) for t in types.values())
     total_categorical = sum(t.get("Categorical", 0) for t in types.values())
     assert total_numerical > 0 and total_categorical > 0
+
+
+def test_fig09_profiling_parallel(benchmark):
+    """Same experiment on the worker pool; types must match sequential."""
+    result = benchmark.pedantic(
+        lambda: fig9_profiling.run(quick=QUICK, workers=4), rounds=1, iterations=1
+    )
+    save_result("fig09_profiling_parallel", result.render())
+
+    assert len(result.profiling_seconds()) == 20
+    sequential = fig9_profiling.run(quick=QUICK)
+    assert result.type_distribution() == sequential.type_distribution()

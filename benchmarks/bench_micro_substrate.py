@@ -8,6 +8,8 @@ independently of the end-to-end replays.
 
 import numpy as np
 
+from repro.catalog.cache import ProfileCache, clear_default_cache
+from repro.catalog.embeddings import pairwise_similarities
 from repro.catalog.profiler import profile_table
 from repro.datasets.registry import load_dataset
 from repro.generation.executor import execute_pipeline_code
@@ -34,6 +36,77 @@ def test_micro_profiling(benchmark):
         lambda: profile_table(table, target="y", task_type="binary")
     )
     assert len(catalog) == 42
+
+
+def _substrate_table(n=500, d=60, seed=0):
+    """>=50 columns, mixed types — the profiling-substrate stress shape."""
+    rng = np.random.default_rng(seed)
+    data = {}
+    for i in range(d):
+        if i % 3 == 0:
+            data[f"c{i}"] = rng.choice(
+                [f"k{j}" for j in range(12)], size=n
+            ).tolist()
+        else:
+            data[f"c{i}"] = rng.normal(size=n)
+    data["y"] = np.where(rng.normal(size=n) > 0, "p", "n").tolist()
+    return Table.from_dict(data, name="substrate")
+
+
+def test_micro_profiling_sequential_wide(benchmark):
+    table = _substrate_table()
+
+    def run():
+        clear_default_cache()  # time the cold path, not cache hits
+        return profile_table(table, target="y", task_type="binary", workers=1)
+
+    catalog = benchmark(run)
+    assert len(catalog) == 61
+
+
+def test_micro_profiling_parallel_wide(benchmark):
+    table = _substrate_table()
+
+    def run():
+        clear_default_cache()
+        return profile_table(table, target="y", task_type="binary", workers=4)
+
+    catalog = benchmark(run)
+    assert len(catalog) == 61
+
+
+def test_micro_profiling_warm_cache(benchmark):
+    """Re-profiling unchanged content (the refinement path) is near-free."""
+    table = _substrate_table()
+    clear_default_cache()
+    profile_table(table, target="y", task_type="binary")  # warm
+
+    catalog = benchmark(
+        lambda: profile_table(table, target="y", task_type="binary")
+    )
+    assert len(catalog) == 61
+
+
+def test_micro_profiling_parallel_matches_sequential():
+    table = _substrate_table()
+    sequential = profile_table(
+        table, target="y", task_type="binary", workers=1, cache=ProfileCache()
+    )
+    parallel = profile_table(
+        table, target="y", task_type="binary", workers=4, cache=ProfileCache()
+    )
+    assert sequential.to_dict() == parallel.to_dict()
+
+
+def test_micro_pairwise_similarities(benchmark):
+    table = _substrate_table()
+
+    def run():
+        clear_default_cache()
+        return pairwise_similarities(table)
+
+    sims = benchmark(run)
+    assert len(sims) == 61
 
 
 def test_micro_vectorizer(benchmark):

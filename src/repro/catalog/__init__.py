@@ -6,7 +6,14 @@ composite/sentence splitting, categorical deduplication), and the
 materialization of the prepared single-table dataset.
 """
 
+from repro.catalog.cache import (
+    ProfileCache,
+    clear_default_cache,
+    column_fingerprint,
+    get_default_cache,
+)
 from repro.catalog.catalog import ColumnProfile, DataCatalog, DatasetInfo
+from repro.catalog.executor import ProfilerExecutor, resolve_workers
 from repro.catalog.feature_types import FeatureType
 from repro.catalog.materialize import join_multi_table, materialize_refined
 from repro.catalog.profiler import profile_dataset, profile_table
@@ -22,6 +29,12 @@ __all__ = [
     "materialize_refined",
     "profile_dataset",
     "profile_table",
+    "ProfileCache",
+    "ProfilerExecutor",
+    "clear_default_cache",
+    "column_fingerprint",
+    "get_default_cache",
+    "resolve_workers",
     "RefinementResult",
     "refine_catalog",
     "Expectation",

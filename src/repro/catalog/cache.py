@@ -1,0 +1,155 @@
+"""Content-fingerprint-keyed cache for per-column profiling artifacts.
+
+Profiling derives two expensive per-column artifacts: the 300-dim hashed
+bag-of-values embedding and the hashed value set (both cost one md5 per
+cell).  ``pairwise_similarities`` and ``find_inclusion_dependencies``
+each need them for every column, and catalog refinement re-profiles the
+(mostly unchanged) table a second time.  Keying by a *content*
+fingerprint — not column name or object identity — means any two columns
+with identical values share one computation, across calls and across
+tables.
+
+The fingerprint hashes the raw storage buffers (numeric columns) or the
+value tuple (object columns), which is one to two orders of magnitude
+cheaper than the md5-per-cell work it saves.  Entries are evicted LRU so
+the cache stays memory-bounded under sustained traffic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.table.column import Column, ColumnKind
+
+__all__ = [
+    "ProfileCache",
+    "column_fingerprint",
+    "get_default_cache",
+    "clear_default_cache",
+]
+
+
+def column_fingerprint(column: Column) -> tuple:
+    """Stable, content-only key for a column's derived artifacts.
+
+    Two columns with equal kind, length, missing mask, and values get the
+    same fingerprint regardless of name or object identity.  Numeric
+    columns hash their float64/bool buffers directly (C speed); object
+    columns hash the value tuple.
+    """
+    if column.kind is ColumnKind.NUMERIC:
+        digest = hashlib.md5(column.data.tobytes())
+        digest.update(column.missing.tobytes())
+        content: Any = digest.hexdigest()
+    else:
+        content = hash(tuple(column.data.tolist()))
+    return (column.kind.value, len(column), int(column.missing.sum()), content)
+
+
+class ProfileCache:
+    """LRU cache of per-column embeddings and value-hash sets.
+
+    Thread-safe: profiling fans columns out over a worker pool, and all
+    workers funnel through one cache instance.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[tuple, Any] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _get_or_compute(self, key: tuple, compute: Callable[[], Any]) -> Any:
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+        value = compute()
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return value
+
+    def _token_stats(self, column: Column, fingerprint: tuple) -> list:
+        """Shared single-scan artifact behind embeddings and hash sets."""
+        from repro.catalog.embeddings import _column_token_stats
+
+        key = ("stats", *fingerprint)
+        return self._get_or_compute(key, lambda: _column_token_stats(column))
+
+    def embedding(self, column: Column, sample_cap: int | None = None) -> np.ndarray:
+        """Cached :func:`repro.catalog.embeddings.column_embedding`."""
+        from repro.catalog.embeddings import (
+            EMBED_SAMPLE_CAP,
+            _embedding_from_stats,
+            column_embedding,
+        )
+
+        fingerprint = column_fingerprint(column)
+        if sample_cap is not None and sample_cap != EMBED_SAMPLE_CAP:
+            key = ("embedding", sample_cap, *fingerprint)
+            return self._get_or_compute(
+                key, lambda: column_embedding(column, sample_cap=sample_cap)
+            )
+        key = ("embedding", EMBED_SAMPLE_CAP, *fingerprint)
+        return self._get_or_compute(
+            key,
+            lambda: _embedding_from_stats(self._token_stats(column, fingerprint)),
+        )
+
+    def hash_set(self, column: Column, sample_cap: int | None = None) -> set[int]:
+        """Cached :func:`repro.catalog.embeddings._value_hash_set`."""
+        from repro.catalog.embeddings import (
+            HASH_SAMPLE_CAP,
+            _hash_set_from_stats,
+            _value_hash_set,
+        )
+
+        fingerprint = column_fingerprint(column)
+        if sample_cap is not None and sample_cap != HASH_SAMPLE_CAP:
+            key = ("hash_set", sample_cap, *fingerprint)
+            return self._get_or_compute(
+                key, lambda: _value_hash_set(column, sample_cap=sample_cap)
+            )
+        key = ("hash_set", HASH_SAMPLE_CAP, *fingerprint)
+        return self._get_or_compute(
+            key,
+            lambda: _hash_set_from_stats(self._token_stats(column, fingerprint)),
+        )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ProfileCache(entries={len(self._entries)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+_default_cache = ProfileCache()
+
+
+def get_default_cache() -> ProfileCache:
+    """Process-wide cache used when callers do not supply their own."""
+    return _default_cache
+
+
+def clear_default_cache() -> None:
+    _default_cache.clear()

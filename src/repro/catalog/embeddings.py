@@ -11,17 +11,26 @@ in accuracy" (Section 3.1).  This module implements that shortcut:
 - approximate inclusion dependencies via hashed value-set containment,
 - target correlations (Pearson for numeric pairs, correlation-ratio for
   categorical-vs-numeric, Cramér's V for categorical pairs).
+
+The pair-level metadata goes through the content-fingerprint
+:class:`~repro.catalog.cache.ProfileCache`: embeddings and value-hash
+sets are computed once per distinct column content (not once per call or
+per pair) and the all-pairs cosine similarity is a single matmul over the
+stacked embedding matrix instead of an O(n²) Python loop.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
 from repro.table.column import Column, ColumnKind
 from repro.table.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.catalog.cache import ProfileCache
 
 __all__ = [
     "EMBEDDING_DIM",
@@ -31,9 +40,24 @@ __all__ = [
     "column_correlation",
     "pairwise_similarities",
     "find_inclusion_dependencies",
+    "similarity_matrix",
 ]
 
+
+def _resolve_cache(cache: "ProfileCache | None | bool") -> "ProfileCache | None":
+    """``None`` -> process-wide default cache; ``False`` -> no caching."""
+    if cache is False:
+        return None
+    if cache is None:
+        from repro.catalog.cache import get_default_cache
+
+        return get_default_cache()
+    return cache
+
 EMBEDDING_DIM = 300
+
+EMBED_SAMPLE_CAP = 2000
+HASH_SAMPLE_CAP = 5000
 
 
 def _bucket(token: str) -> tuple[int, float]:
@@ -43,23 +67,110 @@ def _bucket(token: str) -> tuple[int, float]:
     return index, sign
 
 
-def column_embedding(column: Column, sample_cap: int = 2000) -> np.ndarray:
-    """Hashed bag-of-values embedding (L2-normalized, 300-dim)."""
-    vec = np.zeros(EMBEDDING_DIM, dtype=np.float64)
-    count = 0
-    for value in column:
+def _column_token_stats(
+    column: Column,
+    embed_cap: int = EMBED_SAMPLE_CAP,
+    hash_cap: int = HASH_SAMPLE_CAP,
+) -> list[tuple[int, int, float, int]]:
+    """One scan feeding both the embedding and the value-hash set.
+
+    Returns, per *distinct* canonical token in first-seen order, the tuple
+    ``(count_within_first_embed_cap_values, bucket_index, sign, hash12)``.
+    One md5 per distinct token replaces one md5 per cell — the dominant
+    profiling cost on repetitive (categorical) columns.
+    """
+    if column.kind is ColumnKind.NUMERIC:
+        fast = _numeric_token_stats(column, embed_cap, hash_cap)
+        if fast is not None:
+            return fast
+    counts: dict[str, int] = {}
+    present = 0
+    for value in column.to_list():
         if value is None:
             continue
         token = _canonical_token(value)
-        index, sign = _bucket(token)
-        vec[index] += sign
-        count += 1
-        if count >= sample_cap:
+        if token not in counts:
+            counts[token] = 0
+        if present < embed_cap:
+            counts[token] += 1
+            present += 1
+        elif len(counts) >= hash_cap:
             break
+    return _stats_from_counts(counts.items())
+
+
+def _stats_from_counts(
+    token_counts: "Sequence[tuple[str, int]] | Any",
+) -> list[tuple[int, int, float, int]]:
+    stats: list[tuple[int, int, float, int]] = []
+    for token, count in token_counts:
+        digest = hashlib.md5(token.encode("utf-8")).hexdigest()
+        index = int(digest[:8], 16) % EMBEDDING_DIM
+        sign = 1.0 if int(digest[8], 16) % 2 == 0 else -1.0
+        stats.append((count, index, sign, int(digest[:12], 16)))
+    return stats
+
+
+def _numeric_token_stats(
+    column: Column, embed_cap: int, hash_cap: int
+) -> list[tuple[int, int, float, int]] | None:
+    """C-speed token stats for float storage via ``np.unique``.
+
+    Valid because distinct floats map to distinct canonical tokens (float
+    repr is injective; ``-0.0``/``0.0`` both canonicalize to ``"0"`` and
+    compare equal, so ``np.unique`` merging them is consistent), and the
+    embedding accumulates integer-weighted ±1 terms, which float64 sums
+    exactly in any order.  Falls back to the ordered scan (returns None)
+    when the distinct count exceeds ``hash_cap``, where the cap truncation
+    depends on first-seen order.
+    """
+    present = column.data[~column.missing]
+    distinct = np.unique(present)
+    if hash_cap and distinct.size > hash_cap:
+        return None
+    if distinct.size > 0.5 * present.size:
+        return None  # near-continuous: dedup buys nothing, scan is cheaper
+    if embed_cap and present.size:
+        window_distinct, window_counts = np.unique(
+            present[:embed_cap], return_counts=True
+        )
+        counts = dict(zip(window_distinct.tolist(), window_counts.tolist()))
+    else:
+        window_distinct = present[:0]
+        counts = {}
+    values = distinct if hash_cap else window_distinct
+    return _stats_from_counts(
+        (_canonical_token(v), counts.get(v, 0)) for v in values.tolist()
+    )
+
+
+def _embedding_from_stats(stats: list[tuple[int, int, float, int]]) -> np.ndarray:
+    vec = np.zeros(EMBEDDING_DIM, dtype=np.float64)
+    for count, index, sign, _ in stats:
+        if count:
+            vec[index] += sign * count
     norm = float(np.linalg.norm(vec))
     if norm > 0:
         vec /= norm
     return vec
+
+
+def _hash_set_from_stats(
+    stats: list[tuple[int, int, float, int]], sample_cap: int = HASH_SAMPLE_CAP
+) -> set[int]:
+    hashes: set[int] = set()
+    for _, _, _, hash12 in stats:
+        hashes.add(hash12)
+        if len(hashes) >= sample_cap:
+            break
+    return hashes
+
+
+def column_embedding(column: Column, sample_cap: int = EMBED_SAMPLE_CAP) -> np.ndarray:
+    """Hashed bag-of-values embedding (L2-normalized, 300-dim)."""
+    return _embedding_from_stats(
+        _column_token_stats(column, embed_cap=sample_cap, hash_cap=0)
+    )
 
 
 def _canonical_token(value: Any) -> str:
@@ -75,29 +186,33 @@ def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
     return float(np.dot(a, b) / denom)
 
 
-def _value_hash_set(column: Column, sample_cap: int = 5000) -> set[int]:
-    hashes: set[int] = set()
-    for value in column:
-        if value is None:
-            continue
-        token = _canonical_token(value)
-        hashes.add(int(hashlib.md5(token.encode("utf-8")).hexdigest()[:12], 16))
-        if len(hashes) >= sample_cap:
-            break
-    return hashes
+def _value_hash_set(column: Column, sample_cap: int = HASH_SAMPLE_CAP) -> set[int]:
+    return _hash_set_from_stats(
+        _column_token_stats(column, embed_cap=0, hash_cap=sample_cap),
+        sample_cap=sample_cap,
+    )
 
 
-def inclusion_coefficient(candidate: Column, reference: Column) -> float:
+def inclusion_coefficient(
+    candidate: Column,
+    reference: Column,
+    cache: "ProfileCache | None | bool" = None,
+) -> float:
     """Fraction of ``candidate``'s distinct values contained in ``reference``.
 
     1.0 means candidate ⊆ reference (an inclusion dependency, i.e. a
     likely foreign key).  Computed on hashed value sets, so collisions can
     inflate the estimate marginally — the documented accuracy trade-off.
     """
-    cand = _value_hash_set(candidate)
+    resolved = _resolve_cache(cache)
+    if resolved is not None:
+        cand = resolved.hash_set(candidate)
+        ref = resolved.hash_set(reference)
+    else:
+        cand = _value_hash_set(candidate)
+        ref = _value_hash_set(reference)
     if not cand:
         return 0.0
-    ref = _value_hash_set(reference)
     return len(cand & ref) / len(cand)
 
 
@@ -108,24 +223,24 @@ def column_correlation(a: Column, b: Column) -> float:
     (eta).  Categorical-categorical: Cramér's V.  Rows missing in either
     column are dropped pairwise.
     """
-    pairs = [
-        (a[i], b[i])
-        for i in range(len(a))
-        if a[i] is not None and b[i] is not None
-    ]
-    if len(pairs) < 3:
+    keep = ~(a.missing | b.missing)
+    if int(keep.sum()) < 3:
         return 0.0
-    a_vals = [p[0] for p in pairs]
-    b_vals = [p[1] for p in pairs]
     a_numeric = a.kind is ColumnKind.NUMERIC
     b_numeric = b.kind is ColumnKind.NUMERIC
     if a_numeric and b_numeric:
-        return _abs_pearson(np.asarray(a_vals, float), np.asarray(b_vals, float))
+        return _abs_pearson(
+            a.data[keep].astype(np.float64), b.data[keep].astype(np.float64)
+        )
     if a_numeric != b_numeric:
         if a_numeric:
-            return _correlation_ratio(b_vals, np.asarray(a_vals, float))
-        return _correlation_ratio(a_vals, np.asarray(b_vals, float))
-    return _cramers_v(a_vals, b_vals)
+            return _correlation_ratio(
+                b.data[keep].tolist(), a.data[keep].astype(np.float64)
+            )
+        return _correlation_ratio(
+            a.data[keep].tolist(), b.data[keep].astype(np.float64)
+        )
+    return _cramers_v(a.data[keep].tolist(), b.data[keep].tolist())
 
 
 def _abs_pearson(x: np.ndarray, y: np.ndarray) -> float:
@@ -166,36 +281,79 @@ def _cramers_v(a_vals: Sequence[Any], b_vals: Sequence[Any]) -> float:
     return float(np.sqrt(chi2 / (n * (k - 1))))
 
 
+def similarity_matrix(
+    table: Table, cache: "ProfileCache | None | bool" = None
+) -> np.ndarray:
+    """All-pairs cosine similarity as one (n_cols, n_cols) matmul.
+
+    Embeddings are L2-normalized (or zero for all-missing columns), so
+    stacking them into ``V`` makes ``V @ V.T`` the full cosine matrix —
+    zero rows contribute zero similarity, matching the pairwise
+    ``cosine_similarity`` convention.
+    """
+    resolved = _resolve_cache(cache)
+    vectors = [
+        resolved.embedding(table[name])
+        if resolved is not None
+        else column_embedding(table[name])
+        for name in table.column_names
+    ]
+    if not vectors:
+        return np.zeros((0, 0), dtype=np.float64)
+    stacked = np.stack(vectors)
+    return stacked @ stacked.T
+
+
 def pairwise_similarities(
-    table: Table, threshold: float = 0.5
+    table: Table,
+    threshold: float = 0.5,
+    cache: "ProfileCache | None | bool" = None,
 ) -> dict[str, list[tuple[str, float]]]:
     """Per-column list of (other column, cosine similarity) above threshold."""
     names = table.column_names
-    vectors = {name: column_embedding(table[name]) for name in names}
+    sims = similarity_matrix(table, cache=cache)
     result: dict[str, list[tuple[str, float]]] = {name: [] for name in names}
-    for i, a in enumerate(names):
-        for b in names[i + 1 :]:
-            sim = cosine_similarity(vectors[a], vectors[b])
-            if sim >= threshold:
-                result[a].append((b, round(sim, 4)))
-                result[b].append((a, round(sim, 4)))
+    rows, cols = np.nonzero(np.triu(sims >= threshold, k=1))
+    for i, j in zip(rows.tolist(), cols.tolist()):
+        sim = round(float(sims[i, j]), 4)
+        result[names[i]].append((names[j], sim))
+        result[names[j]].append((names[i], sim))
     return result
 
 
 def find_inclusion_dependencies(
-    table: Table, threshold: float = 0.95
+    table: Table,
+    threshold: float = 0.95,
+    cache: "ProfileCache | None | bool" = None,
 ) -> dict[str, list[str]]:
     """Columns whose value set is (approximately) contained in another's."""
     names = table.column_names
+    resolved = _resolve_cache(cache)
     result: dict[str, list[str]] = {name: [] for name in names}
-    hash_sets = {name: _value_hash_set(table[name]) for name in names}
+    hash_sets = {
+        name: resolved.hash_set(table[name])
+        if resolved is not None
+        else _value_hash_set(table[name])
+        for name in names
+    }
+    # sorted int64 arrays turn the O(n²) set intersections into C merges
+    arrays = {
+        name: np.sort(np.fromiter(hs, dtype=np.int64, count=len(hs)))
+        for name, hs in hash_sets.items()
+    }
     for a in names:
-        if not hash_sets[a]:
+        size_a = len(arrays[a])
+        if not size_a:
             continue
         for b in names:
-            if a == b or not hash_sets[b]:
+            size_b = len(arrays[b])
+            if a == b or not size_b:
                 continue
-            coeff = len(hash_sets[a] & hash_sets[b]) / len(hash_sets[a])
-            if coeff >= threshold:
+            if size_b < threshold * size_a:
+                continue  # |a ∩ b| <= |b| can never reach the threshold
+            overlap = np.intersect1d(
+                arrays[a], arrays[b], assume_unique=True
+            ).size
+            if overlap / size_a >= threshold:
                 result[a].append(b)
     return result

@@ -5,6 +5,14 @@ missing percentages, basic statistics (numeric columns), feature type,
 embeddings-derived inclusion dependencies / similarities, the correlation
 to the target, and a value sample of size ``tau_1`` (all unique values for
 categorical columns, per the paper).
+
+Columns are profiled on a :class:`ProfilerExecutor` worker pool
+(``workers=N``); per-column RNGs are spawned from one ``SeedSequence`` so
+parallel and sequential runs produce bit-identical catalogs.  Embeddings
+and value-hash sets flow through the content-fingerprint
+:class:`~repro.catalog.cache.ProfileCache`, so the similarity and
+inclusion passes (and any re-profiling during refinement) never recompute
+them for unchanged column content.
 """
 
 from __future__ import annotations
@@ -13,12 +21,14 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.catalog.cache import ProfileCache
 from repro.catalog.catalog import ColumnProfile, DataCatalog, DatasetInfo
 from repro.catalog.embeddings import (
     column_correlation,
     find_inclusion_dependencies,
     pairwise_similarities,
 )
+from repro.catalog.executor import ProfilerExecutor, spawn_column_rngs
 from repro.catalog.feature_types import FeatureType, infer_feature_type_heuristic
 from repro.table.column import Column, ColumnKind
 from repro.table.table import Table
@@ -109,26 +119,43 @@ def profile_table(
     description: str = "",
     seed: int = 0,
     with_dependencies: bool = True,
+    workers: int | None = None,
+    cache: ProfileCache | None = None,
 ) -> DataCatalog:
-    """Profile a single table into a :class:`DataCatalog` (Algorithm 1)."""
+    """Profile a single table into a :class:`DataCatalog` (Algorithm 1).
+
+    ``workers`` sizes the column-profiling worker pool (``None``/1 =
+    sequential, 0 = all cores); results are bit-identical across pool
+    sizes because each column's RNG is derived from ``(seed, position)``.
+    ``cache`` overrides the process-wide embedding/value-hash cache.
+    """
     if target not in table:
         raise KeyError(f"target column {target!r} not in table")
-    rng = np.random.default_rng(seed)
-    profiles = [
-        _profile_column(table[name], table.n_rows, tau_1, rng)
-        for name in table.column_names
-    ]
+    executor = ProfilerExecutor(workers)
+    names = table.column_names
+    rngs = spawn_column_rngs(seed, len(names))
+    profiles = executor.starmap(
+        _profile_column,
+        [
+            (table[name], table.n_rows, tau_1, rng)
+            for name, rng in zip(names, rngs)
+        ],
+    )
     if with_dependencies:
-        similarities = pairwise_similarities(table)
-        inclusion = find_inclusion_dependencies(table)
+        similarities = pairwise_similarities(table, cache=cache)
+        inclusion = find_inclusion_dependencies(table, cache=cache)
         target_column = table[target]
-        for profile in profiles:
+
+        def _attach(profile: ColumnProfile) -> ColumnProfile:
             profile.similarities = similarities.get(profile.name, [])
             profile.inclusion_dependencies = inclusion.get(profile.name, [])
             if profile.name != target:
                 profile.target_correlation = round(
                     column_correlation(table[profile.name], target_column), 4
                 )
+            return profile
+
+        executor.map(_attach, profiles)
     info = DatasetInfo(
         name=table.name,
         task_type=task_type,
@@ -151,6 +178,8 @@ def profile_dataset(
     tau_1: int = DEFAULT_SAMPLES,
     seed: int = 0,
     description: str = "",
+    workers: int | None = None,
+    cache: ProfileCache | None = None,
 ) -> DataCatalog:
     """Profile a (possibly multi-table) dataset.
 
@@ -174,4 +203,6 @@ def profile_dataset(
         n_tables=len(tables),
         seed=seed,
         description=description,
+        workers=workers,
+        cache=cache,
     )

@@ -47,6 +47,9 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--rows", type=int, default=None,
                          help="override generated row count")
     profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--profile-workers", type=int, default=None,
+                         help="profiling worker-pool size "
+                              "(1 = sequential, 0 = all cores)")
 
     generate = sub.add_parser("generate", help="generate a pipeline with CatDB")
     generate.add_argument("dataset")
@@ -62,6 +65,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="run catalog refinement first")
     generate.add_argument("--rows", type=int, default=None)
     generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--profile-workers", type=int, default=None,
+                          help="profiling worker-pool size "
+                               "(1 = sequential, 0 = all cores)")
     generate.add_argument("--show-code", action="store_true")
 
     experiment = sub.add_parser("experiment", help="run one paper experiment")
@@ -92,7 +98,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     overrides = {"n": args.rows} if args.rows else {}
     bundle = load_dataset(args.dataset, seed=args.seed, **overrides)
-    catalog = bundle.profile(seed=args.seed)
+    catalog = bundle.profile(seed=args.seed, workers=args.profile_workers)
     print(catalog)
     print(f"{'column':24s} {'type':8s} {'feature':12s} {'distinct':>8s} "
           f"{'missing%':>8s} {'corr':>6s}")
@@ -111,7 +117,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
     overrides = {"n": args.rows} if args.rows else {}
     bundle = load_dataset(args.dataset, seed=args.seed, **overrides)
-    catalog = bundle.profile(seed=args.seed)
+    catalog = bundle.profile(seed=args.seed, workers=args.profile_workers)
     llm = LLM(args.llm, config={"seed": args.seed})
     P = catdb_pipgen(
         catalog, llm, data=bundle.unified,

@@ -44,7 +44,12 @@ class Fig9Result:
                             title="Figure 9: profiling runtime & type distribution")
 
 
-def run(datasets: list[str] | None = None, quick: bool = True, seed: int = 0) -> Fig9Result:
+def run(
+    datasets: list[str] | None = None,
+    quick: bool = True,
+    seed: int = 0,
+    workers: int | None = None,
+) -> Fig9Result:
     names = datasets if datasets is not None else list(DATASET_SPECS)
     result = Fig9Result()
     for name in names:
@@ -54,7 +59,7 @@ def run(datasets: list[str] | None = None, quick: bool = True, seed: int = 0) ->
         bundle = load_dataset(name, seed=seed, **overrides)
         unified = bundle.unified  # materialize joins before timing profiling
         start = time.perf_counter()
-        catalog = bundle.profile(seed=seed)
+        catalog = bundle.profile(seed=seed, workers=workers)
         elapsed = time.perf_counter() - start
         types: dict[str, int] = {}
         for profile in catalog.profiles():

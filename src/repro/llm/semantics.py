@@ -102,11 +102,25 @@ def _parse_count(token: str) -> int | None:
 def normalize_category(value: Any) -> str:
     """Canonical spelling of one categorical value.
 
-    Order of attempts: synonym table, duration normalization
-    (months -> whole years where exact), whitespace/case/punctuation
-    canonicalization.
+    Applies :func:`_normalize_once` (synonym table, sentiment phrases,
+    duration normalization, whitespace/case/punctuation canonicalization)
+    repeatedly until the text stops changing, so the result is always a
+    fixpoint: ``normalize_category(normalize_category(v)) ==
+    normalize_category(v)``.  A single pass is not enough — punctuation
+    canonicalization can expose a synonym-table entry (``'0_'`` -> ``'0'``
+    -> ``'No'``), so the lookup has to be re-run on canonicalized text.
     """
-    text = str(value).strip()
+    text = str(value)
+    seen: set[str] = set()
+    while text not in seen:
+        seen.add(text)
+        text = _normalize_once(text)
+    return text
+
+
+def _normalize_once(value: str) -> str:
+    """One canonicalization pass; ``normalize_category`` iterates this."""
+    text = value.strip()
     lowered = re.sub(r"\s+", " ", text.lower())
     if lowered in _SYNONYM_INDEX:
         return _SYNONYM_INDEX[lowered]

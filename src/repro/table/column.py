@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 import math
+from collections import Counter
 from typing import Any, Iterable, Sequence
 
 import numpy as np
@@ -137,7 +138,11 @@ class Column:
 
     def to_list(self) -> list[Any]:
         """Values with missing entries as ``None``."""
-        return list(self)
+        out = self.data.tolist()  # C-speed; floats become Python floats
+        if self.missing.any():
+            for i in np.nonzero(self.missing)[0].tolist():
+                out[i] = None
+        return out
 
     def non_missing(self) -> np.ndarray:
         """All present values, in row order."""
@@ -153,20 +158,11 @@ class Column:
 
     def unique(self) -> list[Any]:
         """Distinct non-missing values, in first-seen order."""
-        seen: dict[Any, None] = {}
-        for value in self.non_missing():
-            if self.kind is ColumnKind.NUMERIC:
-                value = float(value)
-            seen.setdefault(value, None)
-        return list(seen)
+        return list(dict.fromkeys(self.non_missing().tolist()))
 
     def value_counts(self) -> dict[Any, int]:
         """Counts of distinct non-missing values, most frequent first."""
-        counts: dict[Any, int] = {}
-        for value in self.non_missing():
-            if self.kind is ColumnKind.NUMERIC:
-                value = float(value)
-            counts[value] = counts.get(value, 0) + 1
+        counts = Counter(self.non_missing().tolist())
         return dict(sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0]))))
 
     @property

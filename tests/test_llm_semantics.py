@@ -48,6 +48,35 @@ class TestNormalizeCategory:
         once = normalize_category("some Value")
         assert normalize_category(once) == once
 
+    @pytest.mark.parametrize("raw", ["0_", "f_", "_1_", "n-a", "y "])
+    def test_idempotent_through_punctuation_then_synonym(self, raw):
+        # canonicalization may expose a synonym-table entry; the result
+        # must still be a fixpoint ('0_' -> '0' -> 'No' stays 'No')
+        once = normalize_category(raw)
+        assert normalize_category(once) == once
+
+    def test_synonym_canonicals_are_fixpoints(self):
+        from repro.llm.semantics import _SYNONYM_GROUPS
+
+        for canonical, spellings in _SYNONYM_GROUPS.items():
+            assert normalize_category(canonical) == canonical
+            for spelling in spellings:
+                assert normalize_category(spelling) == canonical
+
+    def test_dedupe_outputs_are_fixpoints(self):
+        # audit of the dedupe_categories call site: every canonical
+        # representative must map to itself on a second pass
+        values = ["F", "0_", "12 Months", "ok_stuff", "red", "CA", "n/a"]
+        for mapped in dedupe_categories(values).values():
+            assert normalize_category(mapped) == mapped
+
+    def test_canonical_set_construction_stable(self):
+        # audit of infer_semantic_feature_type's canonical-set call site:
+        # re-normalizing the canonical set must not shrink it further
+        texts = ["F", "Female", "0_", "0", "yes", "y", "red"]
+        canonical = {normalize_category(t) for t in texts}
+        assert {normalize_category(c) for c in canonical} == canonical
+
 
 class TestDedupeCategories:
     def test_merges_equivalents(self):

@@ -1,0 +1,230 @@
+"""Tests for the parallel, cached profiling substrate.
+
+The load-bearing guarantee: ``profile_table(workers=N)`` is bit-identical
+to ``profile_table(workers=1)`` for any N, because per-column RNGs are
+spawned from ``(seed, column position)`` rather than shared sequentially.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.cache import (
+    ProfileCache,
+    clear_default_cache,
+    column_fingerprint,
+    get_default_cache,
+)
+from repro.catalog.embeddings import (
+    find_inclusion_dependencies,
+    pairwise_similarities,
+    similarity_matrix,
+)
+from repro.catalog.executor import ProfilerExecutor, resolve_workers, spawn_column_rngs
+from repro.catalog.profiler import profile_dataset, profile_table
+from repro.table.column import Column
+from repro.table.table import Table
+
+
+def _random_table(rng: np.random.Generator, n_rows: int, n_cols: int) -> Table:
+    data = {}
+    for i in range(n_cols):
+        kind = rng.integers(0, 3)
+        if kind == 0:
+            data[f"c{i}"] = rng.normal(size=n_rows)
+        elif kind == 1:
+            data[f"c{i}"] = rng.choice(
+                ["red", "green", "blue", "teal"], size=n_rows
+            ).tolist()
+        else:  # numeric with missing values
+            vals = rng.normal(size=n_rows).tolist()
+            for j in range(0, n_rows, 4):
+                vals[j] = None
+            data[f"c{i}"] = vals
+    data["y"] = rng.choice(["p", "n"], size=n_rows).tolist()
+    return Table.from_dict(data, name="rand")
+
+
+class TestParallelDeterminism:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_rows=st.integers(min_value=5, max_value=40),
+        n_cols=st.integers(min_value=1, max_value=6),
+        profile_seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_workers_4_equals_workers_1(self, seed, n_rows, n_cols, profile_seed):
+        table = _random_table(np.random.default_rng(seed), n_rows, n_cols)
+        sequential = profile_table(
+            table, target="y", task_type="binary",
+            seed=profile_seed, workers=1, cache=ProfileCache(),
+        )
+        parallel = profile_table(
+            table, target="y", task_type="binary",
+            seed=profile_seed, workers=4, cache=ProfileCache(),
+        )
+        assert sequential.to_dict() == parallel.to_dict()
+
+    def test_workers_all_cores(self):
+        table = _random_table(np.random.default_rng(3), 30, 5)
+        sequential = profile_table(table, target="y", task_type="binary", workers=1)
+        all_cores = profile_table(table, target="y", task_type="binary", workers=0)
+        assert sequential.to_dict() == all_cores.to_dict()
+
+    def test_profile_dataset_workers_passthrough(self):
+        fact = Table.from_dict({"k": [1, 2, 1], "y": ["a", "b", "a"]}, name="fact")
+        dim = Table.from_dict({"k": [1, 2], "v": [10.0, 20.0]}, name="dim")
+        kwargs = dict(
+            target="y", task_type="binary", join_plan=[("fact", "dim", "k")]
+        )
+        sequential = profile_dataset([fact, dim], workers=1, **kwargs)
+        parallel = profile_dataset([fact, dim], workers=4, **kwargs)
+        assert sequential.to_dict() == parallel.to_dict()
+
+    def test_spawned_rngs_independent_of_position_count(self):
+        # each column's stream depends only on (seed, position)
+        a = spawn_column_rngs(7, 3)
+        b = spawn_column_rngs(7, 5)
+        for rng_a, rng_b in zip(a, b):
+            assert rng_a.integers(0, 1 << 30) == rng_b.integers(0, 1 << 30)
+
+
+class TestProfilerExecutor:
+    def test_sequential_by_default(self):
+        assert ProfilerExecutor(None).workers == 1
+        assert not ProfilerExecutor(None).is_parallel
+
+    def test_map_preserves_order(self):
+        result = ProfilerExecutor(4).map(lambda x: x * x, range(50))
+        assert result == [x * x for x in range(50)]
+
+    def test_starmap(self):
+        result = ProfilerExecutor(2).starmap(lambda a, b: a + b, [(1, 2), (3, 4)])
+        assert result == [3, 7]
+
+    def test_worker_exception_propagates(self):
+        def boom(x):
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            ProfilerExecutor(4).map(boom, range(8))
+
+    def test_resolve_workers(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+        assert resolve_workers(1) == 1
+        assert resolve_workers(6) == 6
+        assert resolve_workers(0) >= 1
+        monkeypatch.setenv("REPRO_PROFILE_WORKERS", "3")
+        assert resolve_workers(None) == 3
+        monkeypatch.setenv("REPRO_PROFILE_WORKERS", "junk")
+        assert resolve_workers(None) == 1
+
+
+class TestProfileCache:
+    def test_content_keyed_across_names(self):
+        cache = ProfileCache()
+        a = cache.embedding(Column("a", ["x", "y", "z"]))
+        b = cache.embedding(Column("totally_different_name", ["x", "y", "z"]))
+        assert cache.hits == 1
+        assert (a == b).all()
+
+    def test_different_content_different_entries(self):
+        cache = ProfileCache()
+        cache.embedding(Column("a", ["x", "y"]))
+        cache.embedding(Column("a", ["x", "z"]))
+        assert cache.hits == 0
+
+    def test_embedding_and_hash_set_share_one_scan(self):
+        cache = ProfileCache()
+        cache.embedding(Column("a", ["x", "y", "z"]))
+        before = cache.hits
+        cache.hash_set(Column("a", ["x", "y", "z"]))
+        assert cache.hits == before + 1  # the shared token-stats entry
+
+    def test_missing_mask_in_fingerprint(self):
+        with_missing = column_fingerprint(Column("a", [1.0, None, 3.0]))
+        without = column_fingerprint(Column("a", [1.0, 2.0, 3.0]))
+        assert with_missing != without
+
+    def test_lru_eviction_bounds_memory(self):
+        cache = ProfileCache(max_entries=4)
+        for i in range(10):
+            cache.embedding(Column("a", [f"v{i}"]))
+        assert len(cache) == 4
+
+    def test_clear(self):
+        cache = ProfileCache()
+        cache.embedding(Column("a", ["x"]))
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+    def test_hash_set_cached(self):
+        cache = ProfileCache()
+        first = cache.hash_set(Column("a", ["x", "y"]))
+        second = cache.hash_set(Column("b", ["x", "y"]))
+        assert first == second and cache.hits == 1
+
+    def test_default_cache_used_by_metadata_passes(self):
+        clear_default_cache()
+        table = Table.from_dict({"a": ["x", "y"] * 5, "b": ["x", "y"] * 5})
+        pairwise_similarities(table)
+        assert get_default_cache().misses > 0
+        before = get_default_cache().hits
+        pairwise_similarities(table)
+        assert get_default_cache().hits > before
+
+
+class TestVectorizedSimilarities:
+    def test_matches_uncached_pair_loop(self):
+        rng = np.random.default_rng(1)
+        table = _random_table(rng, 40, 6)
+        cached = pairwise_similarities(table, cache=ProfileCache())
+        uncached = pairwise_similarities(table, cache=False)
+        assert cached == uncached
+
+    def test_similarity_matrix_shape_and_diagonal(self):
+        table = Table.from_dict({"a": ["x"] * 5, "b": ["x"] * 5, "c": ["q"] * 5})
+        sims = similarity_matrix(table)
+        assert sims.shape == (3, 3)
+        assert np.allclose(np.diag(sims), 1.0)
+        assert sims[0, 1] == pytest.approx(1.0)
+
+    def test_zero_vector_column_never_similar(self):
+        table = Table.from_dict({"a": [None, None], "b": ["x", "y"]})
+        sims = pairwise_similarities(table, threshold=0.0)
+        # threshold 0.0 technically admits the 0.0 similarity; the zero
+        # embedding must not produce spurious >0 scores
+        assert all(score == 0.0 for _, score in sims["a"])
+
+    def test_inclusion_dependencies_cached_path(self):
+        table = Table.from_dict({
+            "fk": ["a", "b", "a"],
+            "pk": ["a", "b", "c"],
+            "other": ["x", "y", "z"],
+        })
+        cached = find_inclusion_dependencies(table, cache=ProfileCache())
+        uncached = find_inclusion_dependencies(table, cache=False)
+        assert cached == uncached
+        assert "pk" in cached["fk"]
+
+
+class TestCliWorkersFlag:
+    def test_profile_workers_flag_parsed(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["profile", "wifi", "--profile-workers", "4"]
+        )
+        assert args.profile_workers == 4
+        args = build_parser().parse_args(
+            ["generate", "wifi", "--profile-workers", "2"]
+        )
+        assert args.profile_workers == 2
+
+    def test_profile_workers_defaults_to_none(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["profile", "wifi"])
+        assert args.profile_workers is None

@@ -133,6 +133,12 @@ class TestSemanticsProperties:
         once = normalize_category(value)
         assert normalize_category(once) == once
 
+    def test_normalize_idempotent_regression_0_underscore(self):
+        # historical falsifying example: '0_' -> '0' -> 'No' when the
+        # synonym lookup ran only before punctuation canonicalization
+        once = normalize_category("0_")
+        assert normalize_category(once) == once
+
     @given(st.lists(st.text(min_size=1, max_size=10), min_size=1, max_size=25))
     def test_dedupe_covers_all_inputs(self, values):
         mapping = dedupe_categories(values)
