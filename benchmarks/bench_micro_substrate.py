@@ -18,6 +18,7 @@ from repro.llm.mock import MockLLM
 from repro.llm.profiles import get_profile
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.pipeline import TableVectorizer
+from repro.obs.trace import Tracer, set_tracer
 from repro.prompt.builder import build_prompt_plan
 from repro.table.table import Table
 
@@ -84,6 +85,41 @@ def test_micro_profiling_warm_cache(benchmark):
     catalog = benchmark(
         lambda: profile_table(table, target="y", task_type="binary")
     )
+    assert len(catalog) == 61
+
+
+def test_micro_profiling_tracer_off(benchmark):
+    """Profiling with the default null tracer — the overhead baseline.
+
+    Compare against ``test_micro_profiling_tracer_on``: the acceptance
+    bound is <5% overhead when tracing is disabled (this pair also shows
+    what *enabled* tracing costs, which is allowed to be higher).
+    """
+    table = _substrate_table()
+
+    def run():
+        clear_default_cache()
+        return profile_table(table, target="y", task_type="binary", workers=1)
+
+    catalog = benchmark(run)
+    assert len(catalog) == 61
+
+
+def test_micro_profiling_tracer_on(benchmark):
+    """Same profiling call with a live tracer collecting the span tree."""
+    table = _substrate_table()
+
+    def run():
+        clear_default_cache()
+        previous = set_tracer(Tracer())
+        try:
+            return profile_table(
+                table, target="y", task_type="binary", workers=1
+            )
+        finally:
+            set_tracer(previous)
+
+    catalog = benchmark(run)
     assert len(catalog) == 61
 
 

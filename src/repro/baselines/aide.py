@@ -14,7 +14,7 @@ from __future__ import annotations
 import time
 from typing import Any
 
-from repro.baselines.base import BaselineReport
+from repro.baselines.base import BaselineReport, traced_baseline_run
 from repro.generation.executor import execute_pipeline_code
 from repro.generation.validator import extract_code_block, validate_source
 from repro.llm.base import LLMClient
@@ -78,6 +78,7 @@ class AIDEBaseline:
         lines.append(embed_payload(payload))
         return "\n".join(lines)
 
+    @traced_baseline_run
     def run(
         self,
         train: Table,

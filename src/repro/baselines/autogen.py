@@ -15,7 +15,7 @@ from __future__ import annotations
 import time
 from typing import Any
 
-from repro.baselines.base import BaselineReport
+from repro.baselines.base import BaselineReport, traced_baseline_run
 from repro.catalog.feature_types import infer_feature_type_heuristic
 from repro.generation.executor import execute_pipeline_code
 from repro.generation.validator import extract_code_block, validate_source
@@ -99,6 +99,7 @@ class AutoGenBaseline:
         lines.append(embed_payload(payload))
         return "\n".join(lines)
 
+    @traced_baseline_run
     def run(
         self,
         train: Table,

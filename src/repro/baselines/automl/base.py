@@ -25,7 +25,12 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.baselines.base import BaselineReport, default_vectorize, evaluate_predictions
+from repro.baselines.base import (
+    BaselineReport,
+    default_vectorize,
+    evaluate_predictions,
+    traced_baseline_run,
+)
 from repro.ml.base import BaseEstimator, clone
 from repro.ml.metrics import accuracy_score, r2_score
 from repro.ml.model_selection import train_test_split
@@ -86,6 +91,7 @@ class MiniAutoML:
 
     # -- main entry ------------------------------------------------------------------
 
+    @traced_baseline_run
     def run(
         self,
         train: Table,

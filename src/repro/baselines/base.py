@@ -7,11 +7,47 @@ from typing import Any
 
 import numpy as np
 
+from repro.generation.executor import select_primary_metric
 from repro.ml.metrics import accuracy_score, r2_score, roc_auc_score
 from repro.ml.pipeline import TableVectorizer
+from repro.obs.trace import traced
 from repro.table.table import Table
 
-__all__ = ["BaselineReport", "evaluate_predictions", "default_vectorize"]
+__all__ = [
+    "BaselineReport",
+    "evaluate_predictions",
+    "default_vectorize",
+    "traced_baseline_run",
+    "traced_cleaning_run",
+]
+
+
+def traced_baseline_run(fn):
+    """Span-wrap a baseline's ``run(self, train, test, ...)`` method.
+
+    All comparator systems (CAAFE, AIDE, AutoGen, mini-AutoML) route
+    through the observability tracer via this decorator, so ``--trace``
+    covers baseline runs with the same span/ledger machinery as CatDB.
+    Timings inside baselines use monotonic ``time.perf_counter`` only —
+    never wall-clock ``time.time`` — so runtimes cannot go negative under
+    clock adjustment.
+    """
+    return traced(
+        "baseline.run",
+        lambda self, train, *a, **k: {
+            "system": self.name, "dataset": train.name,
+        },
+    )(fn)
+
+
+def traced_cleaning_run(fn):
+    """Span-wrap a cleaning tool's ``clean(self, table, ...)`` method."""
+    return traced(
+        "baseline.clean",
+        lambda self, table, *a, **k: {
+            "system": self.name, "dataset": table.name,
+        },
+    )(fn)
 
 
 @dataclass
@@ -38,10 +74,13 @@ class BaselineReport:
 
     @property
     def primary_metric(self) -> float | None:
-        for key in ("test_auc", "test_r2", "test_accuracy"):
-            if key in self.metrics:
-                return float(self.metrics[key])
-        return None
+        """Headline test metric under the documented fixed priority
+        (``test_auc`` > ``test_r2`` > ``test_accuracy``)."""
+        return select_primary_metric(self.metrics)
+
+    def primary_metric_for(self, task_type: str) -> float | None:
+        """Task-aware headline metric (regression prefers ``test_r2``)."""
+        return select_primary_metric(self.metrics, task_type)
 
 
 def evaluate_predictions(

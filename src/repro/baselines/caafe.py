@@ -16,7 +16,12 @@ from typing import Any
 
 import numpy as np
 
-from repro.baselines.base import BaselineReport, default_vectorize, evaluate_predictions
+from repro.baselines.base import (
+    BaselineReport,
+    default_vectorize,
+    evaluate_predictions,
+    traced_baseline_run,
+)
 from repro.generation.validator import extract_code_block
 from repro.llm.base import LLMClient
 from repro.llm.mock import embed_payload
@@ -88,6 +93,7 @@ class CAAFEBaseline:
 
     # -- run ----------------------------------------------------------------------
 
+    @traced_baseline_run
     def run(
         self,
         train: Table,

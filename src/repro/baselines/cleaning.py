@@ -24,7 +24,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.baselines.base import default_vectorize
+from repro.baselines.base import default_vectorize, traced_cleaning_run
 from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
 from repro.ml.metrics import accuracy_score, r2_score
 from repro.ml.model_selection import train_test_split
@@ -274,6 +274,7 @@ class SagaLike:
         self.max_length = max_length
         self.seed = seed
 
+    @traced_cleaning_run
     def clean(self, table: Table, target: str, task_type: str) -> CleaningReport:
         start = time.perf_counter()
         rng = np.random.default_rng(self.seed)
@@ -330,6 +331,7 @@ class Learn2CleanLike:
         self.max_steps = max_steps
         self.seed = seed
 
+    @traced_cleaning_run
     def clean(self, table: Table, target: str, task_type: str) -> CleaningReport:
         start = time.perf_counter()
         if not _numeric_names(table, target):

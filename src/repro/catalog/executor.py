@@ -22,6 +22,8 @@ from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
 
+from repro.obs.trace import get_tracer
+
 __all__ = ["ProfilerExecutor", "resolve_workers", "spawn_column_rngs"]
 
 T = TypeVar("T")
@@ -81,6 +83,17 @@ class ProfilerExecutor:
         if not self.is_parallel or len(items) <= 1:
             return [fn(item) for item in items]
         pool_size = min(self.workers, len(items))
+        tracer = get_tracer()
+        if tracer.enabled:
+            # spans opened inside worker threads must attach to the
+            # submitting thread's current span, not float as roots
+            parent = tracer.current()
+            inner = fn
+
+            def fn(item):  # noqa: ANN001 - mirrors the wrapped callable
+                with tracer.attach(parent):
+                    return inner(item)
+
         with ThreadPoolExecutor(max_workers=pool_size) as pool:
             return list(pool.map(fn, items))
 

@@ -21,7 +21,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.catalog.cache import ProfileCache
+from repro.catalog.cache import ProfileCache, get_default_cache
 from repro.catalog.catalog import ColumnProfile, DataCatalog, DatasetInfo
 from repro.catalog.embeddings import (
     column_correlation,
@@ -30,6 +30,8 @@ from repro.catalog.embeddings import (
 )
 from repro.catalog.executor import ProfilerExecutor, spawn_column_rngs
 from repro.catalog.feature_types import FeatureType, infer_feature_type_heuristic
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 from repro.table.column import Column, ColumnKind
 from repro.table.table import Table
 
@@ -54,6 +56,16 @@ def numeric_statistics(column: Column) -> dict[str, float]:
 
 
 def _profile_column(
+    column: Column,
+    n_rows: int,
+    tau_1: int,
+    rng: np.random.Generator,
+) -> ColumnProfile:
+    with get_tracer().span("profile.column", column=column.name):
+        return _profile_column_impl(column, n_rows, tau_1, rng)
+
+
+def _profile_column_impl(
     column: Column,
     n_rows: int,
     tau_1: int,
@@ -132,30 +144,54 @@ def profile_table(
     if target not in table:
         raise KeyError(f"target column {target!r} not in table")
     executor = ProfilerExecutor(workers)
-    names = table.column_names
-    rngs = spawn_column_rngs(seed, len(names))
-    profiles = executor.starmap(
-        _profile_column,
-        [
-            (table[name], table.n_rows, tau_1, rng)
-            for name, rng in zip(names, rngs)
-        ],
-    )
-    if with_dependencies:
-        similarities = pairwise_similarities(table, cache=cache)
-        inclusion = find_inclusion_dependencies(table, cache=cache)
-        target_column = table[target]
+    tracer = get_tracer()
+    metrics = get_metrics()
+    with tracer.span(
+        "profile.table", dataset=table.name, rows=table.n_rows,
+        cols=table.n_cols, workers=executor.workers,
+    ):
+        names = table.column_names
+        rngs = spawn_column_rngs(seed, len(names))
+        with tracer.span("profile.columns"):
+            profiles = executor.starmap(
+                _profile_column,
+                [
+                    (table[name], table.n_rows, tau_1, rng)
+                    for name, rng in zip(names, rngs)
+                ],
+            )
+        if with_dependencies:
+            cache_obj = cache if cache is not None else get_default_cache()
+            hits_before = cache_obj.hits
+            misses_before = cache_obj.misses
+            with tracer.span("profile.dependencies"):
+                similarities = pairwise_similarities(table, cache=cache)
+                inclusion = find_inclusion_dependencies(table, cache=cache)
+                target_column = table[target]
 
-        def _attach(profile: ColumnProfile) -> ColumnProfile:
-            profile.similarities = similarities.get(profile.name, [])
-            profile.inclusion_dependencies = inclusion.get(profile.name, [])
-            if profile.name != target:
-                profile.target_correlation = round(
-                    column_correlation(table[profile.name], target_column), 4
-                )
-            return profile
+                def _attach(profile: ColumnProfile) -> ColumnProfile:
+                    profile.similarities = similarities.get(profile.name, [])
+                    profile.inclusion_dependencies = inclusion.get(
+                        profile.name, []
+                    )
+                    if profile.name != target:
+                        profile.target_correlation = round(
+                            column_correlation(
+                                table[profile.name], target_column
+                            ),
+                            4,
+                        )
+                    return profile
 
-        executor.map(_attach, profiles)
+                executor.map(_attach, profiles)
+            metrics.inc(
+                "profile.cache.hits", cache_obj.hits - hits_before
+            )
+            metrics.inc(
+                "profile.cache.misses", cache_obj.misses - misses_before
+            )
+        metrics.inc("profile.tables")
+        metrics.inc("profile.columns", len(names))
     info = DatasetInfo(
         name=table.name,
         task_type=task_type,

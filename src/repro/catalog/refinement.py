@@ -27,6 +27,8 @@ from repro.catalog.profiler import profile_table
 from repro.llm import semantics
 from repro.llm.base import LLMClient
 from repro.llm.mock import embed_payload
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 from repro.table.column import Column, ColumnKind
 from repro.table.table import Table
 
@@ -116,6 +118,25 @@ def refine_catalog(
     dedupe_numeric_categoricals: bool = False,
 ) -> RefinementResult:
     """Run the full refinement workflow of Figure 4 on one table."""
+    with get_tracer().span(
+        "refine.catalog", dataset=table.name, cols=table.n_cols
+    ) as span:
+        result = _refine_catalog_impl(
+            table, catalog, llm, dedupe_numeric_categoricals
+        )
+        span.set(operations=len(result.operations))
+        metrics = get_metrics()
+        for op in result.operations:
+            metrics.inc("refine.ops", op=op["op"])
+        return result
+
+
+def _refine_catalog_impl(
+    table: Table,
+    catalog: DataCatalog,
+    llm: LLMClient,
+    dedupe_numeric_categoricals: bool = False,
+) -> RefinementResult:
     result = RefinementResult(table=table, catalog=catalog)
     out = table
 

@@ -6,6 +6,12 @@ Subcommands:
 - ``profile <dataset>``   profile a dataset and print its catalog
 - ``generate <dataset>``  run CatDB end-to-end and print code + metrics
 - ``experiment <id>``     run one paper experiment (fig9, table4, ...)
+- ``runs``                inspect the observability run ledger
+                          (``list`` / ``show <id>`` / ``diff <a> <b>``)
+
+``profile``, ``generate``, and ``experiment`` accept ``--trace`` to record
+span trees + metrics into the run ledger (``--runs-dir``, default
+``runs/``); see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -40,9 +46,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_trace_args(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--trace", action="store_true",
+                             help="record spans + metrics to the run ledger")
+        command.add_argument("--runs-dir", default=None,
+                             help="ledger directory (default: runs/ or "
+                                  "$REPRO_RUNS_DIR)")
+
     sub.add_parser("datasets", help="list the 20 dataset replicas")
 
     profile = sub.add_parser("profile", help="profile a dataset")
+    add_trace_args(profile)
     profile.add_argument("dataset")
     profile.add_argument("--rows", type=int, default=None,
                          help="override generated row count")
@@ -52,6 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "(1 = sequential, 0 = all cores)")
 
     generate = sub.add_parser("generate", help="generate a pipeline with CatDB")
+    add_trace_args(generate)
     generate.add_argument("dataset")
     generate.add_argument("--llm", default="gpt-4o",
                           help="gpt-4o | gemini-1.5 | llama3.1-70b")
@@ -71,7 +86,25 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--show-code", action="store_true")
 
     experiment = sub.add_parser("experiment", help="run one paper experiment")
+    add_trace_args(experiment)
     experiment.add_argument("artifact", choices=sorted(_EXPERIMENTS))
+
+    runs = sub.add_parser("runs", help="inspect the observability run ledger")
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser("list", help="list recorded runs")
+    runs_list.add_argument("--dir", default=None,
+                           help="ledger directory (default: runs/)")
+    runs_show = runs_sub.add_parser(
+        "show", help="render one run's span tree + metrics"
+    )
+    runs_show.add_argument("run_id", help="run id (or unique prefix)")
+    runs_show.add_argument("--dir", default=None)
+    runs_diff = runs_sub.add_parser(
+        "diff", help="per-phase wall-time + token delta between two runs"
+    )
+    runs_diff.add_argument("run_a")
+    runs_diff.add_argument("run_b")
+    runs_diff.add_argument("--dir", default=None)
 
     results = sub.add_parser(
         "results", help="collate regenerated benchmark results"
@@ -93,12 +126,44 @@ def _cmd_datasets() -> int:
     return 0
 
 
+def _begin_trace(args: argparse.Namespace) -> bool:
+    """Enable the observability switch when ``--trace`` was passed."""
+    if not getattr(args, "trace", False):
+        return False
+    from repro.obs import enable_tracing
+
+    enable_tracing(args.runs_dir)
+    return True
+
+
+def _finish_trace(session: "object | None") -> None:
+    """Print where the ledger record landed, plus its span tree."""
+    if session is None or session.record is None:  # type: ignore[attr-defined]
+        return
+    from repro.obs import render_span_tree
+
+    record = session.record  # type: ignore[attr-defined]
+    print(f"\ntrace: run {record.run_id} recorded "
+          f"-> {session.ledger.path}")  # type: ignore[attr-defined]
+    print(render_span_tree(record.spans))
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.datasets.registry import load_dataset
+    from repro.obs import run_session
 
+    traced = _begin_trace(args)
     overrides = {"n": args.rows} if args.rows else {}
     bundle = load_dataset(args.dataset, seed=args.seed, **overrides)
-    catalog = bundle.profile(seed=args.seed, workers=args.profile_workers)
+    with run_session(
+        "profile", dataset=args.dataset,
+        config={"rows": args.rows, "seed": args.seed,
+                "workers": args.profile_workers},
+        force=traced,
+    ) as session:
+        catalog = bundle.profile(seed=args.seed, workers=args.profile_workers)
+        if session is not None:
+            session.outcome.update(n_columns=len(catalog))
     print(catalog)
     print(f"{'column':24s} {'type':8s} {'feature':12s} {'distinct':>8s} "
           f"{'missing%':>8s} {'corr':>6s}")
@@ -108,22 +173,42 @@ def _cmd_profile(args: argparse.Namespace) -> int:
               f"{profile.feature_type.value:12s} {profile.distinct_count:>8d} "
               f"{profile.missing_percentage:>8.1f} "
               f"{profile.target_correlation:>6.2f}{marker}")
+    if session is not None:
+        _finish_trace(session)
     return 0
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.api import LLM, catdb_pipgen
     from repro.datasets.registry import load_dataset
+    from repro.obs import run_session
 
+    traced = _begin_trace(args)
     overrides = {"n": args.rows} if args.rows else {}
     bundle = load_dataset(args.dataset, seed=args.seed, **overrides)
-    catalog = bundle.profile(seed=args.seed, workers=args.profile_workers)
-    llm = LLM(args.llm, config={"seed": args.seed})
-    P = catdb_pipgen(
-        catalog, llm, data=bundle.unified,
-        alpha=args.alpha, beta=args.beta, combination=args.combination,
-        refine=args.refine, seed=args.seed,
-    )
+    with run_session(
+        "generate", dataset=args.dataset, llm=args.llm,
+        config={
+            "beta": args.beta, "alpha": args.alpha,
+            "combination": args.combination, "refine": args.refine,
+            "rows": args.rows, "seed": args.seed,
+        },
+        force=traced,
+    ) as session:
+        catalog = bundle.profile(seed=args.seed, workers=args.profile_workers)
+        llm = LLM(args.llm, config={"seed": args.seed})
+        P = catdb_pipgen(
+            catalog, llm, data=bundle.unified,
+            alpha=args.alpha, beta=args.beta, combination=args.combination,
+            refine=args.refine, seed=args.seed,
+        )
+        if session is not None:
+            session.outcome.update(
+                success=P.success,
+                primary_metric=P.report.primary_metric,
+                total_tokens=P.report.total_tokens,
+                fix_attempts=P.report.fix_attempts,
+            )
     print(f"success: {P.success}")
     print("results:", {k: round(v, 4) if isinstance(v, float) else v
                        for k, v in P.results.items()})
@@ -136,17 +221,52 @@ def _cmd_generate(args: argparse.Namespace) -> int:
                           for e in report.errors])
     if args.show_code:
         print("\n" + P.code)
+    if session is not None:
+        _finish_trace(session)
     return 0 if P.success else 1
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
 
+    # Experiments drive run_catdb/run_llm_baseline/run_automl, each of
+    # which records its own ledger entry once tracing is on.
+    _begin_trace(args)
     module_name, kwargs = _EXPERIMENTS[args.artifact]
     module = importlib.import_module(module_name)
     result = module.run(**kwargs)
     print(result.render())
     return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        RunLedger,
+        default_ledger_path,
+        render_diff,
+        render_record,
+        render_records_table,
+    )
+
+    ledger = RunLedger(args.dir or default_ledger_path())
+    if args.runs_command == "list":
+        records = ledger.records()
+        if not records:
+            print(f"no runs recorded in {ledger.path}")
+            return 0
+        print(render_records_table(records))
+        return 0
+    try:
+        if args.runs_command == "show":
+            print(render_record(ledger.get(args.run_id)))
+            return 0
+        if args.runs_command == "diff":
+            print(render_diff(ledger.diff(args.run_a, args.run_b)))
+            return 0
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 1
+    return 2
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -159,6 +279,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_generate(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "runs":
+        return _cmd_runs(args)
     if args.command == "results":
         from repro.experiments.summary import collate_results
 

@@ -15,6 +15,7 @@ from repro.catalog.catalog import DataCatalog
 from repro.datasets.registry import DatasetBundle, load_dataset
 from repro.generation.generator import CatDB, CatDBChain, GenerationReport
 from repro.llm.mock import MockLLM
+from repro.obs.session import run_session
 from repro.ml.model_selection import train_test_split
 from repro.table.table import Table
 
@@ -119,7 +120,13 @@ def run_catdb(
     train: Table | None = None,
     test: Table | None = None,
 ) -> GenerationReport:
-    """Run CatDB (beta=1) or CatDB Chain (beta>1) on a prepared dataset."""
+    """Run CatDB (beta=1) or CatDB Chain (beta>1) on a prepared dataset.
+
+    When tracing is enabled (``repro --trace`` / ``REPRO_TRACE=1``), each
+    call records one run-ledger entry with the full span tree, so every
+    figure/table experiment leaves an audit trail of where its time and
+    tokens went.
+    """
     llm = MockLLM(llm_name, seed=seed, fault_injection=fault_injection)
     if beta <= 1:
         generator: CatDB = CatDB(
@@ -131,12 +138,32 @@ def run_catdb(
             llm, beta=beta, alpha=alpha, combination=combination,
             max_fix_attempts=max_fix_attempts,
         )
-    return generator.generate(
-        train if train is not None else prepared.train,
-        test if test is not None else prepared.test,
-        catalog if catalog is not None else prepared.catalog,
-        iteration=iteration,
-    )
+    with run_session(
+        "catdb", dataset=prepared.name, llm=llm_name,
+        config={
+            "beta": beta, "alpha": alpha, "combination": combination,
+            "iteration": iteration, "seed": seed,
+            "max_fix_attempts": max_fix_attempts,
+            "fault_injection": fault_injection,
+        },
+    ) as session:
+        report = generator.generate(
+            train if train is not None else prepared.train,
+            test if test is not None else prepared.test,
+            catalog if catalog is not None else prepared.catalog,
+            iteration=iteration,
+        )
+        if session is not None:
+            session.outcome.update(
+                success=report.success,
+                variant=report.variant,
+                primary_metric=report.primary_metric,
+                total_tokens=report.total_tokens,
+                fix_attempts=report.fix_attempts,
+                fallback_used=report.fallback_used,
+                end_to_end_seconds=round(report.end_to_end_seconds, 4),
+            )
+    return report
 
 
 def run_llm_baseline(
@@ -161,13 +188,25 @@ def run_llm_baseline(
         runner = AutoGenBaseline(llm, description=description, seed=seed)
     else:
         raise ValueError(f"unknown LLM baseline {system!r}")
-    return runner.run(
-        train if train is not None else prepared.train,
-        test if test is not None else prepared.test,
-        prepared.target,
-        prepared.task_type,
-        meta=prepared.meta,
-    )
+    with run_session(
+        "baseline", dataset=prepared.name, llm=llm_name,
+        config={"system": system, "seed": seed},
+    ) as session:
+        report = runner.run(
+            train if train is not None else prepared.train,
+            test if test is not None else prepared.test,
+            prepared.target,
+            prepared.task_type,
+            meta=prepared.meta,
+        )
+        if session is not None:
+            session.outcome.update(
+                success=report.success,
+                system=report.system,
+                primary_metric=report.primary_metric,
+                total_tokens=report.total_tokens,
+            )
+    return report
 
 
 def run_automl(
@@ -182,13 +221,25 @@ def run_automl(
     if tool not in AUTOML_TOOLS:
         raise ValueError(f"unknown AutoML tool {tool!r}; have {sorted(AUTOML_TOOLS)}")
     runner = AUTOML_TOOLS[tool](time_budget_seconds=time_budget_seconds, seed=seed)
-    return runner.run(
-        train if train is not None else prepared.train,
-        test if test is not None else prepared.test,
-        prepared.target,
-        prepared.task_type,
-        meta=prepared.meta,
-    )
+    with run_session(
+        "automl", dataset=prepared.name,
+        config={"tool": tool, "time_budget_seconds": time_budget_seconds,
+                "seed": seed},
+    ) as session:
+        report = runner.run(
+            train if train is not None else prepared.train,
+            test if test is not None else prepared.test,
+            prepared.target,
+            prepared.task_type,
+            meta=prepared.meta,
+        )
+        if session is not None:
+            session.outcome.update(
+                success=report.success,
+                system=report.system,
+                primary_metric=report.primary_metric,
+            )
+    return report
 
 
 def metric_str(value: float | None, failure: str = "") -> str:

@@ -15,9 +15,42 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.generation.errors import ERROR_TYPES, PipelineError, classify_exception
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 from repro.table.table import Table
 
-__all__ = ["ExecutionResult", "execute_pipeline_code"]
+__all__ = ["ExecutionResult", "execute_pipeline_code", "select_primary_metric"]
+
+#: Fixed fallback priority when the task type is unknown.  A pipeline may
+#: emit several test metrics at once (e.g. ``test_auc`` + ``test_accuracy``
+#: for classification); AUC wins because it is the paper's headline
+#: classification metric, then R², then accuracy.
+METRIC_PRIORITY = ("test_auc", "test_r2", "test_accuracy")
+
+_TASK_METRIC_ORDER = {
+    "regression": ("test_r2", "test_auc", "test_accuracy"),
+    "binary": ("test_auc", "test_accuracy", "test_r2"),
+    "multiclass": ("test_auc", "test_accuracy", "test_r2"),
+    "classification": ("test_auc", "test_accuracy", "test_r2"),
+}
+
+
+def select_primary_metric(
+    metrics: dict[str, Any], task_type: str | None = None
+) -> float | None:
+    """Pick the headline test metric out of a pipeline's metric dict.
+
+    With a known ``task_type`` the ordering is task-aware: regression
+    prefers ``test_r2`` even when a pipeline also emitted ``test_auc``;
+    classification prefers ``test_auc`` then ``test_accuracy``.  Without a
+    task type the documented :data:`METRIC_PRIORITY` applies.  Returns
+    ``None`` when no known test metric is present.
+    """
+    order = _TASK_METRIC_ORDER.get(task_type or "", METRIC_PRIORITY)
+    for key in order:
+        if key in metrics:
+            return float(metrics[key])
+    return None
 
 
 @dataclass
@@ -31,10 +64,12 @@ class ExecutionResult:
 
     @property
     def primary_metric(self) -> float | None:
-        for key in ("test_auc", "test_r2", "test_accuracy"):
-            if key in self.metrics:
-                return float(self.metrics[key])
-        return None
+        """Headline metric under :data:`METRIC_PRIORITY` (task-agnostic)."""
+        return select_primary_metric(self.metrics)
+
+    def primary_metric_for(self, task_type: str) -> float | None:
+        """Task-aware headline metric (see :func:`select_primary_metric`)."""
+        return select_primary_metric(self.metrics, task_type)
 
 
 def _failing_line(exc: BaseException, filename: str) -> int | None:
@@ -48,6 +83,23 @@ def execute_pipeline_code(
     code: str, train: Table, test: Table, filename: str = "<pipeline>"
 ) -> ExecutionResult:
     """Compile and run the script; never raises, always classifies."""
+    with get_tracer().span(
+        "execute.pipeline", rows=train.n_rows, cols=train.n_cols
+    ) as span:
+        result = _execute_pipeline_code_impl(code, train, test, filename)
+        span.set(success=result.success)
+        if result.error is not None:
+            span.set(error_type=result.error.error_type.name)
+        metrics = get_metrics()
+        metrics.inc("execute.runs")
+        if not result.success and result.error is not None:
+            metrics.inc("execute.errors", type=result.error.error_type.name)
+        return result
+
+
+def _execute_pipeline_code_impl(
+    code: str, train: Table, test: Table, filename: str = "<pipeline>"
+) -> ExecutionResult:
     start = time.perf_counter()
     namespace: dict[str, Any] = {"__name__": "__catdb_pipeline__"}
     try:

@@ -34,6 +34,8 @@ from repro.generation.validator import extract_code_block, validate_source
 from repro.llm.base import LLMClient
 from repro.llm.codegen import generate_pipeline_code
 from repro.llm.profiles import get_profile
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 from repro.prompt.builder import ChainPromptPlan, build_prompt_plan
 from repro.prompt.combinations import MetadataCombination
 from repro.prompt.rules import SECTION_FE, SECTION_MODEL, SECTION_PREPROCESSING
@@ -77,10 +79,18 @@ class GenerationReport:
 
     @property
     def primary_metric(self) -> float | None:
-        for key in ("test_auc", "test_r2", "test_accuracy"):
-            if key in self.metrics:
-                return float(self.metrics[key])
-        return None
+        """Headline test metric under the documented fixed priority
+        (``test_auc`` > ``test_r2`` > ``test_accuracy``); use
+        :meth:`primary_metric_for` when the task type is known."""
+        from repro.generation.executor import select_primary_metric
+
+        return select_primary_metric(self.metrics)
+
+    def primary_metric_for(self, task_type: str) -> float | None:
+        """Task-aware headline metric (regression prefers ``test_r2``)."""
+        from repro.generation.executor import select_primary_metric
+
+        return select_primary_metric(self.metrics, task_type)
 
 
 class _GeneratorBase:
@@ -137,11 +147,15 @@ class _GeneratorBase:
     def _first_error(
         self, code: str, train_sample: Table, test_sample: Table
     ) -> PipelineError | None:
-        issues = validate_source(code)
-        if issues:
-            return issues[0].error
-        result = execute_pipeline_code(code, train_sample, test_sample)
-        return result.error
+        with get_tracer().span("generate.validate") as span:
+            issues = validate_source(code)
+            if issues:
+                span.set(error_type=issues[0].error.error_type.name)
+                return issues[0].error
+            result = execute_pipeline_code(code, train_sample, test_sample)
+            if result.error is not None:
+                span.set(error_type=result.error.error_type.name)
+            return result.error
 
     def _repair_loop(
         self,
@@ -153,44 +167,57 @@ class _GeneratorBase:
         section: str = "single",
     ) -> str:
         catalog = plan.catalog
+        tracer = get_tracer()
+        metrics = get_metrics()
         for attempt in range(self.max_fix_attempts):
             error = self._first_error(code, train_sample, test_sample)
             if error is None:
                 return code
             report.errors.append(error)
             report.fix_attempts += 1
+            metrics.inc("pipeline.errors", type=error.error_type.name)
+            metrics.inc("repair.iterations")
 
-            if self.use_knowledge_base:
-                entry = self.knowledge_base.find_patch(error, code)
-            else:
-                entry = None
-            if entry is not None:
+            with tracer.span(
+                "generate.repair", attempt=attempt, section=section,
+                error_type=error.error_type.name,
+            ) as span:
+                if self.use_knowledge_base:
+                    entry = self.knowledge_base.find_patch(error, code)
+                else:
+                    entry = None
+                if entry is not None:
+                    self.knowledge_base.record(
+                        catalog.info.name, self.llm.model, error, fixed_by="kb"
+                    )
+                    code = entry.patch(code)
+                    report.kb_fixes += 1
+                    metrics.inc("repair.kb_fixes")
+                    span.set(fixed_by="kb")
+                    continue
+
+                include_metadata = error.group is ErrorGroup.RE
                 self.knowledge_base.record(
-                    catalog.info.name, self.llm.model, error, fixed_by="kb"
+                    catalog.info.name, self.llm.model, error, fixed_by="llm"
                 )
-                code = entry.patch(code)
-                report.kb_fixes += 1
-                continue
-
-            include_metadata = error.group is ErrorGroup.RE
-            self.knowledge_base.record(
-                catalog.info.name, self.llm.model, error, fixed_by="llm"
-            )
-            prompt = render_error_prompt(
-                catalog.info,
-                code,
-                error.error_type.name,
-                error.message,
-                error.line,
-                attempt=attempt,
-                schema=plan._full_schema if include_metadata else (),
-                rules=plan.rules if include_metadata else (),
-                include_metadata=include_metadata,
-            )
-            code = self._submit(
-                report, prompt, role="error", section=section, attempt=attempt
-            )
-            report.llm_fixes += 1
+                prompt = render_error_prompt(
+                    catalog.info,
+                    code,
+                    error.error_type.name,
+                    error.message,
+                    error.line,
+                    attempt=attempt,
+                    schema=plan._full_schema if include_metadata else (),
+                    rules=plan.rules if include_metadata else (),
+                    include_metadata=include_metadata,
+                )
+                code = self._submit(
+                    report, prompt, role="error", section=section,
+                    attempt=attempt,
+                )
+                report.llm_fixes += 1
+                metrics.inc("repair.llm_fixes")
+                span.set(fixed_by="llm")
         return code
 
     # -- fallback (Algorithm 4, lines 16-17) ------------------------------------------
@@ -218,22 +245,31 @@ class _GeneratorBase:
         train_sample: Table,
         test_sample: Table,
     ) -> GenerationReport:
-        if self._first_error(code, train_sample, test_sample) is not None:
-            report.fallback_used = True
-            code = self._handcraft(plan)
-        result: ExecutionResult = execute_pipeline_code(code, train, test)
-        if not result.success and not report.fallback_used:
-            if result.error is not None:
+        metrics = get_metrics()
+        with get_tracer().span("generate.finalize") as span:
+            if self._first_error(code, train_sample, test_sample) is not None:
+                report.fallback_used = True
+                code = self._handcraft(plan)
+            result: ExecutionResult = execute_pipeline_code(code, train, test)
+            if not result.success and not report.fallback_used:
+                if result.error is not None:
+                    report.errors.append(result.error)
+                report.fallback_used = True
+                code = self._handcraft(plan)
+                result = execute_pipeline_code(code, train, test)
+            report.code = code
+            report.success = result.success
+            report.metrics = result.metrics
+            report.pipeline_runtime_seconds = result.runtime_seconds
+            if not result.success and result.error is not None:
                 report.errors.append(result.error)
-            report.fallback_used = True
-            code = self._handcraft(plan)
-            result = execute_pipeline_code(code, train, test)
-        report.code = code
-        report.success = result.success
-        report.metrics = result.metrics
-        report.pipeline_runtime_seconds = result.runtime_seconds
-        if not result.success and result.error is not None:
-            report.errors.append(result.error)
+            span.set(success=result.success, fallback=report.fallback_used)
+        if report.fallback_used:
+            metrics.inc("generate.fallbacks")
+        metrics.inc(
+            "generate.runs", variant=self.variant,
+        )
+        metrics.inc("generate.success" if report.success else "generate.failure")
         return report
 
     def _samples(self, train: Table, test: Table) -> tuple[Table, Table]:
@@ -259,22 +295,33 @@ class CatDB(_GeneratorBase):
         report = GenerationReport(
             dataset=catalog.info.name, llm=self.llm.model, variant=self.variant
         )
-        plan = build_prompt_plan(
-            catalog, alpha=self.alpha, beta=1,
-            combination=self.combination, iteration=iteration,
-        )
-        assert plan.single is not None
-        train_sample, test_sample = self._samples(train, test)
-        code = self._submit(
-            report, plan.single.text, role="pipeline", section="single",
-            iteration=iteration,
-        )
-        code = self._repair_loop(report, code, plan, train_sample, test_sample)
-        report.generation_seconds = time.perf_counter() - start
-        report = self._finalize(
-            report, code, plan, train, test, train_sample, test_sample
-        )
-        report.generation_seconds = time.perf_counter() - start
+        with get_tracer().span(
+            "generate.run", dataset=catalog.info.name, llm=self.llm.model,
+            variant=self.variant, iteration=iteration,
+        ) as span:
+            plan = build_prompt_plan(
+                catalog, alpha=self.alpha, beta=1,
+                combination=self.combination, iteration=iteration,
+            )
+            assert plan.single is not None
+            train_sample, test_sample = self._samples(train, test)
+            code = self._submit(
+                report, plan.single.text, role="pipeline", section="single",
+                iteration=iteration,
+            )
+            code = self._repair_loop(
+                report, code, plan, train_sample, test_sample
+            )
+            report.generation_seconds = time.perf_counter() - start
+            report = self._finalize(
+                report, code, plan, train, test, train_sample, test_sample
+            )
+            report.generation_seconds = time.perf_counter() - start
+            span.set(
+                success=report.success,
+                prompt_tokens=report.cost.prompt_tokens,
+                completion_tokens=report.cost.completion_tokens,
+            )
         return report
 
 
@@ -300,37 +347,57 @@ class CatDBChain(_GeneratorBase):
         report = GenerationReport(
             dataset=catalog.info.name, llm=self.llm.model, variant=self.variant
         )
-        plan = build_prompt_plan(
-            catalog, alpha=self.alpha, beta=self.beta,
-            combination=self.combination, iteration=iteration,
-        )
-        train_sample, test_sample = self._samples(train, test)
-        code: str | None = None
+        tracer = get_tracer()
+        with tracer.span(
+            "generate.run", dataset=catalog.info.name, llm=self.llm.model,
+            variant=self.variant, iteration=iteration, beta=self.beta,
+        ) as run_span:
+            plan = build_prompt_plan(
+                catalog, alpha=self.alpha, beta=self.beta,
+                combination=self.combination, iteration=iteration,
+            )
+            train_sample, test_sample = self._samples(train, test)
+            code: str | None = None
 
-        # Figure 6 ordering: all preprocessing prompts, then all
-        # feature-engineering prompts, then one model-selection prompt; the
-        # code so far is appended to every prompt.
-        for section in (SECTION_PREPROCESSING, SECTION_FE):
-            for chunk_index in range(plan.beta):
-                prompt = plan.chain_step(section, chunk_index, code)
+            # Figure 6 ordering: all preprocessing prompts, then all
+            # feature-engineering prompts, then one model-selection prompt;
+            # the code so far is appended to every prompt.
+            for section in (SECTION_PREPROCESSING, SECTION_FE):
+                for chunk_index in range(plan.beta):
+                    with tracer.span(
+                        "generate.chain_step", section=section,
+                        chunk=chunk_index,
+                    ):
+                        prompt = plan.chain_step(section, chunk_index, code)
+                        code = self._submit(
+                            report, prompt.text, role="pipeline",
+                            section=section, iteration=iteration,
+                        )
+                        code = self._repair_loop(
+                            report, code, plan, train_sample, test_sample,
+                            section=section,
+                        )
+            with tracer.span(
+                "generate.chain_step", section=SECTION_MODEL, chunk=0
+            ):
+                prompt = plan.chain_step(SECTION_MODEL, 0, code)
                 code = self._submit(
-                    report, prompt.text, role="pipeline", section=section,
-                    iteration=iteration,
+                    report, prompt.text, role="pipeline",
+                    section=SECTION_MODEL, iteration=iteration,
                 )
                 code = self._repair_loop(
-                    report, code, plan, train_sample, test_sample, section=section
+                    report, code, plan, train_sample, test_sample,
+                    section=SECTION_MODEL,
                 )
-        prompt = plan.chain_step(SECTION_MODEL, 0, code)
-        code = self._submit(
-            report, prompt.text, role="pipeline", section=SECTION_MODEL,
-            iteration=iteration,
-        )
-        code = self._repair_loop(
-            report, code, plan, train_sample, test_sample, section=SECTION_MODEL
-        )
-        report.generation_seconds = time.perf_counter() - start
-        report = self._finalize(
-            report, code or "", plan, train, test, train_sample, test_sample
-        )
-        report.generation_seconds = time.perf_counter() - start
+            report.generation_seconds = time.perf_counter() - start
+            report = self._finalize(
+                report, code or "", plan, train, test, train_sample,
+                test_sample,
+            )
+            report.generation_seconds = time.perf_counter() - start
+            run_span.set(
+                success=report.success,
+                prompt_tokens=report.cost.prompt_tokens,
+                completion_tokens=report.cost.completion_tokens,
+            )
         return report

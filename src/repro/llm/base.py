@@ -6,8 +6,33 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.llm.tokenizer import count_tokens
+from repro.obs.metrics import get_metrics
 
-__all__ = ["ChatMessage", "LLMUsage", "LLMResponse", "LLMClient"]
+__all__ = [
+    "ChatMessage",
+    "LLMUsage",
+    "LLMResponse",
+    "LLMClient",
+    "record_llm_call",
+]
+
+
+def record_llm_call(response: "LLMResponse") -> None:
+    """Feed one completion into the active metrics registry.
+
+    Every :class:`LLMClient` implementation should call this from
+    ``complete`` (next to its ``self.usage.add``) so ``llm.calls`` and the
+    token counters stay consistent across backends.  No-op unless a run
+    session is active.
+    """
+    metrics = get_metrics()
+    metrics.inc("llm.calls")
+    metrics.inc("llm.calls.by_model", model=response.model)
+    metrics.inc("llm.tokens_prompt", response.prompt_tokens)
+    metrics.inc("llm.tokens_completion", response.completion_tokens)
+    task = response.metadata.get("task")
+    if task:
+        metrics.inc("llm.calls.by_task", task=task)
 
 
 @dataclass

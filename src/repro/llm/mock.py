@@ -25,7 +25,8 @@ import re
 from typing import Any, Sequence
 
 from repro.llm import semantics
-from repro.llm.base import ChatMessage, LLMClient, LLMResponse
+from repro.llm.base import ChatMessage, LLMClient, LLMResponse, record_llm_call
+from repro.obs.trace import get_tracer
 from repro.llm.codegen import generate_pipeline_code
 from repro.llm.faults import choose_error_type, inject_fault, repair_code, should_fail
 from repro.llm.profiles import LLMProfile, get_profile
@@ -88,30 +89,41 @@ class MockLLM(LLMClient):
     # -- public API ---------------------------------------------------------------
 
     def complete(self, messages: Sequence[ChatMessage] | str) -> LLMResponse:
-        messages = self._coerce_messages(messages)
-        prompt_text = "\n\n".join(m.content for m in messages)
-        prompt_tokens = count_tokens(prompt_text)
-        payload = extract_payload(prompt_text)
-        if payload is None:
-            content = self._freeform_answer(prompt_text)
-            metadata: dict[str, Any] = {"task": "freeform"}
-        else:
-            content, metadata = self._dispatch(payload, prompt_tokens)
-        completion_tokens = count_tokens(content)
-        metadata["latency_seconds"] = round(
-            (prompt_tokens + completion_tokens)
-            / 1000.0
-            * self.profile.seconds_per_1k_tokens,
-            4,
-        )
-        self.usage.add(prompt_tokens, completion_tokens)
-        return LLMResponse(
-            content=content,
-            prompt_tokens=prompt_tokens,
-            completion_tokens=completion_tokens,
-            model=self.model,
-            metadata=metadata,
-        )
+        with get_tracer().span("llm.call", model=self.model) as span:
+            messages = self._coerce_messages(messages)
+            prompt_text = "\n\n".join(m.content for m in messages)
+            prompt_tokens = count_tokens(prompt_text)
+            payload = extract_payload(prompt_text)
+            if payload is None:
+                content = self._freeform_answer(prompt_text)
+                metadata: dict[str, Any] = {"task": "freeform"}
+            else:
+                content, metadata = self._dispatch(payload, prompt_tokens)
+            completion_tokens = count_tokens(content)
+            metadata["latency_seconds"] = round(
+                (prompt_tokens + completion_tokens)
+                / 1000.0
+                * self.profile.seconds_per_1k_tokens,
+                4,
+            )
+            self.usage.add(prompt_tokens, completion_tokens)
+            response = LLMResponse(
+                content=content,
+                prompt_tokens=prompt_tokens,
+                completion_tokens=completion_tokens,
+                model=self.model,
+                metadata=metadata,
+            )
+            span.set(
+                task=metadata.get("task", ""),
+                prompt_tokens=prompt_tokens,
+                completion_tokens=completion_tokens,
+                latency_seconds=metadata["latency_seconds"],
+            )
+            if metadata.get("fault"):
+                span.set(fault=metadata["fault"])
+            record_llm_call(response)
+            return response
 
     # -- dispatch ------------------------------------------------------------------
 

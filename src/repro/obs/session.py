@@ -1,0 +1,147 @@
+"""Run sessions: scope a tracer + metrics registry to one run and persist it.
+
+``enable_tracing()`` flips the process-wide switch (the CLI's ``--trace``
+and the ``REPRO_TRACE`` environment variable both land here).  While the
+switch is off, :func:`run_session` yields ``None`` without allocating
+anything, so instrumented call sites cost one function call.
+
+While the switch is on, each outermost ``run_session`` installs a fresh
+:class:`~repro.obs.trace.Tracer` and
+:class:`~repro.obs.metrics.MetricsRegistry`, opens a root span, and on
+exit appends one :class:`~repro.obs.ledger.RunRecord` to the ledger.
+Nested ``run_session`` calls (e.g. an experiment driver inside a traced
+CLI invocation) reuse the active session instead of emitting a second
+record.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.obs.ledger import RunLedger, RunRecord
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.obs.trace import Tracer, set_tracer
+
+__all__ = [
+    "RunSession",
+    "run_session",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "active_session",
+]
+
+_TRACE_ENV = "REPRO_TRACE"
+
+_enabled = False
+_ledger_path: Path | None = None
+_active_session: "RunSession | None" = None
+
+
+def enable_tracing(ledger_path: str | Path | None = None) -> None:
+    """Turn on observability for subsequent :func:`run_session` calls."""
+    global _enabled, _ledger_path
+    _enabled = True
+    if ledger_path is not None:
+        _ledger_path = Path(ledger_path)
+
+
+def disable_tracing() -> None:
+    global _enabled, _ledger_path
+    _enabled = False
+    _ledger_path = None
+
+
+def tracing_enabled() -> bool:
+    if _enabled:
+        return True
+    return os.environ.get(_TRACE_ENV, "").strip() not in ("", "0", "false")
+
+
+def active_session() -> "RunSession | None":
+    return _active_session
+
+
+class RunSession:
+    """One observed run: its tracer, metrics, and the record being built."""
+
+    def __init__(
+        self,
+        kind: str,
+        dataset: str = "",
+        llm: str = "",
+        config: dict[str, Any] | None = None,
+        ledger_path: str | Path | None = None,
+    ) -> None:
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+        self.kind = kind
+        self.dataset = dataset
+        self.llm = llm
+        self.config = dict(config or {})
+        self.outcome: dict[str, Any] = {}
+        self.run_id = RunRecord.new_id()
+        self.ledger = RunLedger(ledger_path or _ledger_path)
+        self.record: RunRecord | None = None
+
+    def build_record(self) -> RunRecord:
+        return RunRecord(
+            run_id=self.run_id,
+            kind=self.kind,
+            created_at=RunRecord.now_iso(),
+            dataset=self.dataset,
+            llm=self.llm,
+            config=self.config,
+            outcome=self.outcome,
+            metrics=self.metrics.snapshot(),
+            spans=self.tracer.to_dicts(),
+        )
+
+
+@contextmanager
+def run_session(
+    kind: str,
+    dataset: str = "",
+    llm: str = "",
+    config: dict[str, Any] | None = None,
+    ledger_path: str | Path | None = None,
+    force: bool = False,
+) -> Iterator[RunSession | None]:
+    """Observe one run; no-op (yields ``None``) when tracing is off.
+
+    ``force=True`` opens a session regardless of the global switch
+    (used by tests and the CLI, which enables + forces explicitly).
+    """
+    global _active_session
+    if not (force or tracing_enabled()):
+        yield None
+        return
+    if _active_session is not None:  # nested: reuse the outer session
+        yield _active_session
+        return
+    session = RunSession(
+        kind, dataset=dataset, llm=llm, config=config, ledger_path=ledger_path
+    )
+    previous_tracer = set_tracer(session.tracer)
+    previous_metrics = set_metrics(session.metrics)
+    _active_session = session
+    try:
+        with session.tracer.span(
+            f"run.{kind}", dataset=dataset, llm=llm
+        ) as root:
+            try:
+                yield session
+            finally:
+                root.set(**{
+                    k: v for k, v in session.outcome.items()
+                    if isinstance(v, (str, int, float, bool))
+                })
+    finally:
+        _active_session = None
+        set_tracer(previous_tracer)
+        set_metrics(previous_metrics)
+        session.record = session.build_record()
+        session.ledger.append(session.record)

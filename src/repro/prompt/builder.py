@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.catalog.catalog import DataCatalog
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 from repro.prompt.combinations import MetadataCombination, get_combination
 from repro.prompt.projection import clean_catalog, project_schema, select_top_k_columns
 from repro.prompt.rules import (
@@ -125,6 +127,31 @@ def build_prompt_plan(
         raise ValueError("beta must be >= 1")
     if isinstance(combination, int):
         combination = get_combination(combination)
+    with get_tracer().span(
+        "prompt.build", dataset=catalog.info.name, beta=beta,
+        combination=combination.number,
+        alpha=alpha if alpha is not None else -1,
+    ) as span:
+        plan = _build_prompt_plan_impl(
+            catalog, alpha, beta, combination, iteration, few_shot
+        )
+        span.set(
+            schema_entries=len(plan._full_schema),
+            rules=len(plan.rules),
+            prompt_chars=len(plan.single.text) if plan.single else 0,
+        )
+        get_metrics().inc("prompt.plans")
+        return plan
+
+
+def _build_prompt_plan_impl(
+    catalog: DataCatalog,
+    alpha: int | None,
+    beta: int,
+    combination: MetadataCombination,
+    iteration: int,
+    few_shot: int,
+) -> ChainPromptPlan:
     working = clean_catalog(catalog)
     working = select_top_k_columns(working, alpha)
     schema = project_schema(working, combination)

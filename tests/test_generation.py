@@ -11,7 +11,12 @@ from repro.generation.errors import (
     classify_exception,
     error_types_in_group,
 )
-from repro.generation.executor import execute_pipeline_code
+from repro.generation.executor import (
+    METRIC_PRIORITY,
+    ExecutionResult,
+    execute_pipeline_code,
+    select_primary_metric,
+)
 from repro.generation.generator import CatDB, CatDBChain
 from repro.generation.knowledge_base import KnowledgeBase
 from repro.generation.validator import extract_code_block, validate_source
@@ -155,6 +160,41 @@ class TestExecutor:
         result = execute_pipeline_code("def broken(:\n", *self._tables())
         assert not result.success
         assert result.error.group in (ErrorGroup.SE,)
+
+
+class TestPrimaryMetric:
+    """The documented headline-metric ordering: auc > r2 > accuracy,
+    unless a known task type reorders it."""
+
+    ALL = {"test_auc": 0.8, "test_r2": 0.6, "test_accuracy": 0.7}
+
+    def test_priority_is_documented_order(self):
+        assert METRIC_PRIORITY == ("test_auc", "test_r2", "test_accuracy")
+
+    def test_auc_wins_without_task_type(self):
+        assert select_primary_metric(self.ALL) == 0.8
+        assert ExecutionResult(True, metrics=dict(self.ALL)).primary_metric == 0.8
+
+    def test_regression_prefers_r2(self):
+        assert select_primary_metric(self.ALL, "regression") == 0.6
+        result = ExecutionResult(True, metrics=dict(self.ALL))
+        assert result.primary_metric_for("regression") == 0.6
+
+    def test_classification_prefers_auc_then_accuracy(self):
+        assert select_primary_metric(self.ALL, "binary") == 0.8
+        no_auc = {"test_accuracy": 0.7, "test_r2": 0.6}
+        assert select_primary_metric(no_auc, "multiclass") == 0.7
+
+    def test_accuracy_only(self):
+        assert select_primary_metric({"test_accuracy": 0.7}) == 0.7
+
+    def test_missing_metrics_return_none(self):
+        assert select_primary_metric({}) is None
+        assert select_primary_metric({"train_accuracy": 1.0}) is None
+        assert ExecutionResult(True, metrics={"model": "RF"}).primary_metric is None
+
+    def test_unknown_task_type_falls_back_to_priority(self):
+        assert select_primary_metric(self.ALL, "clustering") == 0.8
 
 
 class TestKnowledgeBase:
