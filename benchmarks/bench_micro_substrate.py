@@ -11,11 +11,12 @@ import numpy as np
 from repro.catalog.cache import ProfileCache, clear_default_cache
 from repro.catalog.embeddings import pairwise_similarities
 from repro.catalog.profiler import profile_table
-from repro.datasets.registry import load_dataset
 from repro.generation.executor import execute_pipeline_code
+from repro.llm.base import ResilientLLM
 from repro.llm.codegen import generate_pipeline_code
 from repro.llm.mock import MockLLM
 from repro.llm.profiles import get_profile
+from repro.resilience.retry import RetryPolicy
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.pipeline import TableVectorizer
 from repro.obs.trace import Tracer, set_tracer
@@ -179,6 +180,25 @@ def test_micro_llm_roundtrip(benchmark):
     catalog = profile_table(table, target="y", task_type="binary")
     plan = build_prompt_plan(catalog, beta=1)
     llm = MockLLM("gpt-4o", fault_injection=False)
+
+    response = benchmark(lambda: llm.complete(plan.single.text))
+    assert "<CODE>" in response.content
+
+
+def test_micro_llm_roundtrip_resilient(benchmark):
+    """The same round-trip through the ResilientLLM wrapper (no faults).
+
+    Compare against ``test_micro_llm_roundtrip``: the happy-path cost of
+    the retry/deadline/breaker machinery should be negligible next to
+    the completion itself.
+    """
+    table = _wide_table()
+    catalog = profile_table(table, target="y", task_type="binary")
+    plan = build_prompt_plan(catalog, beta=1)
+    llm = ResilientLLM(
+        MockLLM("gpt-4o", fault_injection=False),
+        policy=RetryPolicy(max_attempts=4),
+    )
 
     response = benchmark(lambda: llm.complete(plan.single.text))
     assert "<CODE>" in response.content

@@ -2,7 +2,7 @@
 
 from benchmarks.conftest import QUICK, save_result
 from repro.experiments import table2_errors
-from repro.generation.errors import ERROR_TYPES, ErrorGroup
+from repro.generation.errors import ERROR_TYPES
 
 
 def test_table02_error_distribution(benchmark):

@@ -23,7 +23,6 @@ from repro.catalog.profiler import profile_dataset, profile_table
 from repro.catalog.refinement import RefinementResult, refine_catalog
 from repro.generation.generator import CatDB, CatDBChain, GenerationReport
 from repro.llm.base import LLMClient
-from repro.llm.mock import MockLLM
 from repro.ml.model_selection import train_test_split
 from repro.table.io_csv import read_csv
 from repro.table.table import Table
@@ -37,13 +36,23 @@ def LLM(model: str, client_url: str = "", config: Mapping[str, Any] | None = Non
     In the original system this selects OpenAI / Google AI Studio / Groq by
     ``client_url``; here every model resolves to the offline
     :class:`~repro.llm.MockLLM` with the matching behaviour profile.
-    ``config`` accepts ``seed`` and ``fault_injection``.
+    ``config`` accepts ``seed`` and ``fault_injection``, plus the
+    resilience knobs ``fault_rate`` (transient-fault injection via
+    :class:`~repro.llm.FlakyLLM`), ``max_retries``, ``llm_timeout``, and
+    ``retry_base_delay`` (any of which wraps the client in
+    :class:`~repro.llm.ResilientLLM`); see ``docs/resilience.md``.
     """
     config = dict(config or {})
-    return MockLLM(
-        model=model,
+    from repro.llm import build_client
+
+    return build_client(
+        model,
         seed=int(config.get("seed", 0)),
         fault_injection=bool(config.get("fault_injection", True)),
+        fault_rate=float(config.get("fault_rate", 0.0)),
+        max_retries=config.get("max_retries"),
+        llm_timeout=config.get("llm_timeout"),
+        retry_base_delay=float(config.get("retry_base_delay", 0.05)),
     )
 
 
@@ -112,13 +121,15 @@ def catdb_pipgen(
     iteration: int = 0,
     test_size: float = 0.3,
     seed: int = 0,
+    exec_timeout_seconds: float | None = None,
 ) -> PipelineResult:
     """Generate, validate, and execute a data-centric ML pipeline.
 
     Pass either a full ``data`` table (split 70/30 internally, matching the
     paper's protocol) or explicit ``train``/``test`` tables.  ``beta > 1``
     selects CatDB Chain.  ``refine=True`` first runs catalog refinement and
-    materializes the cleaned dataset.
+    materializes the cleaned dataset.  ``exec_timeout_seconds`` bounds each
+    generated-pipeline execution with a hard wall-clock budget.
     """
     if data is None and (train is None or test is None):
         raise ValueError("pass `data`, or both `train` and `test`")
@@ -147,11 +158,13 @@ def catdb_pipgen(
         generator: CatDB = CatDB(
             llm, alpha=alpha, combination=combination,
             max_fix_attempts=max_fix_attempts,
+            exec_timeout_seconds=exec_timeout_seconds,
         )
     else:
         generator = CatDBChain(
             llm, beta=beta, alpha=alpha, combination=combination,
             max_fix_attempts=max_fix_attempts,
+            exec_timeout_seconds=exec_timeout_seconds,
         )
     report = generator.generate(train, test, md, iteration=iteration)
     return PipelineResult(

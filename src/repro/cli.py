@@ -6,8 +6,15 @@ Subcommands:
 - ``profile <dataset>``   profile a dataset and print its catalog
 - ``generate <dataset>``  run CatDB end-to-end and print code + metrics
 - ``experiment <id>``     run one paper experiment (fig9, table4, ...)
+- ``soak``                fault-injection soak: N seeded generate runs
+                          under a flaky transport, asserting graceful
+                          degradation and determinism
 - ``runs``                inspect the observability run ledger
                           (``list`` / ``show <id>`` / ``diff <a> <b>``)
+
+``generate`` and ``soak`` expose the resilience knobs (``--max-retries``,
+``--llm-timeout``, ``--exec-timeout``, ``--fault-rate``); see
+``docs/resilience.md``.
 
 ``profile``, ``generate``, and ``experiment`` accept ``--trace`` to record
 span trees + metrics into the run ledger (``--runs-dir``, default
@@ -53,6 +60,26 @@ def build_parser() -> argparse.ArgumentParser:
                              help="ledger directory (default: runs/ or "
                                   "$REPRO_RUNS_DIR)")
 
+    def _add_resilience_args(
+        command: argparse.ArgumentParser,
+        fault_rate_default: float = 0.0,
+        exec_timeout_default: float | None = None,
+    ) -> None:
+        command.add_argument("--max-retries", type=int, default=None,
+                             help="transport retries after the first "
+                                  "attempt (default 3 once resilience "
+                                  "is active)")
+        command.add_argument("--llm-timeout", type=float, default=None,
+                             help="per-LLM-call deadline in seconds")
+        command.add_argument("--exec-timeout", type=float,
+                             default=exec_timeout_default,
+                             help="wall-clock budget per generated-"
+                                  "pipeline execution in seconds")
+        command.add_argument("--fault-rate", type=float,
+                             default=fault_rate_default,
+                             help="transient-fault injection rate "
+                                  "(FlakyLLM; 0 disables)")
+
     sub.add_parser("datasets", help="list the 20 dataset replicas")
 
     profile = sub.add_parser("profile", help="profile a dataset")
@@ -84,6 +111,23 @@ def build_parser() -> argparse.ArgumentParser:
                           help="profiling worker-pool size "
                                "(1 = sequential, 0 = all cores)")
     generate.add_argument("--show-code", action="store_true")
+    _add_resilience_args(generate)
+
+    soak = sub.add_parser(
+        "soak",
+        help="fault-injection soak: seeded generate runs under FlakyLLM",
+    )
+    add_trace_args(soak)
+    soak.add_argument("--dataset", default="wifi")
+    soak.add_argument("--rows", type=int, default=120)
+    soak.add_argument("--seeds", type=int, default=50,
+                      help="number of seeded runs")
+    soak.add_argument("--llm", default="gpt-4o")
+    soak.add_argument("--beta", type=int, default=1)
+    soak.add_argument("--no-determinism-check", action="store_true",
+                      help="skip comparing faulted pipelines against the "
+                           "faults-off baseline")
+    _add_resilience_args(soak, fault_rate_default=0.3, exec_timeout_default=10.0)
 
     experiment = sub.add_parser("experiment", help="run one paper experiment")
     add_trace_args(experiment)
@@ -192,24 +236,33 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             "beta": args.beta, "alpha": args.alpha,
             "combination": args.combination, "refine": args.refine,
             "rows": args.rows, "seed": args.seed,
+            "fault_rate": args.fault_rate, "max_retries": args.max_retries,
+            "llm_timeout": args.llm_timeout, "exec_timeout": args.exec_timeout,
         },
         force=traced,
     ) as session:
         catalog = bundle.profile(seed=args.seed, workers=args.profile_workers)
-        llm = LLM(args.llm, config={"seed": args.seed})
+        llm = LLM(args.llm, config={
+            "seed": args.seed, "fault_rate": args.fault_rate,
+            "max_retries": args.max_retries, "llm_timeout": args.llm_timeout,
+        })
         P = catdb_pipgen(
             catalog, llm, data=bundle.unified,
             alpha=args.alpha, beta=args.beta, combination=args.combination,
             refine=args.refine, seed=args.seed,
+            exec_timeout_seconds=args.exec_timeout,
         )
         if session is not None:
             session.outcome.update(
                 success=P.success,
+                degraded=P.report.degraded,
                 primary_metric=P.report.primary_metric,
                 total_tokens=P.report.total_tokens,
                 fix_attempts=P.report.fix_attempts,
             )
     print(f"success: {P.success}")
+    if P.report.degraded:
+        print(f"degraded: {P.report.degraded_reason}")
     print("results:", {k: round(v, 4) if isinstance(v, float) else v
                        for k, v in P.results.items()})
     report = P.report
@@ -224,6 +277,79 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     if session is not None:
         _finish_trace(session)
     return 0 if P.success else 1
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    """Fault-injection soak (CI gate): N seeded generate runs under FlakyLLM.
+
+    Every seeded run must finish without an unhandled exception -- either a
+    full success or a structured graceful degradation.  Unless
+    ``--no-determinism-check`` is passed, every *non-degraded* faulted run
+    must also produce the exact pipeline code of the same seed with faults
+    disabled (retries are invisible: the mock transport is
+    prompt-deterministic, so a recovered call returns identical content).
+    """
+    from repro.experiments.common import prepare_dataset, run_catdb
+
+    _begin_trace(args)
+    hard_failures: list[tuple[int, str]] = []
+    mismatches: list[int] = []
+    degraded = 0
+    succeeded = 0
+    for seed in range(args.seeds):
+        prepared = prepare_dataset(
+            args.dataset, seed=seed, quick=False, n=args.rows
+        )
+        baseline_code = None
+        if not args.no_determinism_check:
+            baseline = run_catdb(
+                prepared, args.llm, beta=args.beta, seed=seed
+            )
+            baseline_code = baseline.code
+        try:
+            report = run_catdb(
+                prepared, args.llm, beta=args.beta, seed=seed,
+                fault_rate=args.fault_rate,
+                max_retries=args.max_retries,
+                llm_timeout=args.llm_timeout,
+                exec_timeout=args.exec_timeout,
+                retry_base_delay=0.0,  # soak shouldn't sleep through backoff
+            )
+        except Exception as exc:  # noqa: BLE001 - any escape is the failure
+            hard_failures.append((seed, f"{type(exc).__name__}: {exc}"))
+            print(f"seed {seed:3d}: UNHANDLED {type(exc).__name__}: {exc}")
+            continue
+        status = "degraded" if report.degraded else (
+            "ok" if report.success else "failed"
+        )
+        if report.degraded:
+            degraded += 1
+        elif report.success:
+            succeeded += 1
+        else:
+            hard_failures.append((seed, "completed without success/degraded"))
+        note = ""
+        if (
+            baseline_code is not None
+            and not report.degraded
+            and report.code != baseline_code
+        ):
+            mismatches.append(seed)
+            note = "  [determinism MISMATCH]"
+        print(f"seed {seed:3d}: {status:8s} "
+              f"fix_attempts={report.fix_attempts}{note}")
+    print(f"\nsoak: {args.seeds} seeds @ fault_rate={args.fault_rate} "
+          f"-> {succeeded} ok, {degraded} degraded, "
+          f"{len(hard_failures)} hard failures, "
+          f"{len(mismatches)} determinism mismatches")
+    if hard_failures or mismatches:
+        for seed, why in hard_failures:
+            print(f"  hard failure seed {seed}: {why}", file=sys.stderr)
+        for seed in mismatches:
+            print(f"  mismatch seed {seed}: faulted pipeline != baseline",
+                  file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -277,6 +403,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_profile(args)
     if args.command == "generate":
         return _cmd_generate(args)
+    if args.command == "soak":
+        return _cmd_soak(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "runs":

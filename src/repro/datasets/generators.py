@@ -15,7 +15,6 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.datasets.multi_table import split_into_dimensions as _split_dimensions
-from repro.table.column import Column
 from repro.table.table import Table
 
 __all__ = [

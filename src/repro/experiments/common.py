@@ -14,8 +14,9 @@ from repro.baselines.caafe import CAAFEBaseline
 from repro.catalog.catalog import DataCatalog
 from repro.datasets.registry import DatasetBundle, load_dataset
 from repro.generation.generator import CatDB, CatDBChain, GenerationReport
-from repro.llm.mock import MockLLM
+from repro.llm import build_client
 from repro.obs.session import run_session
+from repro.resilience.breaker import CircuitBreaker
 from repro.ml.model_selection import train_test_split
 from repro.table.table import Table
 
@@ -119,6 +120,12 @@ def run_catdb(
     catalog: DataCatalog | None = None,
     train: Table | None = None,
     test: Table | None = None,
+    fault_rate: float = 0.0,
+    max_retries: int | None = None,
+    llm_timeout: float | None = None,
+    exec_timeout: float | None = None,
+    retry_base_delay: float = 0.05,
+    breaker: CircuitBreaker | None = None,
 ) -> GenerationReport:
     """Run CatDB (beta=1) or CatDB Chain (beta>1) on a prepared dataset.
 
@@ -126,17 +133,29 @@ def run_catdb(
     call records one run-ledger entry with the full span tree, so every
     figure/table experiment leaves an audit trail of where its time and
     tokens went.
+
+    The resilience knobs (``fault_rate``, ``max_retries``, ``llm_timeout``,
+    ``exec_timeout``, ``breaker``) assemble the
+    FlakyLLM/ResilientLLM transport stack and the executor's wall-clock
+    budget; all defaults leave the legacy bit-identical MockLLM path.
     """
-    llm = MockLLM(llm_name, seed=seed, fault_injection=fault_injection)
+    llm = build_client(
+        llm_name, seed=seed, fault_injection=fault_injection,
+        fault_rate=fault_rate, max_retries=max_retries,
+        llm_timeout=llm_timeout, retry_base_delay=retry_base_delay,
+        breaker=breaker,
+    )
     if beta <= 1:
         generator: CatDB = CatDB(
             llm, alpha=alpha, combination=combination,
             max_fix_attempts=max_fix_attempts,
+            exec_timeout_seconds=exec_timeout,
         )
     else:
         generator = CatDBChain(
             llm, beta=beta, alpha=alpha, combination=combination,
             max_fix_attempts=max_fix_attempts,
+            exec_timeout_seconds=exec_timeout,
         )
     with run_session(
         "catdb", dataset=prepared.name, llm=llm_name,
@@ -145,6 +164,8 @@ def run_catdb(
             "iteration": iteration, "seed": seed,
             "max_fix_attempts": max_fix_attempts,
             "fault_injection": fault_injection,
+            "fault_rate": fault_rate, "max_retries": max_retries,
+            "llm_timeout": llm_timeout, "exec_timeout": exec_timeout,
         },
     ) as session:
         report = generator.generate(
@@ -161,6 +182,7 @@ def run_catdb(
                 total_tokens=report.total_tokens,
                 fix_attempts=report.fix_attempts,
                 fallback_used=report.fallback_used,
+                degraded=report.degraded,
                 end_to_end_seconds=round(report.end_to_end_seconds, 4),
             )
     return report
@@ -176,7 +198,7 @@ def run_llm_baseline(
 ) -> BaselineReport:
     """Run one of the LLM-based comparators: 'caafe-tabpfn',
     'caafe-rforest', 'aide', 'autogen'."""
-    llm = MockLLM(llm_name, seed=seed)
+    llm = build_client(llm_name, seed=seed)
     description = prepared.bundle.spec.description
     if system == "caafe-tabpfn":
         runner: Any = CAAFEBaseline(llm, model="tabpfn", seed=seed)

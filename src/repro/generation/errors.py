@@ -178,6 +178,9 @@ class PipelineError:
 
 
 _EXCEPTION_TO_TYPE = {
+    # wall-clock budget exhaustion surfaces as a runtime (RE-group) error
+    # so the repair loop can consume it like any other runtime failure
+    "ExecutionTimeout": "no_convergence",
     "ModuleNotFoundError": "missing_package",
     "ImportError": "package_version",
     "FileNotFoundError": "missing_data_file",

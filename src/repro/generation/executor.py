@@ -5,6 +5,12 @@ documented ``repro`` APIs and numpy are available in this environment),
 calls ``run_pipeline(train, test)``, and classifies any raised exception
 onto the 23-type taxonomy, recovering the failing line number from the
 traceback for the error-correction prompt.
+
+``timeout_seconds`` enforces a hard wall-clock budget on the script via
+:func:`repro.resilience.deadline.run_with_timeout` (signal-based on a
+POSIX main thread, async-exception thread mode elsewhere); a pipeline
+that loops or sleeps forever is killed at the budget and reported as a
+runtime :class:`~repro.generation.errors.PipelineError`, never a hang.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from typing import Any
 from repro.generation.errors import ERROR_TYPES, PipelineError, classify_exception
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
+from repro.resilience.deadline import ExecutionTimeout, run_with_timeout
 from repro.table.table import Table
 
 __all__ = ["ExecutionResult", "execute_pipeline_code", "select_primary_metric"]
@@ -80,25 +87,46 @@ def _failing_line(exc: BaseException, filename: str) -> int | None:
 
 
 def execute_pipeline_code(
-    code: str, train: Table, test: Table, filename: str = "<pipeline>"
+    code: str,
+    train: Table,
+    test: Table,
+    filename: str = "<pipeline>",
+    timeout_seconds: float | None = None,
+    timeout_mode: str = "auto",
 ) -> ExecutionResult:
-    """Compile and run the script; never raises, always classifies."""
+    """Compile and run the script; never raises, always classifies.
+
+    ``timeout_seconds`` bounds the script's wall-clock runtime (see the
+    module docstring); ``timeout_mode`` selects the enforcement mechanism
+    (``"auto"`` | ``"signal"`` | ``"thread"``).
+    """
     with get_tracer().span(
         "execute.pipeline", rows=train.n_rows, cols=train.n_cols
     ) as span:
-        result = _execute_pipeline_code_impl(code, train, test, filename)
+        result = _execute_pipeline_code_impl(
+            code, train, test, filename,
+            timeout_seconds=timeout_seconds, timeout_mode=timeout_mode,
+        )
         span.set(success=result.success)
-        if result.error is not None:
-            span.set(error_type=result.error.error_type.name)
         metrics = get_metrics()
         metrics.inc("execute.runs")
+        if result.error is not None:
+            span.set(error_type=result.error.error_type.name)
+            if result.error.details.get("timed_out"):
+                span.set(timed_out=True)
+                metrics.inc("execute.timeouts")
         if not result.success and result.error is not None:
             metrics.inc("execute.errors", type=result.error.error_type.name)
         return result
 
 
 def _execute_pipeline_code_impl(
-    code: str, train: Table, test: Table, filename: str = "<pipeline>"
+    code: str,
+    train: Table,
+    test: Table,
+    filename: str = "<pipeline>",
+    timeout_seconds: float | None = None,
+    timeout_mode: str = "auto",
 ) -> ExecutionResult:
     start = time.perf_counter()
     namespace: dict[str, Any] = {"__name__": "__catdb_pipeline__"}
@@ -111,17 +139,25 @@ def _execute_pipeline_code_impl(
             error=classify_exception(exc, line=exc.lineno),
             runtime_seconds=elapsed,
         )
-    try:
+
+    def _run() -> dict[str, Any]:
         exec(compiled, namespace)  # noqa: S102 - sandbox is the local venv
         run = namespace.get("run_pipeline")
         if run is None:
             raise RuntimeError("script does not define run_pipeline")
-        metrics = run(train, test)
-        if not isinstance(metrics, dict):
+        result = run(train, test)
+        if not isinstance(result, dict):
             raise RuntimeError("run_pipeline must return a metrics dict")
+        return result
+
+    try:
+        metrics = run_with_timeout(_run, timeout_seconds, mode=timeout_mode)
     except BaseException as exc:  # noqa: BLE001 - everything must be classified
         elapsed = time.perf_counter() - start
         error = classify_exception(exc, line=_failing_line(exc, filename))
+        if isinstance(exc, ExecutionTimeout):
+            error.details["timed_out"] = True
+            error.details["timeout_seconds"] = timeout_seconds
         return ExecutionResult(success=False, error=error, runtime_seconds=elapsed)
     elapsed = time.perf_counter() - start
     error = _semantic_check(metrics, train)

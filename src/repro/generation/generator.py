@@ -36,6 +36,7 @@ from repro.llm.codegen import generate_pipeline_code
 from repro.llm.profiles import get_profile
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
+from repro.resilience.errors import ResilienceGiveUp, TransientError
 from repro.prompt.builder import ChainPromptPlan, build_prompt_plan
 from repro.prompt.combinations import MetadataCombination
 from repro.prompt.rules import SECTION_FE, SECTION_MODEL, SECTION_PREPROCESSING
@@ -45,6 +46,11 @@ from repro.table.table import Table
 __all__ = ["GenerationReport", "CatDB", "CatDBChain"]
 
 _SAMPLE_ROWS = 250
+
+#: LLM-transport failures the generator absorbs by degrading gracefully
+#: instead of raising: resilience give-ups (retries exhausted, breaker
+#: open) plus raw transient/transport errors from an unwrapped client.
+_DEGRADE_ERRORS = (ResilienceGiveUp, TransientError, ConnectionError, TimeoutError)
 
 
 @dataclass
@@ -66,6 +72,8 @@ class GenerationReport:
     kb_fixes: int = 0
     llm_fixes: int = 0
     fallback_used: bool = False
+    degraded: bool = False
+    degraded_reason: str = ""
     library_violations: list = field(default_factory=list)
 
     @property
@@ -108,6 +116,8 @@ class _GeneratorBase:
         use_knowledge_base: bool = True,
         sample_rows: int = _SAMPLE_ROWS,
         library_policy: "LibraryPolicy | None" = None,
+        exec_timeout_seconds: float | None = None,
+        exec_timeout_mode: str = "auto",
     ) -> None:
         self.llm = llm
         self.alpha = alpha
@@ -117,6 +127,8 @@ class _GeneratorBase:
         self.use_knowledge_base = use_knowledge_base
         self.sample_rows = sample_rows
         self.library_policy = library_policy
+        self.exec_timeout_seconds = exec_timeout_seconds
+        self.exec_timeout_mode = exec_timeout_mode
 
     # -- LLM round trips -----------------------------------------------------------
 
@@ -144,6 +156,19 @@ class _GeneratorBase:
 
     # -- error management (Algorithm 4, lines 3-15) ---------------------------------
 
+    def _note_degraded(self, report: GenerationReport, exc: BaseException) -> None:
+        """Record that the LLM transport gave up; generation continues."""
+        report.degraded = True
+        report.degraded_reason = f"{type(exc).__name__}: {exc}"
+        get_metrics().inc("generate.degraded", reason=type(exc).__name__)
+
+    def _execute(self, code: str, train: Table, test: Table) -> ExecutionResult:
+        return execute_pipeline_code(
+            code, train, test,
+            timeout_seconds=self.exec_timeout_seconds,
+            timeout_mode=self.exec_timeout_mode,
+        )
+
     def _first_error(
         self, code: str, train_sample: Table, test_sample: Table
     ) -> PipelineError | None:
@@ -152,7 +177,7 @@ class _GeneratorBase:
             if issues:
                 span.set(error_type=issues[0].error.error_type.name)
                 return issues[0].error
-            result = execute_pipeline_code(code, train_sample, test_sample)
+            result = self._execute(code, train_sample, test_sample)
             if result.error is not None:
                 span.set(error_type=result.error.error_type.name)
             return result.error
@@ -211,10 +236,21 @@ class _GeneratorBase:
                     rules=plan.rules if include_metadata else (),
                     include_metadata=include_metadata,
                 )
-                code = self._submit(
-                    report, prompt, role="error", section=section,
-                    attempt=attempt,
-                )
+                # One repair iteration is exactly one logical LLM call,
+                # even when the mock repair internally falls back to full
+                # regeneration (that happens inside the same completion)
+                # and regardless of transport retries (ResilientLLM does
+                # not consume iteration budget).  A give-up ends the loop
+                # with the best code so far instead of raising.
+                try:
+                    code = self._submit(
+                        report, prompt, role="error", section=section,
+                        attempt=attempt,
+                    )
+                except _DEGRADE_ERRORS as exc:
+                    self._note_degraded(report, exc)
+                    span.set(fixed_by="degraded")
+                    return code
                 report.llm_fixes += 1
                 metrics.inc("repair.llm_fixes")
                 span.set(fixed_by="llm")
@@ -247,23 +283,26 @@ class _GeneratorBase:
     ) -> GenerationReport:
         metrics = get_metrics()
         with get_tracer().span("generate.finalize") as span:
-            if self._first_error(code, train_sample, test_sample) is not None:
+            if not code or self._first_error(code, train_sample, test_sample) is not None:
                 report.fallback_used = True
                 code = self._handcraft(plan)
-            result: ExecutionResult = execute_pipeline_code(code, train, test)
+            result: ExecutionResult = self._execute(code, train, test)
             if not result.success and not report.fallback_used:
                 if result.error is not None:
                     report.errors.append(result.error)
                 report.fallback_used = True
                 code = self._handcraft(plan)
-                result = execute_pipeline_code(code, train, test)
+                result = self._execute(code, train, test)
             report.code = code
             report.success = result.success
             report.metrics = result.metrics
             report.pipeline_runtime_seconds = result.runtime_seconds
             if not result.success and result.error is not None:
                 report.errors.append(result.error)
-            span.set(success=result.success, fallback=report.fallback_used)
+            span.set(
+                success=result.success, fallback=report.fallback_used,
+                degraded=report.degraded,
+            )
         if report.fallback_used:
             metrics.inc("generate.fallbacks")
         metrics.inc(
@@ -305,13 +344,20 @@ class CatDB(_GeneratorBase):
             )
             assert plan.single is not None
             train_sample, test_sample = self._samples(train, test)
-            code = self._submit(
-                report, plan.single.text, role="pipeline", section="single",
-                iteration=iteration,
-            )
-            code = self._repair_loop(
-                report, code, plan, train_sample, test_sample
-            )
+            try:
+                code = self._submit(
+                    report, plan.single.text, role="pipeline", section="single",
+                    iteration=iteration,
+                )
+            except _DEGRADE_ERRORS as exc:
+                # no pipeline at all: _finalize falls back to the
+                # deterministic handcrafted pipeline
+                self._note_degraded(report, exc)
+                code = ""
+            else:
+                code = self._repair_loop(
+                    report, code, plan, train_sample, test_sample
+                )
             report.generation_seconds = time.perf_counter() - start
             report = self._finalize(
                 report, code, plan, train, test, train_sample, test_sample
@@ -361,34 +407,34 @@ class CatDBChain(_GeneratorBase):
 
             # Figure 6 ordering: all preprocessing prompts, then all
             # feature-engineering prompts, then one model-selection prompt;
-            # the code so far is appended to every prompt.
-            for section in (SECTION_PREPROCESSING, SECTION_FE):
-                for chunk_index in range(plan.beta):
-                    with tracer.span(
-                        "generate.chain_step", section=section,
-                        chunk=chunk_index,
-                    ):
-                        prompt = plan.chain_step(section, chunk_index, code)
+            # the code so far is appended to every prompt.  Once the
+            # transport gives up (retries exhausted / breaker open) the
+            # chain stops and the best code so far goes to finalization.
+            sections = [
+                (section, chunk_index)
+                for section in (SECTION_PREPROCESSING, SECTION_FE)
+                for chunk_index in range(plan.beta)
+            ] + [(SECTION_MODEL, 0)]
+            for section, chunk_index in sections:
+                with tracer.span(
+                    "generate.chain_step", section=section,
+                    chunk=chunk_index,
+                ):
+                    prompt = plan.chain_step(section, chunk_index, code)
+                    try:
                         code = self._submit(
                             report, prompt.text, role="pipeline",
                             section=section, iteration=iteration,
                         )
-                        code = self._repair_loop(
-                            report, code, plan, train_sample, test_sample,
-                            section=section,
-                        )
-            with tracer.span(
-                "generate.chain_step", section=SECTION_MODEL, chunk=0
-            ):
-                prompt = plan.chain_step(SECTION_MODEL, 0, code)
-                code = self._submit(
-                    report, prompt.text, role="pipeline",
-                    section=SECTION_MODEL, iteration=iteration,
-                )
-                code = self._repair_loop(
-                    report, code, plan, train_sample, test_sample,
-                    section=SECTION_MODEL,
-                )
+                    except _DEGRADE_ERRORS as exc:
+                        self._note_degraded(report, exc)
+                        break
+                    code = self._repair_loop(
+                        report, code, plan, train_sample, test_sample,
+                        section=section,
+                    )
+                if report.degraded:
+                    break
             report.generation_seconds = time.perf_counter() - start
             report = self._finalize(
                 report, code or "", plan, train, test, train_sample,

@@ -1,18 +1,38 @@
-"""LLM client protocol, responses, and usage accounting."""
+"""LLM client protocol, responses, usage accounting, and resilience.
+
+:class:`ResilientLLM` is the transport-resilience decorator every driver
+can opt into: it retries transient failures under a seeded
+:class:`~repro.resilience.retry.RetryPolicy`, enforces a per-call
+deadline, and routes every attempt through an optional
+:class:`~repro.resilience.breaker.CircuitBreaker` — see
+``docs/resilience.md`` for the exact semantics.
+"""
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.llm.tokenizer import count_tokens
 from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.deadline import (
+    Deadline,
+    ExecutionTimeout,
+    run_with_timeout,
+    signal_timeout_available,
+)
+from repro.resilience.errors import DeadlineExceeded, ResilienceGiveUp
+from repro.resilience.retry import RetryPolicy, retry_call
 
 __all__ = [
     "ChatMessage",
     "LLMUsage",
     "LLMResponse",
     "LLMClient",
+    "ResilientLLM",
     "record_llm_call",
 ]
 
@@ -111,3 +131,104 @@ class LLMClient:
 
     def reset_usage(self) -> None:
         self.usage = LLMUsage()
+
+
+class ResilientLLM(LLMClient):
+    """Retry + deadline + circuit-breaker decorator for any client.
+
+    Wraps ``inner.complete`` so that transient failures (the
+    :class:`~repro.resilience.errors.TransientError` family plus builtin
+    ``TimeoutError``/``ConnectionError``) are retried with deterministic
+    seeded backoff.  When ``timeout_seconds`` is set, each attempt runs
+    under a per-call deadline: SIGALRM-based interruption on a POSIX main
+    thread, a post-hoc lateness check elsewhere.  On give-up the wrapper
+    raises :class:`~repro.resilience.errors.RetryExhausted` or
+    :class:`~repro.resilience.errors.BreakerOpen`; callers that must not
+    fail catch :class:`~repro.resilience.errors.ResilienceGiveUp` and
+    degrade (the generator's repair loop does exactly that).
+
+    Emits ``retry.attempts`` / ``retry.recoveries`` / ``retry.giveups``
+    and ``llm.transient_errors{type=}`` counters plus ``retry.backoff``
+    spans through the active observability session.
+    """
+
+    def __init__(
+        self,
+        inner: LLMClient,
+        policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        timeout_seconds: float | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.inner = inner
+        self.model = inner.model
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.breaker = breaker
+        self.timeout_seconds = timeout_seconds
+        self._sleep = sleep
+        self._call_index = 0
+
+    @property
+    def usage(self) -> LLMUsage:
+        """Token accounting lives with the inner client."""
+        return self.inner.usage
+
+    def reset_usage(self) -> None:
+        self.inner.reset_usage()
+
+    # -- one attempt, under the per-call deadline ------------------------------
+
+    def _attempt(self, messages: Sequence[ChatMessage] | str) -> LLMResponse:
+        if not self.timeout_seconds:
+            return self.inner.complete(messages)
+        deadline = Deadline(self.timeout_seconds)
+        if signal_timeout_available():
+            try:
+                response = run_with_timeout(
+                    lambda: self.inner.complete(messages),
+                    self.timeout_seconds,
+                    mode="signal",
+                )
+            except ExecutionTimeout as exc:
+                raise DeadlineExceeded(
+                    f"LLM call exceeded its {self.timeout_seconds:g}s deadline"
+                ) from exc
+        else:
+            response = self.inner.complete(messages)
+        # a response that arrived after the deadline is discarded (the
+        # fallback path above cannot interrupt the call mid-flight)
+        deadline.check("LLM call")
+        return response
+
+    def complete(self, messages: Sequence[ChatMessage] | str) -> LLMResponse:
+        self._call_index += 1
+        call_index = self._call_index
+        metrics = get_metrics()
+        transient_count = 0
+
+        def _note_transient(exc: BaseException) -> None:
+            nonlocal transient_count
+            transient_count += 1
+            metrics.inc("llm.transient_errors", type=type(exc).__name__)
+
+        with get_tracer().span(
+            "llm.resilient", model=self.model, call=call_index
+        ) as span:
+            try:
+                response = retry_call(
+                    lambda: self._attempt(messages),
+                    self.policy,
+                    breaker=self.breaker,
+                    sleep=self._sleep,
+                    salt=(self.model, call_index),
+                    on_transient=_note_transient,
+                )
+            except ResilienceGiveUp as exc:
+                span.set(
+                    gave_up=True,
+                    giveup_type=type(exc).__name__,
+                    transient_errors=transient_count,
+                )
+                raise
+            span.set(transient_errors=transient_count)
+            return response

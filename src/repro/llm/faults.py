@@ -18,13 +18,142 @@ failures (permissions, memory limits) are simulated with explicit raises.
 from __future__ import annotations
 
 import re
-from typing import Any
+import time
+from typing import Any, Callable, Sequence
 
 from repro.generation.errors import ERROR_TYPES, ErrorGroup, ErrorType
+from repro.llm.base import ChatMessage, LLMClient, LLMResponse, LLMUsage
 from repro.llm.profiles import LLMProfile
 from repro.llm.rand import stable_hash, weighted_pick
+from repro.obs.metrics import get_metrics
+from repro.resilience.errors import TransientError
 
-__all__ = ["choose_error_type", "inject_fault", "repair_code", "should_fail"]
+__all__ = [
+    "choose_error_type",
+    "inject_fault",
+    "repair_code",
+    "should_fail",
+    "TRANSIENT_FAULT_TYPES",
+    "RateLimited",
+    "ConnectionDropped",
+    "TruncatedCompletion",
+    "SlowResponse",
+    "FlakyLLM",
+]
+
+
+# ---------------------------------------------------------------------------
+# transient transport faults (Section 4's taxonomy covers *generated code*;
+# these model the transport layer failing before clean code ever arrives)
+# ---------------------------------------------------------------------------
+
+
+class RateLimited(TransientError):
+    """Simulated 429: the provider asked us to back off."""
+
+
+class ConnectionDropped(TransientError):
+    """Simulated connection reset mid-response."""
+
+
+class TruncatedCompletion(TransientError):
+    """Completion arrived garbled/cut short (content-length mismatch)."""
+
+    def __init__(self, message: str, partial: str = "") -> None:
+        super().__init__(message)
+        self.partial = partial
+
+
+class SlowResponse(TransientError):
+    """The call stalled past the driver's own patience."""
+
+
+#: Injection order is part of the deterministic schedule — do not reorder.
+TRANSIENT_FAULT_TYPES: tuple[str, ...] = (
+    "rate_limit",
+    "connection_reset",
+    "truncated_completion",
+    "slow_response",
+)
+
+
+class FlakyLLM(LLMClient):
+    """Decorator that injects transient transport faults into any client.
+
+    Each ``complete`` call draws from a deterministic per-call schedule
+    (``stable_hash(seed, call_index)``), so a seeded run injects exactly
+    the same fault sequence every time.  Retried attempts advance the
+    call index and therefore get fresh draws — exactly how a real flaky
+    transport behaves, minus the nondeterminism.
+
+    ``slow_response`` faults really sleep for ``slow_seconds`` before
+    raising, so a per-call deadline (signal-based) can interrupt them;
+    ``truncated_completion`` faults consume a real inner completion (the
+    tokens were spent) and then raise with the mangled partial attached.
+    """
+
+    def __init__(
+        self,
+        inner: LLMClient,
+        fault_rate: float = 0.3,
+        seed: int = 0,
+        fault_types: Sequence[str] = TRANSIENT_FAULT_TYPES,
+        slow_seconds: float = 0.2,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if not 0.0 <= fault_rate <= 1.0:
+            raise ValueError("fault_rate must be within [0, 1]")
+        unknown = set(fault_types) - set(TRANSIENT_FAULT_TYPES)
+        if unknown:
+            raise ValueError(f"unknown transient fault types: {sorted(unknown)}")
+        self.inner = inner
+        self.model = inner.model
+        self.fault_rate = fault_rate
+        self.seed = seed
+        self.fault_types = tuple(fault_types)
+        self.slow_seconds = slow_seconds
+        self._sleep = sleep
+        self.calls = 0
+        self.faults_injected = 0
+
+    @property
+    def usage(self) -> LLMUsage:
+        """Token accounting lives with the inner client."""
+        return self.inner.usage
+
+    def reset_usage(self) -> None:
+        self.inner.reset_usage()
+
+    def _draw_fault(self, call_index: int) -> str | None:
+        point = stable_hash("flaky", self.seed, call_index) % 10_000
+        if point >= self.fault_rate * 10_000:
+            return None
+        kind_index = stable_hash("flaky-kind", self.seed, call_index)
+        return self.fault_types[kind_index % len(self.fault_types)]
+
+    def complete(self, messages: Sequence[ChatMessage] | str) -> LLMResponse:
+        self.calls += 1
+        kind = self._draw_fault(self.calls)
+        if kind is None:
+            return self.inner.complete(messages)
+        self.faults_injected += 1
+        get_metrics().inc("llm.faults_injected", type=kind)
+        if kind == "rate_limit":
+            raise RateLimited("simulated 429: rate limit exceeded")
+        if kind == "connection_reset":
+            raise ConnectionDropped("simulated connection reset by peer")
+        if kind == "truncated_completion":
+            response = self.inner.complete(messages)
+            raise TruncatedCompletion(
+                "simulated truncated completion: content-length mismatch",
+                partial=response.content[: len(response.content) // 2],
+            )
+        # slow_response: stall, then fail like a driver-side socket timeout.
+        # A signal-based per-call deadline interrupts the sleep first.
+        self._sleep(self.slow_seconds)
+        raise SlowResponse(
+            f"simulated slow response: no data after {self.slow_seconds:g}s"
+        )
 
 
 def should_fail(

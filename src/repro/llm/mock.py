@@ -275,7 +275,7 @@ class MockLLM(LLMClient):
         if not added:
             lines.append("    pass")
         lines.append("    return table")
-        return f"<CODE>\n" + "\n".join(lines) + "\n</CODE>", {"task": "caafe_features"}
+        return "<CODE>\n" + "\n".join(lines) + "\n</CODE>", {"task": "caafe_features"}
 
     # -- fallback ----------------------------------------------------------------------------
 

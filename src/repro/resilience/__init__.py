@@ -1,0 +1,55 @@
+"""Resilience layer: retries, deadlines, and circuit breaking.
+
+Separates orchestration robustness (how calls survive transient failure)
+from generation logic (what the calls do) — see ``docs/resilience.md``.
+Everything here is deterministic under a seed: backoff jitter comes from
+stable hashes, and clocks are injectable for tests and soaks.
+"""
+
+from repro.resilience.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+)
+from repro.resilience.deadline import (
+    Deadline,
+    ExecutionTimeout,
+    run_with_timeout,
+    signal_timeout_available,
+)
+from repro.resilience.errors import (
+    BreakerOpen,
+    DeadlineExceeded,
+    ResilienceError,
+    ResilienceGiveUp,
+    RetryExhausted,
+    TransientError,
+)
+from repro.resilience.retry import (
+    DEFAULT_RETRYABLE,
+    RetryPolicy,
+    retry_call,
+    stable_jitter_point,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+    "Deadline",
+    "ExecutionTimeout",
+    "run_with_timeout",
+    "signal_timeout_available",
+    "ResilienceError",
+    "TransientError",
+    "DeadlineExceeded",
+    "ResilienceGiveUp",
+    "RetryExhausted",
+    "BreakerOpen",
+    "RetryPolicy",
+    "retry_call",
+    "stable_jitter_point",
+    "DEFAULT_RETRYABLE",
+]

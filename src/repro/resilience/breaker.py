@@ -1,0 +1,162 @@
+"""Circuit breaker: closed → open → half-open over a failure-rate window.
+
+The breaker watches the most recent ``window`` call outcomes.  While
+*closed* it admits everything; once at least ``min_calls`` outcomes are
+recorded and the failure rate reaches ``failure_threshold`` it *opens*
+and rejects calls (raising :class:`~repro.resilience.errors.BreakerOpen`)
+for ``cooldown_seconds``.  After the cooldown, the next call transitions
+it to *half-open*: up to ``half_open_max_calls`` probe calls are admitted;
+one success closes the breaker (clearing the window), one failure reopens
+it for another cooldown.
+
+State changes emit through the observability layer: a ``breaker.state``
+gauge (0 = closed, 1 = half-open, 2 = open), ``breaker.transitions{from=,
+to=}`` counters, and ``breaker.rejections``.  The clock is injectable so
+tests (and deterministic soaks) can drive the cooldown explicitly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+from repro.obs.metrics import get_metrics
+from repro.resilience.errors import BreakerOpen
+
+__all__ = ["CircuitBreaker", "STATE_CLOSED", "STATE_HALF_OPEN", "STATE_OPEN"]
+
+STATE_CLOSED = "closed"
+STATE_HALF_OPEN = "half_open"
+STATE_OPEN = "open"
+
+_STATE_GAUGE = {STATE_CLOSED: 0, STATE_HALF_OPEN: 1, STATE_OPEN: 2}
+
+
+class CircuitBreaker:
+    """Failure-rate circuit breaker with a sliding outcome window."""
+
+    def __init__(
+        self,
+        failure_threshold: float = 0.5,
+        window: int = 10,
+        min_calls: int = 5,
+        cooldown_seconds: float = 5.0,
+        half_open_max_calls: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        name: str = "llm",
+    ) -> None:
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in (0, 1]")
+        if window < 1 or min_calls < 1:
+            raise ValueError("window and min_calls must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.window = window
+        self.min_calls = min_calls
+        self.cooldown_seconds = cooldown_seconds
+        self.half_open_max_calls = half_open_max_calls
+        self.name = name
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._outcomes: deque[bool] = deque(maxlen=window)  # True = failure
+        self._state = STATE_CLOSED
+        self._opened_at = 0.0
+        self._half_open_inflight = 0
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def failure_rate(self) -> float:
+        with self._lock:
+            return self._failure_rate_locked()
+
+    def _failure_rate_locked(self) -> float:
+        # caller holds the lock (threading.Lock is non-reentrant)
+        if not self._outcomes:
+            return 0.0
+        return sum(self._outcomes) / len(self._outcomes)
+
+    def _transition(self, to_state: str) -> None:
+        # caller holds the lock
+        if to_state == self._state:
+            return
+        metrics = get_metrics()
+        metrics.inc(
+            "breaker.transitions",
+            **{"from": self._state, "to": to_state, "breaker": self.name},
+        )
+        self._state = to_state
+        metrics.gauge(
+            "breaker.state", _STATE_GAUGE[to_state], breaker=self.name
+        )
+        if to_state == STATE_OPEN:
+            self._opened_at = self._clock()
+            self._half_open_inflight = 0
+        elif to_state == STATE_HALF_OPEN:
+            self._half_open_inflight = 0
+        elif to_state == STATE_CLOSED:
+            self._outcomes.clear()
+
+    # -- protocol used by retry_call -----------------------------------------
+
+    def before_call(self) -> None:
+        """Admit or reject the next call; raises :class:`BreakerOpen`."""
+        with self._lock:
+            if self._state == STATE_OPEN:
+                elapsed = self._clock() - self._opened_at
+                if elapsed < self.cooldown_seconds:
+                    get_metrics().inc("breaker.rejections", breaker=self.name)
+                    raise BreakerOpen(
+                        f"circuit breaker {self.name!r} is open "
+                        f"({self._failure_rate_locked():.0%} recent failures); "
+                        f"retry in {self.cooldown_seconds - elapsed:.2f}s",
+                        retry_after_seconds=self.cooldown_seconds - elapsed,
+                    )
+                self._transition(STATE_HALF_OPEN)
+            if self._state == STATE_HALF_OPEN:
+                if self._half_open_inflight >= self.half_open_max_calls:
+                    get_metrics().inc("breaker.rejections", breaker=self.name)
+                    raise BreakerOpen(
+                        f"circuit breaker {self.name!r} is half-open and "
+                        "its probe quota is in flight",
+                        retry_after_seconds=self.cooldown_seconds,
+                    )
+                self._half_open_inflight += 1
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == STATE_HALF_OPEN:
+                self._transition(STATE_CLOSED)
+                return
+            self._outcomes.append(False)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == STATE_HALF_OPEN:
+                self._transition(STATE_OPEN)
+                return
+            self._outcomes.append(True)
+            if (
+                self._state == STATE_CLOSED
+                and len(self._outcomes) >= self.min_calls
+                and sum(self._outcomes) / len(self._outcomes)
+                >= self.failure_threshold
+            ):
+                self._transition(STATE_OPEN)
+
+    def reset(self) -> None:
+        """Force the breaker back to closed with an empty window."""
+        with self._lock:
+            self._transition(STATE_CLOSED)
+            self._outcomes.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(name={self.name!r}, state={self.state!r}, "
+            f"failure_rate={self.failure_rate():.2f})"
+        )

@@ -1,0 +1,176 @@
+"""Per-call deadlines and wall-clock budgets for arbitrary Python work.
+
+:class:`Deadline` is a small value object around a monotonic clock; the
+transport layer uses it to discard responses that arrive too late.
+
+:func:`run_with_timeout` enforces a hard wall-clock budget on a callable —
+the mechanism behind ``--exec-timeout`` for generated-pipeline execution:
+
+- ``"signal"`` mode (POSIX main thread only) arms ``setitimer``; the
+  SIGALRM handler raises :class:`ExecutionTimeout` inside the running
+  frame, which also interrupts blocking sleeps.
+- ``"thread"`` mode runs the callable in a daemon worker and, on expiry,
+  injects :class:`ExecutionTimeout` into it via
+  ``PyThreadState_SetAsyncExc``.  That kills pure-Python loops (the
+  generated pipelines' failure mode) between bytecodes; a worker stuck in
+  a C call cannot be interrupted, so after a short grace period the worker
+  is abandoned (daemon threads die with the process) and the timeout is
+  reported anyway — the caller never hangs.
+- ``"auto"`` picks ``"signal"`` when available, else ``"thread"``.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import signal
+import threading
+import time
+from typing import Any, Callable, TypeVar
+
+from repro.resilience.errors import DeadlineExceeded
+
+__all__ = [
+    "Deadline",
+    "ExecutionTimeout",
+    "run_with_timeout",
+    "signal_timeout_available",
+]
+
+T = TypeVar("T")
+
+
+class ExecutionTimeout(RuntimeError):
+    """Work exceeded its wall-clock budget.
+
+    Subclasses :class:`RuntimeError` so the generation error taxonomy
+    classifies it as a runtime (RE-group) pipeline error.
+    """
+
+
+class Deadline:
+    """A point in monotonic time before which work must finish."""
+
+    __slots__ = ("seconds", "_clock", "_expires_at")
+
+    def __init__(
+        self, seconds: float, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        if seconds <= 0:
+            raise ValueError("deadline must be a positive number of seconds")
+        self.seconds = float(seconds)
+        self._clock = clock
+        self._expires_at = clock() + self.seconds
+
+    @classmethod
+    def after(
+        cls, seconds: float, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        return cls(seconds, clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds left (clamped at zero)."""
+        return max(0.0, self._expires_at - self._clock())
+
+    @property
+    def expired(self) -> bool:
+        return self._clock() >= self._expires_at
+
+    def check(self, what: str = "call") -> None:
+        """Raise :class:`DeadlineExceeded` if the deadline has passed."""
+        if self.expired:
+            raise DeadlineExceeded(
+                f"{what} exceeded its {self.seconds:g}s deadline"
+            )
+
+    def __repr__(self) -> str:
+        return f"Deadline(seconds={self.seconds:g}, remaining={self.remaining():.3f})"
+
+
+def signal_timeout_available() -> bool:
+    """Whether SIGALRM-based enforcement works here (POSIX main thread)."""
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+def _run_with_signal(fn: Callable[[], T], seconds: float) -> T:
+    def _on_alarm(signum: int, frame: Any) -> None:
+        raise ExecutionTimeout(
+            f"execution exceeded its {seconds:g}s wall-clock budget"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return fn()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _async_raise(thread_id: int, exc_type: type[BaseException]) -> None:
+    ctypes.pythonapi.PyThreadState_SetAsyncExc(
+        ctypes.c_ulong(thread_id), ctypes.py_object(exc_type)
+    )
+
+
+def _run_with_thread(
+    fn: Callable[[], T], seconds: float, grace_seconds: float = 1.0
+) -> T:
+    outcome: dict[str, Any] = {}
+    started = threading.Event()
+
+    def _target() -> None:
+        started.set()
+        try:
+            outcome["result"] = fn()
+        except BaseException as exc:  # noqa: BLE001 - re-raised in the caller
+            outcome["error"] = exc
+
+    worker = threading.Thread(
+        target=_target, name="repro-exec-budget", daemon=True
+    )
+    worker.start()
+    started.wait()
+    worker.join(seconds)
+    if worker.is_alive():
+        # inject ExecutionTimeout between bytecodes; re-send for a short
+        # grace period in case the worker swallows BaseException briefly
+        grace_deadline = time.monotonic() + grace_seconds
+        while worker.is_alive() and time.monotonic() < grace_deadline:
+            _async_raise(worker.ident or 0, ExecutionTimeout)
+            worker.join(0.02)
+        raise ExecutionTimeout(
+            f"execution exceeded its {seconds:g}s wall-clock budget"
+            + (" (worker abandoned)" if worker.is_alive() else "")
+        )
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["result"]
+
+
+def run_with_timeout(
+    fn: Callable[[], T],
+    seconds: float | None,
+    mode: str = "auto",
+    grace_seconds: float = 1.0,
+) -> T:
+    """Run ``fn`` with a hard wall-clock budget of ``seconds``.
+
+    ``seconds=None`` (or ``<= 0``) runs ``fn`` directly.  Raises
+    :class:`ExecutionTimeout` when the budget is exceeded; any exception
+    ``fn`` itself raises propagates unchanged.
+    """
+    if seconds is None or seconds <= 0:
+        return fn()
+    if mode not in ("auto", "signal", "thread"):
+        raise ValueError(f"unknown timeout mode {mode!r}")
+    if mode == "auto":
+        mode = "signal" if signal_timeout_available() else "thread"
+    if mode == "signal":
+        if not signal_timeout_available():
+            mode = "thread"
+        else:
+            return _run_with_signal(fn, seconds)
+    return _run_with_thread(fn, seconds, grace_seconds=grace_seconds)

@@ -1,7 +1,5 @@
 """Tests for the artifact store, expectation suites, and feature importances."""
 
-import json
-
 import numpy as np
 import pytest
 
@@ -12,7 +10,6 @@ from repro.generation.generator import CatDB
 from repro.llm.mock import MockLLM
 from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
 from repro.ml.model_selection import train_test_split
-from repro.table.table import Table
 
 
 class TestArtifactStore:

@@ -1,6 +1,5 @@
 """Tests for the deterministic hashing utilities."""
 
-import numpy as np
 import pytest
 
 from repro.llm.rand import stable_hash, stable_rng, weighted_pick

@@ -1,7 +1,6 @@
 """Tests for rebalancing / augmentation primitives."""
 
 import numpy as np
-import pytest
 
 from repro.ml.augment import class_imbalance_ratio, gaussian_augment, oversample_minority
 

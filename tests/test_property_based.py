@@ -1,7 +1,5 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
-import math
-
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -11,7 +9,7 @@ from repro.llm.semantics import dedupe_categories, normalize_category
 from repro.llm.tokenizer import count_tokens
 from repro.ml.metrics import accuracy_score, r2_score, roc_auc_score
 from repro.ml.preprocessing import MinMaxScaler, OneHotEncoder, StandardScaler
-from repro.table.column import Column, ColumnKind
+from repro.table.column import Column
 from repro.table.table import Table
 
 # -- strategies -----------------------------------------------------------------

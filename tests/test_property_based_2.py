@@ -1,8 +1,7 @@
 """Second property-based suite: relational ops, encoders, cost model."""
 
 import numpy as np
-import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.generation.cost import CostModel

@@ -34,7 +34,6 @@ class TestSentimentMapping:
         assert set(mapping.values()) == {"Low", "Medium", "High"}
 
     def test_refinement_turns_survey_sentences_categorical(self):
-        from repro.catalog.profiler import profile_table
         from repro.catalog.refinement import refine_catalog
         from repro.datasets.registry import load_dataset
         from repro.llm.mock import MockLLM

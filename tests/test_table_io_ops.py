@@ -1,8 +1,5 @@
 """Tests for CSV I/O and relational ops."""
 
-import numpy as np
-import pytest
-
 from repro.table.io_csv import read_csv, sniff_delimiter, write_csv
 from repro.table.ops import (
     drop_duplicate_rows,
