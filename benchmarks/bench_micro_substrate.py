@@ -221,3 +221,75 @@ def test_micro_pipeline_execution(benchmark):
         lambda: execute_pipeline_code(code, train, test), rounds=3, iterations=1
     )
     assert result.success
+
+
+def test_micro_static_analysis(benchmark):
+    """Full pipeline-profile analysis of one generated pipeline.
+
+    Target: well under 10 ms per pipeline — the gate runs once per
+    repair iteration, so it must be negligible next to an execution
+    (compare ``test_micro_pipeline_execution``).
+    """
+    from repro.analysis import analyze_source
+
+    table = _wide_table()
+    catalog = profile_table(table, target="y", task_type="binary")
+    plan = build_prompt_plan(catalog, beta=1)
+    payload = {
+        "task": "pipeline",
+        "dataset": catalog.info.to_dict(),
+        "schema": plan._full_schema,
+        "rules": [r.to_payload() for r in plan.rules],
+    }
+    code = generate_pipeline_code(payload, get_profile("gpt-4o"))
+
+    report = benchmark(lambda: analyze_source(code))
+    assert report.ok
+
+
+def test_micro_repair_loop_exec_skip_on(benchmark):
+    """Repair-loop cost with the static gate ON for a syntax-faulted
+    candidate: classification happens without executing the pipeline."""
+    from repro.analysis import analyze_source
+    from repro.llm.faults import _INJECTORS
+
+    table = _wide_table()
+    catalog = profile_table(table, target="y", task_type="binary")
+    plan = build_prompt_plan(catalog, beta=1)
+    payload = {
+        "task": "pipeline",
+        "dataset": catalog.info.to_dict(),
+        "schema": plan._full_schema,
+        "rules": [r.to_payload() for r in plan.rules],
+    }
+    code = generate_pipeline_code(payload, get_profile("gpt-4o"))
+    dirty = _INJECTORS["truncated_code"](code, 3)
+
+    report = benchmark(lambda: analyze_source(dirty))
+    assert report.first_error() is not None
+
+
+def test_micro_repair_loop_exec_skip_off(benchmark):
+    """The same faulted candidate classified the pre-gate way: pay an
+    execution attempt to learn the code is broken.  The on/off delta is
+    the per-iteration saving of the static gate."""
+    from repro.llm.faults import _INJECTORS
+
+    table = _wide_table()
+    catalog = profile_table(table, target="y", task_type="binary")
+    plan = build_prompt_plan(catalog, beta=1)
+    payload = {
+        "task": "pipeline",
+        "dataset": catalog.info.to_dict(),
+        "schema": plan._full_schema,
+        "rules": [r.to_payload() for r in plan.rules],
+    }
+    code = generate_pipeline_code(payload, get_profile("gpt-4o"))
+    dirty = _INJECTORS["truncated_code"](code, 3)
+    train, test = table.take(range(560)), table.take(range(560, 800))
+
+    result = benchmark.pedantic(
+        lambda: execute_pipeline_code(dirty, train, test),
+        rounds=3, iterations=1,
+    )
+    assert result.error is not None

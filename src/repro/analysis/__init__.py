@@ -1,0 +1,55 @@
+"""Static analysis for generated pipelines and for the repro codebase itself.
+
+The package implements the pre-execution validation pass of the repair
+loop (paper Section 4.2: syntactic errors are cheap to find, runtime
+errors are expensive) as a multi-pass AST analyzer:
+
+- :mod:`repro.analysis.scopes` — a proper scope-chain name resolver
+  (module/function/class/comprehension/lambda scopes, ``global``/
+  ``nonlocal``, walrus, ``AnnAssign``, ``match`` captures) replacing the
+  old flat ``ast.walk`` name collection;
+- :mod:`repro.analysis.rules` — the pluggable rule engine
+  (:class:`Rule` protocol, :class:`Finding`, per-rule enable/severity
+  :class:`RuleConfig`);
+- :mod:`repro.analysis.pipeline_rules` — ML-pipeline rules (data
+  leakage, banned APIs, nondeterminism, known-signature misuse);
+- :mod:`repro.analysis.repo_rules` — the self-lint profile run over
+  ``src/repro`` (unseeded randomness, wall-clock reads, non-reentrant
+  lock re-entry — the PR-3 ``CircuitBreaker`` deadlock class);
+- :mod:`repro.analysis.engine` — profiles, :func:`analyze_source`,
+  and the parallel :func:`lint_paths` driver behind ``repro lint``.
+
+Error-severity findings map onto the 23-type
+:class:`~repro.generation.errors.PipelineError` taxonomy so the repair
+loop consumes them exactly like execution failures — without paying
+``execute_pipeline_code``.
+"""
+
+from repro.analysis.engine import (
+    PROFILES,
+    AnalysisReport,
+    FileReport,
+    analyze_file,
+    analyze_source,
+    lint_paths,
+    render_findings,
+)
+from repro.analysis.rules import Finding, Rule, RuleConfig, Severity
+from repro.analysis.scopes import Scope, ScopeInfo, build_scopes
+
+__all__ = [
+    "AnalysisReport",
+    "FileReport",
+    "Finding",
+    "PROFILES",
+    "Rule",
+    "RuleConfig",
+    "Scope",
+    "ScopeInfo",
+    "Severity",
+    "analyze_file",
+    "analyze_source",
+    "build_scopes",
+    "lint_paths",
+    "render_findings",
+]

@@ -1,0 +1,535 @@
+"""ML-pipeline rules: what generated code must not do.
+
+These rules run over every candidate pipeline before execution
+(profile ``"pipeline"``).  Error-severity findings carry a taxonomy
+``error_type`` so the repair loop treats them exactly like an observed
+failure — crucially *without* paying ``execute_pipeline_code``:
+
+- ``entry-point``      — the ``run_pipeline(train, test)`` contract
+- ``missing-import``   — known library symbols used but never bound
+  (resolved through the scope chain, not a flat name walk)
+- ``banned-api``       — ``eval``/``exec``, filesystem, environment,
+  process, and network access in generated code
+- ``data-leakage``     — transformers/estimators fitted on test data or
+  on train+test mixtures; the target column listed as a feature
+- ``nondeterminism``   — unseeded global RNGs, ``random_state=None``
+- ``signature``        — calls into the known ``repro.ml`` surface that
+  cannot bind (wrong keyword, impossible arity, missing method)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.rules import AnalysisContext, Finding, Severity
+from repro.analysis.signatures import (
+    check_call,
+    check_method_call,
+    signature_table,
+)
+
+__all__ = [
+    "KNOWN_LIBRARY_SYMBOLS",
+    "EntryPointRule",
+    "MissingImportRule",
+    "BannedApiRule",
+    "DataLeakageRule",
+    "NondeterminismRule",
+    "SignatureRule",
+    "PIPELINE_RULES",
+    "VALIDATE_RULES",
+]
+
+#: symbols whose undefined use is statically attributable to a lost import
+#: (an arbitrary undefined identifier stays a runtime NameError — the
+#: paper's SE-vs-RE split)
+KNOWN_LIBRARY_SYMBOLS = frozenset({
+    "np", "numpy", "scipy", "networkx",
+    "TableVectorizer", "ColumnSelector", "Pipeline",
+    "RandomForestClassifier", "RandomForestRegressor",
+    "GradientBoostingClassifier", "GradientBoostingRegressor",
+    "DecisionTreeClassifier", "DecisionTreeRegressor",
+    "LogisticRegression", "LinearRegression", "Ridge",
+    "GaussianNB", "KNeighborsClassifier", "KNeighborsRegressor", "TabPFNProxy",
+    "LinearSVC", "KMeans",
+    "GridSearchCV", "RandomizedSearchCV", "train_test_split", "cross_val_score",
+    "accuracy_score", "roc_auc_score", "r2_score", "f1_score", "log_loss",
+    "SimpleImputer", "StandardScaler", "MinMaxScaler", "RobustScaler",
+    "OneHotEncoder", "OrdinalEncoder", "LabelEncoder", "KHotEncoder",
+    "FeatureHasher", "QuantileClipper",
+    "oversample_minority", "gaussian_augment", "drop_missing_rows",
+    "Table", "Column", "read_csv", "write_csv",
+})
+
+
+class EntryPointRule:
+    """The script must define ``run_pipeline(train, test)`` at top level."""
+
+    id = "entry-point"
+    description = "script must define run_pipeline(train, test)"
+    default_severity = Severity.ERROR
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
+        entry = next(
+            (
+                node for node in ctx.tree.body
+                if isinstance(node, ast.FunctionDef) and node.name == "run_pipeline"
+            ),
+            None,
+        )
+        if entry is None:
+            yield Finding(
+                rule_id=self.id,
+                severity=self.default_severity,
+                message="script does not define run_pipeline(train, test)",
+                error_type="truncated_code",
+            )
+            return
+        n_positional = len(entry.args.posonlyargs) + len(entry.args.args)
+        accepts_two = n_positional >= 2 or entry.args.vararg is not None
+        if not accepts_two:
+            yield Finding(
+                rule_id=self.id,
+                severity=self.default_severity,
+                message="run_pipeline must accept (train, test) "
+                        f"but takes {n_positional} argument(s)",
+                line=entry.lineno,
+                error_type="truncated_code",
+            )
+
+
+class MissingImportRule:
+    """Known library symbols used but resolvable to no binding."""
+
+    id = "missing-import"
+    description = "a used library symbol is never imported or defined"
+    default_severity = Severity.ERROR
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
+        seen: set[str] = set()
+        for name, lineno in ctx.scopes.undefined_uses():
+            if name not in KNOWN_LIBRARY_SYMBOLS or name in seen:
+                continue
+            seen.add(name)
+            yield Finding(
+                rule_id=self.id,
+                severity=self.default_severity,
+                message=f"name {name!r} is used but never imported or defined",
+                line=lineno,
+                error_type="missing_import",
+            )
+
+
+#: builtins a generated pipeline has no business calling
+_BANNED_BUILTINS = {
+    "eval", "exec", "compile", "__import__", "input", "breakpoint",
+    "exit", "quit",
+}
+
+#: module roots whose import alone is banned in generated code
+_BANNED_IMPORTS = {
+    "subprocess", "socket", "urllib", "requests", "http", "ftplib",
+    "telnetlib", "ctypes",
+}
+
+#: dotted call prefixes that spawn processes / touch the filesystem
+_BANNED_CALL_PREFIXES = (
+    "os.system", "os.popen", "os.spawn", "os.exec", "os.remove",
+    "os.unlink", "os.rmdir", "shutil.rmtree", "subprocess.",
+    "socket.", "urllib.", "requests.", "http.",
+)
+
+
+class BannedApiRule:
+    """Dynamic execution, filesystem, environment, process, network access.
+
+    ``open`` and ``os.environ`` map onto their KB-patchable taxonomy
+    types (``missing_data_file`` / ``env_variable``) so the knowledge
+    base still patches them locally; everything else surfaces as
+    ``wrong_api``.
+    """
+
+    id = "banned-api"
+    description = "generated code calls an API banned in the sandbox"
+    default_severity = Severity.ERROR
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                yield from self._check_import(node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+            elif isinstance(node, ast.Subscript):
+                dotted = ctx.dotted_name(node.value)
+                if dotted == "os.environ":
+                    yield self._finding(
+                        "environment access 'os.environ[...]' in generated code",
+                        node.lineno, "env_variable",
+                    )
+
+    def _check_import(
+        self, node: ast.Import | ast.ImportFrom
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Import):
+            roots = [alias.name.split(".")[0] for alias in node.names]
+        else:
+            roots = [(node.module or "").split(".")[0]]
+        for root in roots:
+            if root in _BANNED_IMPORTS:
+                yield self._finding(
+                    f"import of banned module {root!r} in generated code",
+                    node.lineno, "wrong_api",
+                )
+
+    def _check_call(self, ctx: AnalysisContext, node: ast.Call) -> Iterator[Finding]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "open":
+                yield self._finding(
+                    "file access 'open(...)' in generated code "
+                    "(pipelines receive their data as arguments)",
+                    node.lineno, "missing_data_file",
+                )
+            elif func.id in _BANNED_BUILTINS:
+                yield self._finding(
+                    f"call to banned builtin {func.id!r} in generated code",
+                    node.lineno, "wrong_api",
+                )
+            return
+        dotted = ctx.dotted_name(func)
+        if dotted is None:
+            return
+        if dotted in ("os.getenv", "os.environ.get"):
+            yield self._finding(
+                f"environment access {dotted!r} in generated code",
+                node.lineno, "env_variable",
+            )
+            return
+        for prefix in _BANNED_CALL_PREFIXES:
+            if dotted == prefix.rstrip(".") or dotted.startswith(prefix):
+                yield self._finding(
+                    f"call to banned API {dotted!r} in generated code",
+                    node.lineno, "wrong_api",
+                )
+                return
+
+    def _finding(self, message: str, line: int, error_type: str) -> Finding:
+        return Finding(
+            rule_id=self.id,
+            severity=self.default_severity,
+            message=message,
+            line=line,
+            error_type=error_type,
+        )
+
+
+def _is_testish(name: str) -> bool:
+    return name == "test" or name.startswith("test_") or name.endswith("_test")
+
+
+def _is_trainish(name: str) -> bool:
+    return name == "train" or name.startswith("train_") or name.endswith("_train")
+
+
+class DataLeakageRule:
+    """Test data must never reach a ``fit``; the target is not a feature."""
+
+    id = "data-leakage"
+    description = "estimator/transformer fitted on test or pre-split data"
+    default_severity = Severity.ERROR
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
+        provenance = self._name_provenance(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in (
+                "fit", "fit_transform", "partial_fit"
+            ):
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if not isinstance(arg, ast.Name):
+                    continue
+                if _is_testish(arg.id):
+                    yield Finding(
+                        rule_id=self.id,
+                        severity=self.default_severity,
+                        message=f".{func.attr}() called on test data {arg.id!r} "
+                                "(fit on train only, then transform test)",
+                        line=node.lineno,
+                        error_type="task_mismatch",
+                    )
+                    break
+                sources = provenance.get(arg.id, set())
+                if any(_is_testish(s) for s in sources) and any(
+                    _is_trainish(s) for s in sources
+                ):
+                    yield Finding(
+                        rule_id=self.id,
+                        severity=self.default_severity,
+                        message=f".{func.attr}() called on {arg.id!r}, which mixes "
+                                "train and test data (fit before the split leaks)",
+                        line=node.lineno,
+                        error_type="task_mismatch",
+                    )
+                    break
+        yield from self._target_in_features(ctx)
+
+    @staticmethod
+    def _name_provenance(ctx: AnalysisContext) -> dict[str, set[str]]:
+        """One-level map: assigned name -> names read on the right side."""
+        provenance: dict[str, set[str]] = {}
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            sources = {
+                sub.id for sub in ast.walk(node.value)
+                if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load)
+            }
+            provenance[target.id] = sources
+        return provenance
+
+    def _target_in_features(self, ctx: AnalysisContext) -> Iterator[Finding]:
+        target_value: str | None = None
+        features: tuple[list[str], int] | None = None
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            name_node = node.targets[0]
+            if not isinstance(name_node, ast.Name):
+                continue
+            if name_node.id == "TARGET" and isinstance(node.value, ast.Constant):
+                if isinstance(node.value.value, str):
+                    target_value = node.value.value
+            elif name_node.id == "FEATURES" and isinstance(node.value, ast.List):
+                values = [
+                    e.value for e in node.value.elts
+                    if isinstance(e, ast.Constant) and isinstance(e.value, str)
+                ]
+                features = (values, node.lineno)
+        if target_value is not None and features is not None:
+            values, lineno = features
+            if target_value in values:
+                yield Finding(
+                    rule_id=self.id,
+                    severity=self.default_severity,
+                    message=f"target column {target_value!r} is listed in FEATURES "
+                            "(the label leaks into the design matrix)",
+                    line=lineno,
+                    error_type="task_mismatch",
+                )
+
+
+#: global-RNG functions on the stdlib ``random`` module
+_RANDOM_MODULE_FNS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "betavariate", "expovariate", "seed",
+}
+
+#: numpy.random attributes that are seeded constructors, not global draws
+_NP_RANDOM_SEEDED = {"default_rng", "SeedSequence", "Generator", "BitGenerator"}
+
+
+class NondeterminismRule:
+    """Unseeded randomness makes repair loops and soaks unreproducible."""
+
+    id = "nondeterminism"
+    description = "unseeded RNG use in generated code"
+    default_severity = Severity.WARNING
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.dotted_name(node.func)
+            if dotted is not None:
+                finding = self._check_dotted(dotted, node)
+                if finding is not None:
+                    yield finding
+            yield from self._check_random_state_none(ctx, node)
+
+    def _check_dotted(self, dotted: str, node: ast.Call) -> Finding | None:
+        if dotted.startswith("numpy.random."):
+            attr = dotted.split(".", 2)[2]
+            if attr == "default_rng" and not node.args and not node.keywords:
+                return self._finding(
+                    "numpy.random.default_rng() without a seed is "
+                    "nondeterministic", node.lineno,
+                )
+            if "." not in attr and attr not in _NP_RANDOM_SEEDED:
+                return self._finding(
+                    f"call to numpy global RNG 'np.random.{attr}' "
+                    "(use a seeded default_rng(seed) instead)", node.lineno,
+                )
+        elif dotted.startswith("random."):
+            attr = dotted.split(".", 1)[1]
+            if attr in _RANDOM_MODULE_FNS:
+                return self._finding(
+                    f"call to stdlib global RNG 'random.{attr}' "
+                    "(unseeded; results will not reproduce)", node.lineno,
+                )
+        return None
+
+    def _check_random_state_none(
+        self, ctx: AnalysisContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        if not isinstance(node.func, ast.Name):
+            return
+        origin = ctx.import_aliases.get(node.func.id, "")
+        if not origin.startswith("repro.ml"):
+            return
+        name = origin.rsplit(".", 1)[-1]
+        if name not in signature_table():
+            return
+        for kw in node.keywords:
+            if (
+                kw.arg == "random_state"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is None
+            ):
+                yield self._finding(
+                    f"{name}(random_state=None) draws fresh entropy per run",
+                    node.lineno,
+                )
+
+    def _finding(self, message: str, line: int) -> Finding:
+        return Finding(
+            rule_id=self.id,
+            severity=self.default_severity,
+            message=message,
+            line=line,
+            error_type="no_convergence",
+        )
+
+
+#: exception names whose handlers make a call site runtime-guarded —
+#: a statically-dubious call inside such a try block is intentional
+_GUARD_EXCEPTIONS = {
+    "AttributeError", "TypeError", "ValueError", "Exception", "BaseException",
+}
+
+
+class SignatureRule:
+    """Calls into the known ``repro.ml`` surface must bind statically."""
+
+    id = "signature"
+    description = "call cannot bind against the known repro.ml signature"
+    default_severity = Severity.ERROR
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
+        guarded = self._guarded_nodes(ctx.tree)
+        inferred = self._inferred_types(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or id(node) in guarded:
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                name = self._ml_name(ctx, func.id)
+                if name is None:
+                    continue
+                message = check_call(name, node)
+                if message is not None:
+                    yield self._finding(f"{name}(...): {message}", node.lineno)
+            elif isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+                class_name = inferred.get(func.value.id)
+                if class_name is None:
+                    continue
+                message = check_method_call(class_name, func.attr, node)
+                if message is not None:
+                    yield self._finding(
+                        f"{func.value.id}.{func.attr}(...): {message}", node.lineno
+                    )
+
+    @staticmethod
+    def _ml_name(ctx: AnalysisContext, local_name: str) -> str | None:
+        origin = ctx.import_aliases.get(local_name)
+        if origin is None or not origin.startswith("repro."):
+            return None
+        name = origin.rsplit(".", 1)[-1]
+        return name if name in signature_table() else None
+
+    def _inferred_types(self, ctx: AnalysisContext) -> dict[str, str]:
+        """Map local var -> repro.ml class for ``var = ClassName(...)``.
+
+        A name assigned twice with conflicting inferences (or to anything
+        that is not a known-constructor call) becomes unknown — the check
+        must never fire on a variable it cannot pin down.
+        """
+        inferred: dict[str, str | None] = {}
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            class_name: str | None = None
+            if isinstance(node.value, ast.Call) and isinstance(
+                node.value.func, ast.Name
+            ):
+                candidate = self._ml_name(ctx, node.value.func.id)
+                import inspect as _inspect
+                import repro.ml as _ml
+
+                if candidate is not None and _inspect.isclass(
+                    getattr(_ml, candidate, None)
+                ):
+                    class_name = candidate
+            if target.id in inferred and inferred[target.id] != class_name:
+                inferred[target.id] = None
+            else:
+                inferred[target.id] = class_name
+        return {k: v for k, v in inferred.items() if v is not None}
+
+    @staticmethod
+    def _guarded_nodes(tree: ast.Module) -> set[int]:
+        """ids of Call nodes inside try bodies guarded by broad handlers."""
+        guarded: set[int] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Try):
+                continue
+            names: set[str] = set()
+            bare = False
+            for handler in node.handlers:
+                if handler.type is None:
+                    bare = True
+                else:
+                    for sub in ast.walk(handler.type):
+                        if isinstance(sub, ast.Name):
+                            names.add(sub.id)
+            if bare or names & _GUARD_EXCEPTIONS:
+                for stmt in node.body:
+                    for sub in ast.walk(stmt):
+                        if isinstance(sub, ast.Call):
+                            guarded.add(id(sub))
+        return guarded
+
+    def _finding(self, message: str, line: int) -> Finding:
+        return Finding(
+            rule_id=self.id,
+            severity=self.default_severity,
+            message=message,
+            line=line,
+            error_type="wrong_api",
+        )
+
+
+#: the full pre-execution gate for generated pipelines
+PIPELINE_RULES = (
+    EntryPointRule(),
+    MissingImportRule(),
+    BannedApiRule(),
+    DataLeakageRule(),
+    NondeterminismRule(),
+    SignatureRule(),
+)
+
+#: the legacy ``validate_source`` surface: structure + imports only
+VALIDATE_RULES = (
+    EntryPointRule(),
+    MissingImportRule(),
+)

@@ -1,0 +1,248 @@
+"""Self-lint rules for the repro codebase (profile ``"repo"``).
+
+These encode repo invariants that unit tests cannot cheaply pin:
+
+- ``unseeded-random``   — the substrate must be deterministic end to end;
+  any global-RNG draw breaks the soak's bit-identical guarantee
+- ``wall-clock``        — cached or parallel code must not read wall
+  clocks; cache keys and traces built from ``time.time()`` /
+  ``datetime.now()`` differ across runs (monotonic timers are fine)
+- ``lock-reentry``      — a method holding a non-reentrant lock must not
+  call another method of the same object that re-acquires the same lock.
+  This is exactly the ``CircuitBreaker.failure_rate`` deadlock class
+  fixed in PR 3: ``before_call`` held ``self._lock`` and called
+  ``failure_rate()``, which blocked acquiring it again.
+
+Run with ``repro lint src/repro --profile repo``; CI fails on errors.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.rules import AnalysisContext, Finding, Severity
+
+__all__ = [
+    "UnseededRandomRule",
+    "WallClockRule",
+    "LockReentryRule",
+    "REPO_RULES",
+]
+
+_GLOBAL_RANDOM_FNS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "seed",
+}
+
+_NP_RANDOM_SEEDED = {"default_rng", "SeedSequence", "Generator", "BitGenerator"}
+
+
+class UnseededRandomRule:
+    """Global-RNG draws are nondeterministic across processes and runs."""
+
+    id = "unseeded-random"
+    description = "global RNG use breaks substrate determinism"
+    default_severity = Severity.ERROR
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.dotted_name(node.func)
+            if dotted is None:
+                continue
+            message: str | None = None
+            if dotted.startswith("numpy.random."):
+                attr = dotted.split(".", 2)[2]
+                if attr == "default_rng" and not node.args and not node.keywords:
+                    message = "numpy.random.default_rng() without a seed"
+                elif "." not in attr and attr not in _NP_RANDOM_SEEDED:
+                    message = f"numpy global RNG call 'np.random.{attr}'"
+            elif dotted.startswith("random."):
+                attr = dotted.split(".", 1)[1]
+                if attr in _GLOBAL_RANDOM_FNS:
+                    message = f"stdlib global RNG call 'random.{attr}'"
+            if message is not None:
+                yield Finding(
+                    rule_id=self.id,
+                    severity=self.default_severity,
+                    message=f"{message} (thread a seeded Generator instead)",
+                    line=node.lineno,
+                )
+
+
+#: wall-clock reads; monotonic/perf_counter/process_time are deliberately OK
+_WALL_CLOCK_CALLS = {
+    "time.time": "time.time()",
+    "time.time_ns": "time.time_ns()",
+    "datetime.datetime.now": "datetime.now()",
+    "datetime.datetime.utcnow": "datetime.utcnow()",
+    "datetime.datetime.today": "datetime.today()",
+    "datetime.date.today": "date.today()",
+}
+
+
+class WallClockRule:
+    """Wall-clock reads poison cache keys and cross-run comparisons."""
+
+    id = "wall-clock"
+    description = "wall-clock read in substrate code (use monotonic timers)"
+    default_severity = Severity.WARNING
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.dotted_name(node.func)
+            if dotted in _WALL_CLOCK_CALLS:
+                yield Finding(
+                    rule_id=self.id,
+                    severity=self.default_severity,
+                    message=f"wall-clock read {_WALL_CLOCK_CALLS[dotted]!r} "
+                            "(prefer time.monotonic()/perf_counter() for "
+                            "durations; pass timestamps in for records)",
+                    line=node.lineno,
+                )
+
+
+class LockReentryRule:
+    """Holding a non-reentrant lock while calling a method that re-acquires it.
+
+    Per class: collect ``self.<attr> = threading.Lock()`` assignments
+    (``RLock`` is reentrant and excluded), map each method to the lock
+    attributes it acquires via ``with self.<attr>:``, then flag any
+    ``self.<method>(...)`` call made *inside* such a ``with`` block when
+    the callee acquires the same attribute.  That call can never return —
+    it deadlocks the first time the branch executes.
+    """
+
+    id = "lock-reentry"
+    description = "re-acquiring a held non-reentrant lock deadlocks"
+    default_severity = Severity.ERROR
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(
+        self, ctx: AnalysisContext, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        methods = [
+            stmt for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        lock_attrs = self._lock_attrs(ctx, methods)
+        if not lock_attrs:
+            return
+        acquires = {m.name: self._acquired_attrs(m, lock_attrs) for m in methods}
+        for method in methods:
+            for with_node, attr in self._with_blocks(method, lock_attrs):
+                for call in ast.walk(with_node):
+                    if not isinstance(call, ast.Call):
+                        continue
+                    callee = self._self_method(call.func)
+                    if callee is not None and attr in acquires.get(callee, set()):
+                        yield Finding(
+                            rule_id=self.id,
+                            severity=self.default_severity,
+                            message=(
+                                f"{cls.name}.{method.name} holds "
+                                f"'self.{attr}' and calls self.{callee}(), "
+                                f"which re-acquires 'self.{attr}' — this "
+                                "deadlocks (use a _locked helper or RLock)"
+                            ),
+                            line=call.lineno,
+                        )
+
+    @staticmethod
+    def _lock_attrs(
+        ctx: AnalysisContext,
+        methods: list[ast.FunctionDef | ast.AsyncFunctionDef],
+    ) -> set[str]:
+        attrs: set[str] = set()
+        for method in methods:
+            for node in ast.walk(method):
+                if not isinstance(node, ast.Assign):
+                    continue
+                if not (
+                    isinstance(node.value, ast.Call)
+                    and ctx.dotted_name(node.value.func) == "threading.Lock"
+                ):
+                    continue
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        attrs.add(target.attr)
+        return attrs
+
+    @staticmethod
+    def _self_lock_attr(node: ast.AST, lock_attrs: set[str]) -> str | None:
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in lock_attrs
+        ):
+            return node.attr
+        return None
+
+    @classmethod
+    def _with_blocks(
+        cls,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+        lock_attrs: set[str],
+    ) -> Iterator[tuple[ast.With | ast.AsyncWith, str]]:
+        for node in ast.walk(method):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            for item in node.items:
+                attr = cls._self_lock_attr(item.context_expr, lock_attrs)
+                if attr is not None:
+                    yield node, attr
+
+    @classmethod
+    def _acquired_attrs(
+        cls,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+        lock_attrs: set[str],
+    ) -> set[str]:
+        acquired: set[str] = set()
+        for node in ast.walk(method):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    attr = cls._self_lock_attr(item.context_expr, lock_attrs)
+                    if attr is not None:
+                        acquired.add(attr)
+            elif isinstance(node, ast.Call):
+                # self.X.acquire() counts too
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "acquire"
+                    and cls._self_lock_attr(func.value, lock_attrs) is not None
+                ):
+                    acquired.add(func.value.attr)  # type: ignore[union-attr]
+        return acquired
+
+    @staticmethod
+    def _self_method(func: ast.AST) -> str | None:
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+        ):
+            return func.attr
+        return None
+
+
+#: the self-lint profile run over ``src/repro`` in CI
+REPO_RULES = (
+    UnseededRandomRule(),
+    WallClockRule(),
+    LockReentryRule(),
+)

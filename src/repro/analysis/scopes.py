@@ -1,0 +1,351 @@
+"""Scope-chain name resolution over a Python AST.
+
+The old validator collected *every* stored name in one flat ``ast.walk``
+pass, which has two failure classes:
+
+- **false negatives** — a name bound only inside some unrelated function
+  (or a comprehension target, or a class-body attribute) was treated as
+  defined everywhere, hiding genuinely undefined uses;
+- **false positives** — binding forms the walk did not know about
+  (walrus ``:=``, ``AnnAssign``, lambda parameters, ``match`` captures)
+  left legitimately-bound names looking undefined.
+
+This module builds the real scope tree (module / function / class /
+comprehension / lambda), records every binding in the scope that Python
+would bind it in, and resolves each ``Load`` use along the chain with
+Python's rules: class scopes are invisible to code nested inside them,
+``global`` declarations jump to module scope, ``nonlocal`` to the nearest
+enclosing function scope, and a walrus inside a comprehension binds in
+the scope *containing* the comprehension.
+
+Resolution is flow-insensitive by design: a name bound anywhere in a
+visible scope counts as defined (use-before-assignment is a runtime
+concern, and the paper's SE-vs-RE split keeps it there).
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass, field
+
+__all__ = ["Scope", "ScopeInfo", "build_scopes"]
+
+MODULE = "module"
+FUNCTION = "function"
+CLASS = "class"
+COMPREHENSION = "comprehension"
+LAMBDA = "lambda"
+
+_BUILTIN_NAMES = frozenset(dir(builtins)) | {"__file__", "__doc__", "__name__", "__builtins__"}
+
+
+@dataclass
+class Scope:
+    """One lexical scope and the names bound in it."""
+
+    kind: str
+    name: str = ""
+    parent: "Scope | None" = None
+    bindings: dict[str, int] = field(default_factory=dict)  # name -> first binding line
+    globals_decl: set[str] = field(default_factory=set)
+    nonlocals_decl: set[str] = field(default_factory=set)
+    children: list["Scope"] = field(default_factory=list)
+
+    def bind(self, name: str, lineno: int) -> None:
+        self.bindings.setdefault(name, lineno)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Scope({self.kind}:{self.name or '<anon>'}, {sorted(self.bindings)})"
+
+
+@dataclass
+class Use:
+    """One ``Load``-context name use, attributed to its owning scope."""
+
+    name: str
+    lineno: int
+    scope: Scope
+
+
+class ScopeInfo:
+    """The resolved scope tree plus every recorded name use."""
+
+    def __init__(self, module: Scope, uses: list[Use]) -> None:
+        self.module = module
+        self.uses = uses
+
+    # -- resolution ----------------------------------------------------------
+
+    def resolves(self, name: str, scope: Scope) -> bool:
+        """True when ``name`` used in ``scope`` is bound somewhere visible."""
+        if name in _BUILTIN_NAMES:
+            return True
+        if name in scope.globals_decl:
+            return name in self.module.bindings
+        if name in scope.nonlocals_decl:
+            current = scope.parent
+            while current is not None:
+                if current.kind in (FUNCTION, LAMBDA) and name in current.bindings:
+                    return True
+                current = current.parent
+            return False
+        current: Scope | None = scope
+        immediate = True
+        while current is not None:
+            # a class body's names are visible only to code directly in the
+            # body, never to functions/comprehensions nested inside it
+            if current.kind != CLASS or immediate:
+                if name in current.bindings:
+                    return True
+                if name in current.globals_decl:
+                    return name in self.module.bindings
+            immediate = False
+            current = current.parent
+        return False
+
+    def undefined_uses(self) -> list[tuple[str, int]]:
+        """Every ``(name, lineno)`` whose use resolves to no binding."""
+        out = []
+        for use in self.uses:
+            if not self.resolves(use.name, use.scope):
+                out.append((use.name, use.lineno))
+        return out
+
+    def all_bindings(self) -> set[str]:
+        """Union of names bound in any scope (flat view, for diagnostics)."""
+        names: set[str] = set()
+        stack = [self.module]
+        while stack:
+            scope = stack.pop()
+            names.update(scope.bindings)
+            stack.extend(scope.children)
+        return names
+
+
+class _ScopeBuilder(ast.NodeVisitor):
+    """Single pass that grows the scope tree and records uses."""
+
+    def __init__(self) -> None:
+        self.module = Scope(MODULE, name="<module>")
+        self.current = self.module
+        self.uses: list[Use] = []
+
+    # -- helpers -------------------------------------------------------------
+
+    def _push(self, kind: str, name: str = "") -> Scope:
+        scope = Scope(kind, name=name, parent=self.current)
+        self.current.children.append(scope)
+        self.current = scope
+        return scope
+
+    def _pop(self) -> None:
+        assert self.current.parent is not None
+        self.current = self.current.parent
+
+    def _bind_target(self, node: ast.AST) -> None:
+        """Bind every plain name inside an assignment target."""
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name):
+                self.current.bind(sub.id, sub.lineno)
+            elif isinstance(sub, (ast.Attribute, ast.Subscript)):
+                # obj.attr = x / obj[k] = x binds nothing, but the base
+                # object is *used*
+                self.visit(sub.value)
+
+    def _walrus_owner(self) -> Scope:
+        """A ``:=`` binds in the scope containing the comprehension chain."""
+        owner = self.current
+        while owner.kind == COMPREHENSION and owner.parent is not None:
+            owner = owner.parent
+        return owner
+
+    # -- scope-introducing nodes ----------------------------------------------
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.current.bind(node.name, node.lineno)
+        # decorators, defaults, and annotations evaluate in the enclosing scope
+        for dec in node.decorator_list:
+            self.visit(dec)
+        for default in list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]:
+            self.visit(default)
+        for arg in self._all_args(node.args):
+            if arg.annotation is not None:
+                self.visit(arg.annotation)
+        if node.returns is not None:
+            self.visit(node.returns)
+        self._push(FUNCTION, name=node.name)
+        for arg in self._all_args(node.args):
+            self.current.bind(arg.arg, arg.lineno)
+        for stmt in node.body:
+            self.visit(stmt)
+        self._pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    @staticmethod
+    def _all_args(args: ast.arguments) -> list[ast.arg]:
+        out = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        if args.vararg is not None:
+            out.append(args.vararg)
+        if args.kwarg is not None:
+            out.append(args.kwarg)
+        return out
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        for default in list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]:
+            self.visit(default)
+        self._push(LAMBDA, name="<lambda>")
+        for arg in self._all_args(node.args):
+            self.current.bind(arg.arg, arg.lineno)
+        self.visit(node.body)
+        self._pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.current.bind(node.name, node.lineno)
+        for dec in node.decorator_list:
+            self.visit(dec)
+        for base in node.bases:
+            self.visit(base)
+        for kw in node.keywords:
+            self.visit(kw.value)
+        self._push(CLASS, name=node.name)
+        for stmt in node.body:
+            self.visit(stmt)
+        self._pop()
+
+    def _visit_comprehension(
+        self, node: ast.ListComp | ast.SetComp | ast.GeneratorExp | ast.DictComp
+    ) -> None:
+        # the first generator's iterable evaluates in the enclosing scope
+        first = node.generators[0]
+        self.visit(first.iter)
+        self._push(COMPREHENSION, name="<comp>")
+        self._bind_target(first.target)
+        for cond in first.ifs:
+            self.visit(cond)
+        for gen in node.generators[1:]:
+            self.visit(gen.iter)
+            self._bind_target(gen.target)
+            for cond in gen.ifs:
+                self.visit(cond)
+        if isinstance(node, ast.DictComp):
+            self.visit(node.key)
+            self.visit(node.value)
+        else:
+            self.visit(node.elt)
+        self._pop()
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+
+    # -- binding statements ----------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.visit(node.value)
+        for target in node.targets:
+            self._bind_target(target)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        # x += 1 both uses and rebinds x; flow-insensitively, binding wins
+        self.visit(node.value)
+        self._bind_target(node.target)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.visit(node.annotation)
+        if node.value is not None:
+            self.visit(node.value)
+        self._bind_target(node.target)
+
+    def visit_NamedExpr(self, node: ast.NamedExpr) -> None:
+        self.visit(node.value)
+        assert isinstance(node.target, ast.Name)
+        self._walrus_owner().bind(node.target.id, node.target.lineno)
+
+    def _visit_for(self, node: ast.For | ast.AsyncFor) -> None:
+        self.visit(node.iter)
+        self._bind_target(node.target)
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+
+    visit_For = _visit_for
+    visit_AsyncFor = _visit_for
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self._bind_target(item.optional_vars)
+        for stmt in node.body:
+            self.visit(stmt)
+
+    visit_With = _visit_with
+    visit_AsyncWith = _visit_with
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is not None:
+            self.visit(node.type)
+        if node.name:
+            self.current.bind(node.name, node.lineno)
+        for stmt in node.body:
+            self.visit(stmt)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.current.bind((alias.asname or alias.name).split(".")[0], node.lineno)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            self.current.bind(alias.asname or alias.name, node.lineno)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.current.globals_decl.update(node.names)
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        self.current.nonlocals_decl.update(node.names)
+
+    # -- match statement captures ---------------------------------------------
+
+    def visit_MatchAs(self, node: ast.MatchAs) -> None:
+        if node.pattern is not None:
+            self.visit(node.pattern)
+        if node.name is not None:
+            self.current.bind(node.name, node.lineno)
+
+    def visit_MatchStar(self, node: ast.MatchStar) -> None:
+        if node.name is not None:
+            self.current.bind(node.name, node.lineno)
+
+    def visit_MatchMapping(self, node: ast.MatchMapping) -> None:
+        for key in node.keys:
+            self.visit(key)
+        for pattern in node.patterns:
+            self.visit(pattern)
+        if node.rest is not None:
+            self.current.bind(node.rest, node.lineno)
+
+    # -- uses ------------------------------------------------------------------
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.uses.append(Use(node.id, node.lineno, self.current))
+        else:
+            # Store/Del outside the structured forms above (rare): bind
+            self.current.bind(node.id, node.lineno)
+
+
+def build_scopes(tree: ast.Module) -> ScopeInfo:
+    """Build the scope tree for a parsed module and record all uses."""
+    builder = _ScopeBuilder()
+    for stmt in tree.body:
+        builder.visit(stmt)
+    return ScopeInfo(builder.module, builder.uses)

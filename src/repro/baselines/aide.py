@@ -15,8 +15,9 @@ import time
 from typing import Any
 
 from repro.baselines.base import BaselineReport, traced_baseline_run
+from repro.analysis.engine import analyze_source
 from repro.generation.executor import execute_pipeline_code
-from repro.generation.validator import extract_code_block, validate_source
+from repro.generation.validator import extract_code_block
 from repro.llm.base import LLMClient
 from repro.llm.mock import embed_payload
 from repro.table.table import Table
@@ -99,8 +100,8 @@ class AIDEBaseline:
                 response.metadata.get("latency_seconds", 0.0)
             )
             code = extract_code_block(response.content)
-            if validate_source(code):
-                last_error = "syntax"
+            if not analyze_source(code).ok:
+                last_error = "static"
                 continue  # resubmit the same prompt — AIDE has no repair prompt
             result = execute_pipeline_code(code, train, test)
             if result.success:

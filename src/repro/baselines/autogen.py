@@ -17,8 +17,9 @@ from typing import Any
 
 from repro.baselines.base import BaselineReport, traced_baseline_run
 from repro.catalog.feature_types import infer_feature_type_heuristic
+from repro.analysis.engine import analyze_source
 from repro.generation.executor import execute_pipeline_code
-from repro.generation.validator import extract_code_block, validate_source
+from repro.generation.validator import extract_code_block
 from repro.llm.base import LLMClient
 from repro.llm.mock import embed_payload
 from repro.llm.tokenizer import count_tokens
@@ -123,9 +124,13 @@ class AutoGenBaseline:
                 response.metadata.get("latency_seconds", 0.0)
             )
             code = extract_code_block(response.content)
-            issues = validate_source(code)
-            if issues:
-                error_note = issues[0].error.render()
+            # statically-dirty candidates never reach the executor;
+            # the finding feeds the next conversation round instead
+            static = analyze_source(code)
+            if not static.ok:
+                error = static.first_error()
+                assert error is not None
+                error_note = error.render()
                 continue
             result = execute_pipeline_code(code, train, test)
             if result.success:

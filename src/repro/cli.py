@@ -11,6 +11,10 @@ Subcommands:
                           degradation and determinism
 - ``runs``                inspect the observability run ledger
                           (``list`` / ``show <id>`` / ``diff <a> <b>``)
+- ``lint``                scope-aware static analysis over .py files
+                          (``--profile repo`` self-lints the substrate;
+                          ``--profile pipeline`` applies the generated-
+                          code gate); see ``docs/static_analysis.md``
 
 ``generate`` and ``soak`` expose the resilience knobs (``--max-retries``,
 ``--llm-timeout``, ``--exec-timeout``, ``--fault-rate``); see
@@ -155,6 +159,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     results.add_argument("--dir", default=None,
                          help="results directory (default: benchmarks/results)")
+
+    lint = sub.add_parser(
+        "lint", help="scope-aware static analysis over .py files"
+    )
+    lint.add_argument("paths", nargs="+",
+                      help="files or directories to analyze")
+    lint.add_argument("--profile", default="repo",
+                      choices=("repo", "pipeline", "validate"),
+                      help="rule profile (default: repo self-lint)")
+    lint.add_argument("--format", default="text", choices=("text", "json"),
+                      dest="output_format", help="findings output format")
+    lint.add_argument("--strict", action="store_true",
+                      help="fail on warnings too, not just errors")
+    lint.add_argument("--workers", type=int, default=1,
+                      help="analysis thread-pool size (verdict is "
+                           "worker-count invariant)")
+    lint.add_argument("--disable", action="append", default=[],
+                      metavar="RULE_ID",
+                      help="disable a rule by id (repeatable)")
     return parser
 
 
@@ -296,6 +319,7 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     mismatches: list[int] = []
     degraded = 0
     succeeded = 0
+    static_skips = 0
     for seed in range(args.seeds):
         prepared = prepare_dataset(
             args.dataset, seed=seed, quick=False, n=args.rows
@@ -328,6 +352,18 @@ def _cmd_soak(args: argparse.Namespace) -> int:
             succeeded += 1
         else:
             hard_failures.append((seed, "completed without success/degraded"))
+        # static-gate consistency: every SE-group error must have been
+        # caught by the analyzer (one exec skip each) rather than by
+        # paying an execution — injected syntax faults can never reach
+        # the executor
+        static_skips += report.static_exec_skipped
+        se_errors = sum(1 for e in report.errors if e.group.value == "SE")
+        if se_errors > report.static_exec_skipped:
+            hard_failures.append((
+                seed,
+                f"static gate inconsistency: {se_errors} SE errors but "
+                f"only {report.static_exec_skipped} exec skips",
+            ))
         note = ""
         if (
             baseline_code is not None
@@ -341,13 +377,50 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     print(f"\nsoak: {args.seeds} seeds @ fault_rate={args.fault_rate} "
           f"-> {succeeded} ok, {degraded} degraded, "
           f"{len(hard_failures)} hard failures, "
-          f"{len(mismatches)} determinism mismatches")
+          f"{len(mismatches)} determinism mismatches, "
+          f"static.exec_skipped={static_skips}")
     if hard_failures or mismatches:
         for seed, why in hard_failures:
             print(f"  hard failure seed {seed}: {why}", file=sys.stderr)
         for seed in mismatches:
             print(f"  mismatch seed {seed}: faulted pipeline != baseline",
                   file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static analyzer over files/directories.
+
+    Exit status: 0 when clean (or warnings only), 1 on error-severity
+    findings (``--strict`` promotes warnings to failures too), 2 when no
+    Python files were found under the given paths.
+    """
+    import json
+
+    from repro.analysis import RuleConfig, lint_paths, render_findings
+
+    config = RuleConfig(enabled={rule_id: False for rule_id in args.disable})
+    reports = lint_paths(
+        args.paths, profile=args.profile, config=config, workers=args.workers
+    )
+    if not reports:
+        print("no python files found", file=sys.stderr)
+        return 2
+    n_errors = sum(len(r.errors()) for r in reports)
+    n_warnings = sum(len(r.warnings()) for r in reports)
+    if args.output_format == "json":
+        print(json.dumps([
+            {"path": r.path, "findings": [f.to_dict() for f in r.findings]}
+            for r in reports if r.findings
+        ], indent=2))
+    else:
+        rendered = render_findings(r for r in reports if r.findings)
+        if rendered:
+            print(rendered)
+        print(f"lint: {len(reports)} files, profile={args.profile} "
+              f"-> {n_errors} errors, {n_warnings} warnings")
+    if n_errors or (args.strict and n_warnings):
         return 1
     return 0
 
@@ -409,6 +482,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "runs":
         return _cmd_runs(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "results":
         from repro.experiments.summary import collate_results
 

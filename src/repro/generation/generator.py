@@ -27,10 +27,11 @@ from repro.generation.cost import CostModel
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.generation.constraints import LibraryPolicy
+from repro.analysis.engine import analyze_source
 from repro.generation.errors import ErrorGroup, PipelineError
 from repro.generation.executor import ExecutionResult, execute_pipeline_code
 from repro.generation.knowledge_base import KnowledgeBase
-from repro.generation.validator import extract_code_block, validate_source
+from repro.generation.validator import extract_code_block
 from repro.llm.base import LLMClient
 from repro.llm.codegen import generate_pipeline_code
 from repro.llm.profiles import get_profile
@@ -75,6 +76,7 @@ class GenerationReport:
     degraded: bool = False
     degraded_reason: str = ""
     library_violations: list = field(default_factory=list)
+    static_exec_skipped: int = 0  # candidate executions avoided by the static gate
 
     @property
     def end_to_end_seconds(self) -> float:
@@ -118,6 +120,7 @@ class _GeneratorBase:
         library_policy: "LibraryPolicy | None" = None,
         exec_timeout_seconds: float | None = None,
         exec_timeout_mode: str = "auto",
+        static_gate: bool = True,
     ) -> None:
         self.llm = llm
         self.alpha = alpha
@@ -129,6 +132,10 @@ class _GeneratorBase:
         self.library_policy = library_policy
         self.exec_timeout_seconds = exec_timeout_seconds
         self.exec_timeout_mode = exec_timeout_mode
+        # when on, statically-dirty code routes to repair without paying
+        # an execution; off reproduces the execute-everything behaviour
+        # (kept togglable for the exec-skip benchmark)
+        self.static_gate = static_gate
 
     # -- LLM round trips -----------------------------------------------------------
 
@@ -169,14 +176,42 @@ class _GeneratorBase:
             timeout_mode=self.exec_timeout_mode,
         )
 
+    def _analyze(
+        self, report: GenerationReport, code: str
+    ) -> PipelineError | None:
+        """Static gate: run the full pipeline profile, skip exec on error.
+
+        Every finding is counted per rule; an error-severity finding maps
+        onto the taxonomy and is returned *without* executing the code —
+        the repair loop consumes it exactly like an observed failure, so
+        a statically-dirty candidate never costs a pipeline run.
+        """
+        metrics = get_metrics()
+        with get_tracer().span("static.analyze") as span:
+            analysis = analyze_source(code, profile="pipeline")
+            for finding in analysis.findings:
+                metrics.inc("static.findings", rule=finding.rule_id)
+            error = analysis.first_error()
+            span.set(findings=len(analysis.findings), clean=error is None)
+            if error is not None:
+                span.set(error_type=error.error_type.name)
+                metrics.inc("static.exec_skipped")
+                report.static_exec_skipped += 1
+            return error
+
     def _first_error(
-        self, code: str, train_sample: Table, test_sample: Table
+        self,
+        report: GenerationReport,
+        code: str,
+        train_sample: Table,
+        test_sample: Table,
     ) -> PipelineError | None:
         with get_tracer().span("generate.validate") as span:
-            issues = validate_source(code)
-            if issues:
-                span.set(error_type=issues[0].error.error_type.name)
-                return issues[0].error
+            if self.static_gate:
+                error = self._analyze(report, code)
+                if error is not None:
+                    span.set(error_type=error.error_type.name)
+                    return error
             result = self._execute(code, train_sample, test_sample)
             if result.error is not None:
                 span.set(error_type=result.error.error_type.name)
@@ -195,7 +230,7 @@ class _GeneratorBase:
         tracer = get_tracer()
         metrics = get_metrics()
         for attempt in range(self.max_fix_attempts):
-            error = self._first_error(code, train_sample, test_sample)
+            error = self._first_error(report, code, train_sample, test_sample)
             if error is None:
                 return code
             report.errors.append(error)
@@ -283,7 +318,9 @@ class _GeneratorBase:
     ) -> GenerationReport:
         metrics = get_metrics()
         with get_tracer().span("generate.finalize") as span:
-            if not code or self._first_error(code, train_sample, test_sample) is not None:
+            if not code or self._first_error(
+                report, code, train_sample, test_sample
+            ) is not None:
                 report.fallback_used = True
                 code = self._handcraft(plan)
             result: ExecutionResult = self._execute(code, train, test)

@@ -1,40 +1,37 @@
-"""Static pipeline validation via ``ast`` (paper Section 4.2, SE handling).
+"""Static pipeline validation (paper Section 4.2, SE handling).
 
-Catches syntax/parse problems before any execution: markdown fences,
-stray prose, indentation damage, unbalanced brackets, truncated code, and
-statically-detectable missing imports (used names never bound).  Also
-verifies the structural contract: the script must define
-``run_pipeline(train, test)``.
+This module is now a thin compatibility wrapper over
+:mod:`repro.analysis` — the multi-pass scope-aware analyzer that
+replaced the old flat ``ast.walk`` name collection.  ``validate_source``
+keeps its historical contract (structure + known-import checks, issues
+mapped onto the error taxonomy) while the generator runs the full
+``"pipeline"`` profile (leakage, banned APIs, nondeterminism, known
+signatures) via :func:`repro.analysis.analyze_source`.
+
+Two long-standing defects died with the old implementation:
+
+- ``_syntax_error_type`` had a dead conditional (both the prose branch
+  and its fallthrough returned ``stray_prose``) — non-prose parse
+  failures now classify as ``truncated_code``;
+- ``_collect_defined_names`` contained a no-op ternary and missed whole
+  binding forms (walrus, ``AnnAssign``, lambda parameters, ``match``
+  captures), and its flat walk treated names bound in *any* scope as
+  visible *everywhere*.  The scope-chain resolver in
+  :mod:`repro.analysis.scopes` implements Python's actual rules.
 """
 
 from __future__ import annotations
 
-import ast
-import builtins
 from dataclasses import dataclass
 
-from repro.generation.errors import ERROR_TYPES, PipelineError
+from repro.analysis.engine import analyze_source
+from repro.analysis.pipeline_rules import KNOWN_LIBRARY_SYMBOLS
+from repro.generation.errors import PipelineError
 
 __all__ = ["ValidationIssue", "validate_source", "extract_code_block"]
 
-# symbols whose undefined use is statically attributable to a lost import
-_KNOWN_LIBRARY_SYMBOLS = frozenset({
-    "np", "numpy", "scipy", "networkx",
-    "TableVectorizer", "ColumnSelector", "Pipeline",
-    "RandomForestClassifier", "RandomForestRegressor",
-    "GradientBoostingClassifier", "GradientBoostingRegressor",
-    "DecisionTreeClassifier", "DecisionTreeRegressor",
-    "LogisticRegression", "LinearRegression", "Ridge",
-    "GaussianNB", "KNeighborsClassifier", "KNeighborsRegressor", "TabPFNProxy",
-    "LinearSVC", "KMeans",
-    "GridSearchCV", "RandomizedSearchCV", "train_test_split", "cross_val_score",
-    "accuracy_score", "roc_auc_score", "r2_score", "f1_score", "log_loss",
-    "SimpleImputer", "StandardScaler", "MinMaxScaler", "RobustScaler",
-    "OneHotEncoder", "OrdinalEncoder", "LabelEncoder", "KHotEncoder",
-    "FeatureHasher", "QuantileClipper",
-    "oversample_minority", "gaussian_augment", "drop_missing_rows",
-    "Table", "Column", "read_csv", "write_csv",
-})
+# historical alias — external callers imported the private name
+_KNOWN_LIBRARY_SYMBOLS = KNOWN_LIBRARY_SYMBOLS
 
 
 @dataclass
@@ -61,102 +58,12 @@ def extract_code_block(response_text: str) -> str:
     return text.strip("\n")
 
 
-def _syntax_error_type(code: str, exc: SyntaxError) -> str:
-    lines = code.split("\n")
-    line_no = (exc.lineno or 1) - 1
-    line = lines[line_no] if 0 <= line_no < len(lines) else ""
-    if line.strip().startswith("```") or "```" in code[:16]:
-        return "markdown_fence"
-    if isinstance(exc, IndentationError) or "indent" in (exc.msg or "").lower():
-        return "broken_indentation"
-    if "was never closed" in (exc.msg or "") or "unexpected EOF" in (exc.msg or ""):
-        # distinguish mid-statement truncation from a single unclosed bracket
-        if line_no >= len(lines) - 2 and not code.rstrip().endswith(")"):
-            return "truncated_code"
-        return "unclosed_bracket"
-    words = line.replace(":", "").split()
-    if len(words) >= 4 and all(w.isalpha() for w in words[:4]):
-        return "stray_prose"
-    return "stray_prose"
-
-
-def _collect_defined_names(tree: ast.Module) -> set[str]:
-    defined: set[str] = set(dir(builtins))
-    for node in ast.walk(tree):
-        if isinstance(node, (ast.Import, ast.ImportFrom)):
-            for alias in node.names:
-                defined.add((alias.asname or alias.name).split(".")[0])
-        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            defined.add(node.name)
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                args = node.args
-                for arg in (
-                    args.args + args.posonlyargs + args.kwonlyargs
-                    + ([args.vararg] if args.vararg else [])
-                    + ([args.kwarg] if args.kwarg else [])
-                ):
-                    defined.add(arg.arg)
-        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
-            defined.add(node.id)
-        elif isinstance(node, (ast.For, ast.comprehension)):
-            target = node.target if isinstance(node, ast.For) else node.target
-            for sub in ast.walk(target):
-                if isinstance(sub, ast.Name):
-                    defined.add(sub.id)
-        elif isinstance(node, ast.ExceptHandler) and node.name:
-            defined.add(node.name)
-        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
-            for sub in ast.walk(node.optional_vars):
-                if isinstance(sub, ast.Name):
-                    defined.add(sub.id)
-    return defined
-
-
-def _used_names(tree: ast.Module) -> list[tuple[str, int]]:
-    used = []
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
-            used.append((node.id, node.lineno))
-    return used
-
-
 def validate_source(code: str) -> list[ValidationIssue]:
-    """Run all static checks; empty list means statically clean."""
-    issues: list[ValidationIssue] = []
-    try:
-        tree = ast.parse(code)
-    except SyntaxError as exc:
-        type_name = _syntax_error_type(code, exc)
-        issues.append(ValidationIssue(PipelineError(
-            ERROR_TYPES[type_name], exc.msg or "invalid syntax", line=exc.lineno
-        )))
-        return issues
+    """Run the legacy structural checks; empty list means statically clean.
 
-    defined = _collect_defined_names(tree)
-    seen: set[str] = set()
-    for name, lineno in _used_names(tree):
-        if name in defined or name in seen:
-            continue
-        # Only names that are clearly *library symbols* count as a static
-        # missing-import (SE).  An arbitrary undefined identifier (e.g. a
-        # typo like `vectoriser`) is a runtime NameError the execution
-        # check classifies — keeping the paper's SE-vs-RE split intact.
-        if name not in _KNOWN_LIBRARY_SYMBOLS:
-            continue
-        seen.add(name)
-        issues.append(ValidationIssue(PipelineError(
-            ERROR_TYPES["missing_import"],
-            f"name {name!r} is used but never imported or defined",
-            line=lineno,
-        )))
-
-    has_entry = any(
-        isinstance(node, ast.FunctionDef) and node.name == "run_pipeline"
-        for node in tree.body
-    )
-    if not has_entry:
-        issues.append(ValidationIssue(PipelineError(
-            ERROR_TYPES["truncated_code"],
-            "script does not define run_pipeline(train, test)",
-        )))
-    return issues
+    Uses the ``"validate"`` profile (entry point + known-import
+    resolution) so existing callers see the same surface as before; the
+    generation stack itself gates on the richer ``"pipeline"`` profile.
+    """
+    report = analyze_source(code, profile="validate")
+    return [ValidationIssue(error) for error in report.pipeline_errors()]
