@@ -40,14 +40,28 @@ def column_fingerprint(column: Column) -> tuple:
     Two columns with equal kind, length, missing mask, and values get the
     same fingerprint regardless of name or object identity.  Numeric
     columns hash their float64/bool buffers directly (C speed); object
-    columns hash the value tuple.
+    columns md5 the encoded values (length-prefixed, so concatenation
+    ambiguities cannot collide) plus the missing mask.
+
+    The object branch deliberately avoids built-in ``hash(tuple(...))``:
+    string hashes are salted per process (``PYTHONHASHSEED``), so that
+    key is unstable across processes — a persistent or process-pool-
+    shared cache would miss spuriously — and a 64-bit collision would
+    silently return another column's embeddings.
     """
+    digest = hashlib.md5()
     if column.kind is ColumnKind.NUMERIC:
-        digest = hashlib.md5(column.data.tobytes())
-        digest.update(column.missing.tobytes())
-        content: Any = digest.hexdigest()
+        digest.update(column.data.tobytes())
     else:
-        content = hash(tuple(column.data.tolist()))
+        for value in column.data.tolist():
+            if value is None:
+                digest.update(b"\xff\x00none")
+            else:
+                encoded = str(value).encode("utf-8", "surrogatepass")
+                digest.update(len(encoded).to_bytes(4, "little"))
+                digest.update(encoded)
+    digest.update(column.missing.tobytes())
+    content: Any = digest.hexdigest()
     return (column.kind.value, len(column), int(column.missing.sum()), content)
 
 

@@ -16,6 +16,7 @@ serialization.
 
 from __future__ import annotations
 
+import contextvars
 import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Sequence, TypeVar
@@ -94,8 +95,21 @@ class ProfilerExecutor:
                 with tracer.attach(parent):
                     return inner(item)
 
+        # The active tracer/metrics/session live in ContextVars, which
+        # pool threads do not inherit; run every item inside a copy of
+        # the submitting thread's context (one copy per item — a single
+        # Context object cannot be entered concurrently).
+        work = fn
+
+        def fn_in_context(args):  # noqa: ANN001
+            ctx, item = args
+            return ctx.run(work, item)
+
         with ThreadPoolExecutor(max_workers=pool_size) as pool:
-            return list(pool.map(fn, items))
+            return list(pool.map(
+                fn_in_context,
+                [(contextvars.copy_context(), item) for item in items],
+            ))
 
     def starmap(
         self, fn: Callable[..., R], items: Iterable[Sequence[Any]]

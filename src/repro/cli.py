@@ -23,6 +23,12 @@ Subcommands:
 ``profile``, ``generate``, and ``experiment`` accept ``--trace`` to record
 span trees + metrics into the run ledger (``--runs-dir``, default
 ``runs/``); see ``docs/observability.md``.
+
+Grid-shaped experiments (table2/5/6/7/8, fig11/12/13/14) run on the
+parallel scheduler: ``--workers N`` (default ``$REPRO_EXPERIMENT_WORKERS``
+or 1, ``0`` = all cores), ``--resume`` to skip cells already in the run
+ledger, ``--progress`` for a live cell counter; see
+``docs/architecture.md``.
 """
 
 from __future__ import annotations
@@ -48,6 +54,14 @@ _EXPERIMENTS = {
     "table8": ("repro.experiments.table8_runtime", {"llms": ("gemini-1.5",)}),
     "fig14": ("repro.experiments.fig14_robustness", {}),
 }
+
+# Experiments whose run() is a grid over the parallel scheduler and accepts
+# workers/resume/progress (fig9's own --profile-workers knob is unrelated:
+# it sizes the *profiling* pool, not the experiment grid).
+_GRID_EXPERIMENTS = frozenset({
+    "table2", "table5", "table6", "table7", "table8",
+    "fig11", "fig12", "fig13", "fig14",
+})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -136,6 +150,18 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = sub.add_parser("experiment", help="run one paper experiment")
     add_trace_args(experiment)
     experiment.add_argument("artifact", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument("--workers", type=int, default=None,
+                            help="experiment grid worker threads "
+                                 "(default $REPRO_EXPERIMENT_WORKERS or 1; "
+                                 "0 = all cores; grid experiments only)")
+    experiment.add_argument("--resume", action="store_true",
+                            help="skip grid cells already recorded in the "
+                                 "run ledger (implies reading --runs-dir)")
+    experiment.add_argument("--progress", action="store_true",
+                            help="live `N/M cells` progress on stderr")
+    experiment.add_argument("--datasets", default=None,
+                            help="comma-separated dataset subset "
+                                 "(grid experiments only)")
 
     runs = sub.add_parser("runs", help="inspect the observability run ledger")
     runs_sub = runs.add_subparsers(dest="runs_command", required=True)
@@ -429,9 +455,24 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
 
     # Experiments drive run_catdb/run_llm_baseline/run_automl, each of
-    # which records its own ledger entry once tracing is on.
+    # which records its own ledger entry once tracing is on.  Grid-shaped
+    # experiments additionally run on the parallel scheduler and record
+    # one runner.cell entry per grid cell (the --resume key).
     _begin_trace(args)
     module_name, kwargs = _EXPERIMENTS[args.artifact]
+    kwargs = dict(kwargs)
+    if args.artifact in _GRID_EXPERIMENTS:
+        kwargs.update(workers=args.workers, resume=args.resume,
+                      progress=args.progress)
+        if args.datasets:
+            kwargs["datasets"] = tuple(
+                name.strip() for name in args.datasets.split(",") if name.strip()
+            )
+    elif args.workers is not None or args.resume or args.datasets:
+        print(f"error: --workers/--resume/--datasets are only supported by "
+              f"grid experiments ({', '.join(sorted(_GRID_EXPERIMENTS))})",
+              file=sys.stderr)
+        return 2
     module = importlib.import_module(module_name)
     result = module.run(**kwargs)
     print(result.render())

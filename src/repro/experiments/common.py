@@ -1,10 +1,19 @@
 """Shared experiment plumbing: dataset preparation, system runners,
-and paper-style table rendering."""
+grid scheduling, and paper-style table rendering.
+
+Grid-shaped drivers (dataset x system x LLM cells) build a
+:class:`~repro.runner.job.JobGraph` and hand it to :func:`run_grid`,
+which executes it on the parallel experiment scheduler
+(``workers``/``REPRO_EXPERIMENT_WORKERS``) with per-cell failure
+isolation and ledger-backed resume; rows come back in cell-definition
+order regardless of completion order, so rendered tables are identical
+at any worker count.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.baselines.aide import AIDEBaseline
 from repro.baselines.autogen import AutoGenBaseline
@@ -15,8 +24,9 @@ from repro.catalog.catalog import DataCatalog
 from repro.datasets.registry import DatasetBundle, load_dataset
 from repro.generation.generator import CatDB, CatDBChain, GenerationReport
 from repro.llm import build_client
-from repro.obs.session import run_session
+from repro.obs.session import configured_ledger_path, run_session, tracing_enabled
 from repro.resilience.breaker import CircuitBreaker
+from repro.runner import JobGraph, JobResult, Scheduler
 from repro.ml.model_selection import train_test_split
 from repro.table.table import Table
 
@@ -26,6 +36,8 @@ __all__ = [
     "run_catdb",
     "run_llm_baseline",
     "run_automl",
+    "run_grid",
+    "grid_rows",
     "AUTOML_TOOLS",
     "LLM_PROFILES",
     "format_table",
@@ -262,6 +274,62 @@ def run_automl(
                 primary_metric=report.primary_metric,
             )
     return report
+
+
+def run_grid(
+    graph: JobGraph,
+    workers: int | None = None,
+    resume: bool = False,
+    ledger_path: Any = None,
+    progress: bool = False,
+    label: str = "grid",
+) -> dict[str, JobResult]:
+    """Execute one experiment grid on the parallel scheduler.
+
+    ``workers=None`` consults ``REPRO_EXPERIMENT_WORKERS`` and defaults
+    to sequential; ``workers=1`` and ``workers=N`` are bit-identical by
+    the scheduler's determinism contract.  A ledger is attached whenever
+    one is configured (``--trace``) or resume is requested, so every
+    cell leaves a ``runner.cell`` record that a later ``--resume`` run
+    can restore instead of re-executing.
+    """
+    if ledger_path is None and (resume or tracing_enabled()):
+        ledger_path = configured_ledger_path()
+    scheduler = Scheduler(
+        workers=workers, ledger_path=ledger_path, resume=resume,
+        progress=progress, label=label,
+    )
+    return scheduler.run(graph)
+
+
+def grid_rows(
+    graph: JobGraph,
+    results: dict[str, JobResult],
+    fallback: Callable[[dict[str, Any], JobResult], Any] | None = None,
+) -> list[Any]:
+    """Collect cell values in cell-definition order (never completion
+    order), flattening list-valued cells.
+
+    A failed/skipped cell is rendered through ``fallback(config,
+    result)`` — the driver's "recorded failure row" — or dropped when no
+    fallback is given.
+    """
+    rows: list[Any] = []
+    for job in graph.cells():
+        result = results[job.job_id]
+        if result.ok:
+            value = result.value
+        elif fallback is not None:
+            value = fallback(dict(job.config or {}), result)
+        else:
+            value = None
+        if value is None:
+            continue
+        if isinstance(value, list):
+            rows.extend(value)
+        else:
+            rows.append(value)
+    return rows
 
 
 def metric_str(value: float | None, failure: str = "") -> str:

@@ -16,10 +16,13 @@ import numpy as np
 from repro.experiments.common import (
     LLM_PROFILES,
     format_table,
+    grid_rows,
     prepare_dataset,
     run_catdb,
+    run_grid,
     run_llm_baseline,
 )
+from repro.runner import JobGraph
 
 __all__ = ["IterationRun", "Fig11Result", "run", "ITERATION_DATASETS"]
 
@@ -87,44 +90,79 @@ def run(
     iterations: int = 10,
     quick: bool = True,
     seed: int = 0,
+    workers: int | None = None,
+    resume: bool = False,
+    progress: bool = False,
 ) -> Fig11Result:
-    result = Fig11Result()
+    graph = JobGraph()
     for name in datasets:
-        prepared = prepare_dataset(name, seed=seed, quick=quick)
+        graph.add(
+            f"prepare:{name}",
+            lambda name=name: prepare_dataset(name, seed=seed, quick=quick),
+            seed=seed,
+        )
+    for name in datasets:
         for llm in llms:
             for iteration in range(iterations):
                 for system in systems:
-                    if system == "catdb":
-                        report = run_catdb(
-                            prepared, llm_name=llm, iteration=iteration,
-                            seed=seed + iteration, max_fix_attempts=3,
-                        )
-                        run_row = IterationRun(
-                            name, llm, system, iteration, report.success,
-                            report.primary_metric, report.total_tokens,
-                            report.end_to_end_seconds,
-                            report.pipeline_runtime_seconds,
-                        )
-                    elif system == "catdb-chain":
-                        report = run_catdb(
-                            prepared, llm_name=llm, beta=2, iteration=iteration,
-                            seed=seed + iteration, max_fix_attempts=3,
-                        )
-                        run_row = IterationRun(
-                            name, llm, system, iteration, report.success,
-                            report.primary_metric, report.total_tokens,
-                            report.end_to_end_seconds,
-                            report.pipeline_runtime_seconds,
-                        )
-                    else:
+
+                    def cell(prepared, name=name, llm=llm,
+                             iteration=iteration, system=system):
+                        if system in ("catdb", "catdb-chain"):
+                            report = run_catdb(
+                                prepared, llm_name=llm,
+                                beta=1 if system == "catdb" else 2,
+                                iteration=iteration, seed=seed + iteration,
+                                max_fix_attempts=3,
+                            )
+                            return {
+                                "dataset": name, "llm": llm, "system": system,
+                                "iteration": iteration,
+                                "success": report.success,
+                                "metric": report.primary_metric,
+                                "total_tokens": report.total_tokens,
+                                "end_to_end_seconds": report.end_to_end_seconds,
+                                "pipeline_seconds":
+                                    report.pipeline_runtime_seconds,
+                            }
                         baseline = run_llm_baseline(
-                            prepared, system, llm_name=llm, seed=seed + iteration
+                            prepared, system, llm_name=llm,
+                            seed=seed + iteration,
                         )
-                        run_row = IterationRun(
-                            name, llm, system, iteration, baseline.success,
-                            baseline.primary_metric, baseline.total_tokens,
-                            baseline.end_to_end_seconds,
-                            baseline.pipeline_runtime_seconds,
-                        )
-                    result.runs.append(run_row)
+                        return {
+                            "dataset": name, "llm": llm, "system": system,
+                            "iteration": iteration,
+                            "success": baseline.success,
+                            "metric": baseline.primary_metric,
+                            "total_tokens": baseline.total_tokens,
+                            "end_to_end_seconds": baseline.end_to_end_seconds,
+                            "pipeline_seconds":
+                                baseline.pipeline_runtime_seconds,
+                        }
+
+                    graph.add(
+                        f"cell:{name}:{llm}:{iteration}:{system}", cell,
+                        deps=(f"prepare:{name}",),
+                        config={"dataset": name, "llm": llm, "system": system,
+                                "iteration": iteration, "seed": seed,
+                                "quick": quick},
+                        seed=seed + iteration,
+                    )
+    results = run_grid(graph, workers=workers, resume=resume,
+                       progress=progress, label="fig11")
+    rows = grid_rows(graph, results, fallback=lambda config, res: {
+        "dataset": config["dataset"], "llm": config["llm"],
+        "system": config["system"], "iteration": config["iteration"],
+        "success": False, "metric": None, "total_tokens": 0,
+        "end_to_end_seconds": 0.0, "pipeline_seconds": 0.0,
+    })
+    result = Fig11Result()
+    result.runs = [
+        IterationRun(
+            row["dataset"], row["llm"], row["system"], row["iteration"],
+            row["success"], row["metric"], row["total_tokens"],
+            row["end_to_end_seconds"], row["pipeline_seconds"],
+        )
+        for row in rows
+    ]
     return result

@@ -62,10 +62,14 @@ def run(
     iterations: int = 10,
     quick: bool = True,
     seed: int = 0,
+    workers: int | None = None,
+    resume: bool = False,
+    progress: bool = False,
 ) -> Fig12Result:
     if source is None:
         source = fig11_iterations.run(
             datasets=datasets, llms=llms, iterations=iterations,
-            quick=quick, seed=seed,
+            quick=quick, seed=seed, workers=workers, resume=resume,
+            progress=progress,
         )
     return Fig12Result(source=source)

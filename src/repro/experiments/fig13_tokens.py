@@ -13,10 +13,13 @@ from dataclasses import dataclass, field
 from repro.experiments.common import (
     LLM_PROFILES,
     format_table,
+    grid_rows,
     prepare_dataset,
     run_catdb,
+    run_grid,
     run_llm_baseline,
 )
+from repro.runner import JobGraph
 
 __all__ = ["Fig13Result", "run", "FIG13_DATASETS"]
 
@@ -55,32 +58,57 @@ def run(
     systems: tuple[str, ...] = _SYSTEMS,
     quick: bool = True,
     seed: int = 0,
+    workers: int | None = None,
+    resume: bool = False,
+    progress: bool = False,
 ) -> Fig13Result:
-    result = Fig13Result()
+    graph = JobGraph()
     for name in datasets:
-        prepared = prepare_dataset(name, seed=seed, quick=quick)
+        graph.add(
+            f"prepare:{name}",
+            lambda name=name: prepare_dataset(name, seed=seed, quick=quick),
+            seed=seed,
+        )
+    for name in datasets:
         for llm in llms:
             for system in systems:
-                if system in ("catdb", "catdb-chain"):
-                    report = run_catdb(
-                        prepared, llm_name=llm,
-                        beta=1 if system == "catdb" else 2, seed=seed,
-                    )
-                    result.rows.append({
-                        "dataset": name, "llm": llm, "system": system,
-                        "total_tokens": report.total_tokens,
-                        "pipeline_tokens": report.cost.pipeline_cost(),
-                        "error_tokens": report.cost.error_cost(),
-                        "success": report.success,
-                    })
-                else:
+
+                def cell(prepared, name=name, llm=llm, system=system):
+                    if system in ("catdb", "catdb-chain"):
+                        report = run_catdb(
+                            prepared, llm_name=llm,
+                            beta=1 if system == "catdb" else 2, seed=seed,
+                        )
+                        return {
+                            "dataset": name, "llm": llm, "system": system,
+                            "total_tokens": report.total_tokens,
+                            "pipeline_tokens": report.cost.pipeline_cost(),
+                            "error_tokens": report.cost.error_cost(),
+                            "success": report.success,
+                        }
                     baseline = run_llm_baseline(prepared, system,
                                                 llm_name=llm, seed=seed)
-                    result.rows.append({
+                    return {
                         "dataset": name, "llm": llm, "system": system,
                         "total_tokens": baseline.total_tokens,
                         "pipeline_tokens": baseline.total_tokens,
                         "error_tokens": 0,  # baselines resubmit whole prompts
                         "success": baseline.success,
-                    })
+                    }
+
+                graph.add(
+                    f"cell:{name}:{llm}:{system}", cell,
+                    deps=(f"prepare:{name}",),
+                    config={"dataset": name, "llm": llm, "system": system,
+                            "seed": seed, "quick": quick},
+                    seed=seed,
+                )
+    results = run_grid(graph, workers=workers, resume=resume,
+                       progress=progress, label="fig13")
+    result = Fig13Result()
+    result.rows = grid_rows(graph, results, fallback=lambda config, res: {
+        "dataset": config["dataset"], "llm": config["llm"],
+        "system": config["system"], "total_tokens": 0,
+        "pipeline_tokens": 0, "error_tokens": 0, "success": False,
+    })
     return result

@@ -21,11 +21,14 @@ from repro.datasets.corruption import (
 )
 from repro.experiments.common import (
     format_table,
+    grid_rows,
     prepare_dataset,
     run_automl,
     run_catdb,
+    run_grid,
     run_llm_baseline,
 )
+from repro.runner import JobGraph
 
 __all__ = ["Fig14Result", "run"]
 
@@ -96,50 +99,141 @@ def run(
     include_caafe: bool = True,
     quick: bool = True,
     seed: int = 0,
+    workers: int | None = None,
+    resume: bool = False,
+    progress: bool = False,
 ) -> Fig14Result:
-    result = Fig14Result()
+    graph = JobGraph()
     for name in datasets:
-        prepared = prepare_dataset(name, seed=seed, quick=quick)
+        graph.add(
+            f"prepare:{name}",
+            lambda name=name: prepare_dataset(name, seed=seed, quick=quick),
+            seed=seed,
+        )
         for corruption in corruptions:
-            injector = _INJECTORS[corruption]
             for ratio in ratios:
-                train = injector(prepared.train, prepared.target, ratio, seed=seed)
-                test = injector(prepared.test, prepared.target, ratio, seed=seed + 1)
-                # CatDB re-profiles the corrupted data (its rules adapt)
-                catalog = profile_table(
-                    train, target=prepared.target, task_type=prepared.task_type,
+
+                def corrupt(prepared, corruption=corruption, ratio=ratio):
+                    injector = _INJECTORS[corruption]
+                    train = injector(prepared.train, prepared.target, ratio,
+                                     seed=seed)
+                    test = injector(prepared.test, prepared.target, ratio,
+                                    seed=seed + 1)
+                    # CatDB re-profiles the corrupted data (its rules adapt)
+                    catalog = profile_table(
+                        train, target=prepared.target,
+                        task_type=prepared.task_type, seed=seed,
+                    )
+                    return train, test, catalog
+
+                graph.add(
+                    f"corrupt:{name}:{corruption}:{ratio}", corrupt,
+                    deps=(f"prepare:{name}",), seed=seed,
+                )
+
+    for name in datasets:
+        for corruption in corruptions:
+            for ratio in ratios:
+                corrupt_id = f"corrupt:{name}:{corruption}:{ratio}"
+
+                def catdb_cell(prepared, corrupted, name=name,
+                               corruption=corruption, ratio=ratio):
+                    train, test, catalog = corrupted
+                    report = run_catdb(
+                        prepared, llm_name=llm_name, seed=seed,
+                        catalog=catalog, train=train, test=test,
+                    )
+                    return {
+                        "dataset": name, "corruption": corruption,
+                        "ratio": ratio, "system": "catdb",
+                        "metric": report.primary_metric
+                        if report.success else None,
+                        "failure": "" if report.success else "N/A",
+                    }
+
+                graph.add(
+                    f"cell:{name}:{corruption}:{ratio}:catdb", catdb_cell,
+                    deps=(f"prepare:{name}", corrupt_id),
+                    config={"dataset": name, "corruption": corruption,
+                            "ratio": ratio, "system": "catdb",
+                            "llm": llm_name, "seed": seed, "quick": quick},
                     seed=seed,
                 )
-                report = run_catdb(
-                    prepared, llm_name=llm_name, seed=seed,
-                    catalog=catalog, train=train, test=test,
-                )
-                result.rows.append({
-                    "dataset": name, "corruption": corruption, "ratio": ratio,
-                    "system": "catdb",
-                    "metric": report.primary_metric if report.success else None,
-                    "failure": "" if report.success else "N/A",
-                })
+
                 for tool in automl_tools:
-                    automl = run_automl(
-                        prepared, tool, time_budget_seconds=automl_budget,
-                        seed=seed, train=train, test=test,
+
+                    def automl_cell(prepared, corrupted, name=name,
+                                    corruption=corruption, ratio=ratio,
+                                    tool=tool):
+                        train, test, _catalog = corrupted
+                        automl = run_automl(
+                            prepared, tool,
+                            time_budget_seconds=automl_budget,
+                            seed=seed, train=train, test=test,
+                        )
+                        return {
+                            "dataset": name, "corruption": corruption,
+                            "ratio": ratio, "system": tool,
+                            "metric": automl.primary_metric
+                            if automl.success else None,
+                            "failure": "" if automl.success
+                            else automl.failure_reason,
+                        }
+
+                    graph.add(
+                        f"cell:{name}:{corruption}:{ratio}:{tool}",
+                        automl_cell,
+                        deps=(f"prepare:{name}", corrupt_id),
+                        config={"dataset": name, "corruption": corruption,
+                                "ratio": ratio, "system": tool,
+                                "seed": seed, "quick": quick},
+                        seed=seed,
                     )
-                    result.rows.append({
-                        "dataset": name, "corruption": corruption, "ratio": ratio,
-                        "system": tool,
-                        "metric": automl.primary_metric if automl.success else None,
-                        "failure": "" if automl.success else automl.failure_reason,
-                    })
-                if include_caafe and prepared.task_type != "regression":
-                    caafe = run_llm_baseline(
-                        prepared, "caafe-rforest", llm_name=llm_name,
-                        seed=seed, train=train, test=test,
+
+                if include_caafe:
+
+                    def caafe_cell(prepared, corrupted, name=name,
+                                   corruption=corruption, ratio=ratio):
+                        # regression has no CAAFE analogue: emit no rows
+                        if prepared.task_type == "regression":
+                            return []
+                        train, test, _catalog = corrupted
+                        caafe = run_llm_baseline(
+                            prepared, "caafe-rforest", llm_name=llm_name,
+                            seed=seed, train=train, test=test,
+                        )
+                        return [{
+                            "dataset": name, "corruption": corruption,
+                            "ratio": ratio, "system": "caafe-rforest",
+                            "metric": caafe.primary_metric
+                            if caafe.success else None,
+                            "failure": "" if caafe.success
+                            else caafe.failure_reason,
+                        }]
+
+                    graph.add(
+                        f"cell:{name}:{corruption}:{ratio}:caafe-rforest",
+                        caafe_cell,
+                        deps=(f"prepare:{name}", corrupt_id),
+                        config={"dataset": name, "corruption": corruption,
+                                "ratio": ratio, "system": "caafe-rforest",
+                                "llm": llm_name, "seed": seed,
+                                "quick": quick},
+                        seed=seed,
                     )
-                    result.rows.append({
-                        "dataset": name, "corruption": corruption, "ratio": ratio,
-                        "system": "caafe-rforest",
-                        "metric": caafe.primary_metric if caafe.success else None,
-                        "failure": "" if caafe.success else caafe.failure_reason,
-                    })
+
+    results = run_grid(graph, workers=workers, resume=resume,
+                       progress=progress, label="fig14")
+
+    def fallback(config, res):
+        if config["system"] == "caafe-rforest":
+            return []
+        return {
+            "dataset": config["dataset"], "corruption": config["corruption"],
+            "ratio": config["ratio"], "system": config["system"],
+            "metric": None, "failure": "N/A",
+        }
+
+    result = Fig14Result()
+    result.rows = grid_rows(graph, results, fallback=fallback)
     return result

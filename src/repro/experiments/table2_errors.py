@@ -11,8 +11,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.experiments.common import format_table, prepare_dataset
-from repro.generation.knowledge_base import KnowledgeBase
+from repro.experiments.common import (
+    format_table,
+    grid_rows,
+    prepare_dataset,
+    run_grid,
+)
+from repro.generation.knowledge_base import ErrorTrace, KnowledgeBase
+from repro.runner import JobGraph
 
 __all__ = ["Table2Result", "run"]
 
@@ -58,34 +64,76 @@ def run(
     error_rate_multiplier: float = 3.0,
     quick: bool = True,
     seed: int = 0,
+    workers: int | None = None,
+    resume: bool = False,
+    progress: bool = False,
 ) -> Table2Result:
     """Generate many pipelines, collecting every error into one trace set.
 
     ``error_rate_multiplier`` stresses the simulated models so the replay
     yields a trace sample comparable (in shape, not count) to the paper's
     development-period dataset of 10k-20k requests.
+
+    Each grid cell runs with its *own* :class:`KnowledgeBase` (the entry
+    set is static, so per-cell and shared KBs patch identically) and the
+    per-cell traces are merged in cell-definition order afterwards —
+    which makes the grid embarrassingly parallel while keeping the trace
+    set identical to the legacy sequential replay.
     """
+    from dataclasses import asdict
+
     from repro.generation.generator import CatDB
     from repro.llm.mock import MockLLM
 
-    result = Table2Result()
+    graph = JobGraph()
+    for name in datasets:
+        graph.add(
+            f"prepare:{name}",
+            lambda name=name: prepare_dataset(name, seed=seed, quick=quick),
+            seed=seed,
+        )
     for llm_name in llms:
-        requests = 0
         for name in datasets:
-            prepared = prepare_dataset(name, seed=seed, quick=quick)
             for iteration in range(iterations):
-                llm = MockLLM(
-                    llm_name, seed=seed + iteration,
-                    error_rate_multiplier=error_rate_multiplier,
+
+                def cell(prepared, llm_name=llm_name, iteration=iteration):
+                    llm = MockLLM(
+                        llm_name, seed=seed + iteration,
+                        error_rate_multiplier=error_rate_multiplier,
+                    )
+                    knowledge_base = KnowledgeBase()
+                    generator = CatDB(
+                        llm, max_fix_attempts=4,
+                        knowledge_base=knowledge_base,
+                    )
+                    report = generator.generate(
+                        prepared.train, prepared.test, prepared.catalog,
+                        iteration=iteration,
+                    )
+                    return {
+                        "llm": llm_name,
+                        "requests":
+                            report.cost.gamma + report.cost.n_error_prompts,
+                        "traces": [asdict(t) for t in knowledge_base.traces],
+                    }
+
+                graph.add(
+                    f"cell:{llm_name}:{name}:{iteration}", cell,
+                    deps=(f"prepare:{name}",),
+                    config={"dataset": name, "llm": llm_name,
+                            "iteration": iteration, "seed": seed,
+                            "quick": quick,
+                            "error_rate_multiplier": error_rate_multiplier},
+                    seed=seed + iteration,
                 )
-                generator = CatDB(
-                    llm, max_fix_attempts=4,
-                    knowledge_base=result.knowledge_base,
-                )
-                report = generator.generate(
-                    prepared.train, prepared.test, prepared.catalog,
-                    iteration=iteration,
-                )
-                requests += report.cost.gamma + report.cost.n_error_prompts
-        result.n_requests[llm_name] = requests
+    results = run_grid(graph, workers=workers, resume=resume,
+                       progress=progress, label="table2")
+    result = Table2Result()
+    for row in grid_rows(graph, results):
+        result.n_requests[row["llm"]] = (
+            result.n_requests.get(row["llm"], 0) + row["requests"]
+        )
+        result.knowledge_base.traces.extend(
+            ErrorTrace(**trace) for trace in row["traces"]
+        )
     return result

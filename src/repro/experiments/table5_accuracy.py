@@ -18,14 +18,17 @@ from repro.catalog.materialize import materialize_refined
 from repro.catalog.refinement import refine_catalog
 from repro.experiments.common import (
     format_table,
+    grid_rows,
     metric_str,
     prepare_dataset,
     run_automl,
     run_catdb,
+    run_grid,
     run_llm_baseline,
 )
 from repro.experiments.table4_refinement import REFINEMENT_DATASETS
 from repro.llm.mock import MockLLM
+from repro.runner import JobGraph
 
 __all__ = ["Table5Result", "run"]
 
@@ -71,6 +74,16 @@ class Table5Result:
                             title="Table 5: accuracy on six cleaning datasets")
 
 
+def _row(dataset: str, system: str, metrics: dict, failure: str = "",
+         extra: dict | None = None) -> dict:
+    train, test = _train_test(metrics or {})
+    return {
+        "dataset": dataset, "system": system,
+        "train": train, "test": test, "failure": failure,
+        **(extra or {}),
+    }
+
+
 def run(
     datasets: tuple[str, ...] = REFINEMENT_DATASETS,
     llm_name: str = "gemini-1.5",
@@ -78,74 +91,149 @@ def run(
     automl_budget: float = 6.0,
     quick: bool = True,
     seed: int = 0,
+    workers: int | None = None,
+    resume: bool = False,
+    progress: bool = False,
 ) -> Table5Result:
-    result = Table5Result()
+    graph = JobGraph()
+    for name in datasets:
+        graph.add(
+            f"prepare:{name}",
+            lambda name=name: prepare_dataset(name, seed=seed, quick=quick),
+            seed=seed,
+        )
 
-    def record(dataset: str, system: str, metrics: dict, failure: str = "",
-               extra: dict | None = None) -> None:
-        train, test = _train_test(metrics or {})
-        result.rows.append({
-            "dataset": dataset, "system": system,
-            "train": train, "test": test, "failure": failure,
-            **(extra or {}),
-        })
+        def refine(prepared):
+            from repro.api import _replay_structural_ops
+
+            refine_llm = MockLLM(llm_name, seed=seed, fault_injection=False)
+            refinement = refine_catalog(
+                prepared.train, prepared.catalog, refine_llm
+            )
+            refined_test = _replay_structural_ops(
+                materialize_refined(prepared.test,
+                                    refinement.category_mappings),
+                refinement,
+            )
+            return refinement, refined_test
+
+        graph.add(f"refine:{name}", refine, deps=(f"prepare:{name}",),
+                  seed=seed)
+
+        def clean(prepared):
+            # cleaning + AutoML workflow: best of SAGA / Learn2Clean lookalikes
+            cleaners = [SagaLike(generations=1, population=3, seed=seed),
+                        Learn2CleanLike(max_steps=2, seed=seed)]
+            best_clean = None
+            for cleaner in cleaners:
+                clean_report = cleaner.clean(prepared.train, prepared.target,
+                                             prepared.task_type)
+                if clean_report.success and (
+                    best_clean is None or clean_report.score > best_clean.score
+                ):
+                    best_clean = clean_report
+            return best_clean
+
+        graph.add(f"clean:{name}", clean, deps=(f"prepare:{name}",),
+                  seed=seed)
 
     for name in datasets:
-        prepared = prepare_dataset(name, seed=seed, quick=quick)
 
-        original = run_catdb(prepared, llm_name=llm_name, seed=seed)
-        record(name, "catdb-original", original.metrics,
-               "" if original.success else "N/A")
+        def original_cell(prepared, name=name):
+            report = run_catdb(prepared, llm_name=llm_name, seed=seed)
+            return _row(name, "catdb-original", report.metrics,
+                        "" if report.success else "N/A")
 
-        refine_llm = MockLLM(llm_name, seed=seed, fault_injection=False)
-        refinement = refine_catalog(prepared.train, prepared.catalog, refine_llm)
-        refined_train = refinement.table
-        refined_test = materialize_refined(
-            prepared.test, refinement.category_mappings
+        graph.add(
+            f"cell:{name}:catdb-original", original_cell,
+            deps=(f"prepare:{name}",),
+            config={"dataset": name, "system": "catdb-original",
+                    "llm": llm_name, "seed": seed, "quick": quick},
+            seed=seed,
         )
-        from repro.api import _replay_structural_ops
 
-        refined_test = _replay_structural_ops(refined_test, refinement)
-        refined = run_catdb(
-            prepared, llm_name=llm_name, seed=seed,
-            catalog=refinement.catalog, train=refined_train, test=refined_test,
+        def refined_cell(prepared, refined, name=name):
+            refinement, refined_test = refined
+            report = run_catdb(
+                prepared, llm_name=llm_name, seed=seed,
+                catalog=refinement.catalog, train=refinement.table,
+                test=refined_test,
+            )
+            return _row(name, "catdb-refined", report.metrics,
+                        "" if report.success else "N/A")
+
+        graph.add(
+            f"cell:{name}:catdb-refined", refined_cell,
+            deps=(f"prepare:{name}", f"refine:{name}"),
+            config={"dataset": name, "system": "catdb-refined",
+                    "llm": llm_name, "seed": seed, "quick": quick},
+            seed=seed,
         )
-        record(name, "catdb-refined", refined.metrics,
-               "" if refined.success else "N/A")
 
         for system in ("caafe-tabpfn", "caafe-rforest", "aide", "autogen"):
-            report = run_llm_baseline(prepared, system, llm_name=llm_name, seed=seed)
-            record(name, system, report.metrics,
-                   "" if report.success else report.failure_reason or "N/A")
+
+            def baseline_cell(prepared, name=name, system=system):
+                report = run_llm_baseline(prepared, system,
+                                          llm_name=llm_name, seed=seed)
+                return _row(name, system, report.metrics,
+                            "" if report.success
+                            else report.failure_reason or "N/A")
+
+            graph.add(
+                f"cell:{name}:{system}", baseline_cell,
+                deps=(f"prepare:{name}",),
+                config={"dataset": name, "system": system,
+                        "llm": llm_name, "seed": seed, "quick": quick},
+                seed=seed,
+            )
 
         for tool in automl_tools:
-            report = run_automl(prepared, tool,
-                                time_budget_seconds=automl_budget, seed=seed)
-            record(name, tool, report.metrics,
-                   "" if report.success else report.failure_reason or "N/A")
 
-        # cleaning + AutoML workflow: best of SAGA-like / Learn2Clean-like
-        cleaners = [SagaLike(generations=1, population=3, seed=seed),
-                    Learn2CleanLike(max_steps=2, seed=seed)]
-        best_clean = None
-        for cleaner in cleaners:
-            clean_report = cleaner.clean(prepared.train, prepared.target,
-                                         prepared.task_type)
-            if clean_report.success and (
-                best_clean is None or clean_report.score > best_clean.score
-            ):
-                best_clean = clean_report
-        if best_clean is None or best_clean.cleaned is None:
-            for tool in automl_tools:
-                record(name, f"clean+{tool}", {}, "N/A")
-        else:
-            for tool in automl_tools:
+            def automl_cell(prepared, name=name, tool=tool):
+                report = run_automl(prepared, tool,
+                                    time_budget_seconds=automl_budget,
+                                    seed=seed)
+                return _row(name, tool, report.metrics,
+                            "" if report.success
+                            else report.failure_reason or "N/A")
+
+            graph.add(
+                f"cell:{name}:{tool}", automl_cell,
+                deps=(f"prepare:{name}",),
+                config={"dataset": name, "system": tool, "seed": seed,
+                        "budget": automl_budget, "quick": quick},
+                seed=seed,
+            )
+
+        for tool in automl_tools:
+
+            def clean_cell(prepared, best_clean, name=name, tool=tool):
+                if best_clean is None or best_clean.cleaned is None:
+                    return _row(name, f"clean+{tool}", {}, "N/A")
                 report = run_automl(
-                    prepared, tool, time_budget_seconds=automl_budget, seed=seed,
-                    train=best_clean.cleaned, test=prepared.test,
+                    prepared, tool, time_budget_seconds=automl_budget,
+                    seed=seed, train=best_clean.cleaned, test=prepared.test,
                 )
-                record(name, f"clean+{tool}", report.metrics,
-                       "" if report.success else report.failure_reason or "N/A",
-                       extra={"cleaning_method": best_clean.system,
-                              "cleaning_pipeline": best_clean.pipeline_label})
+                return _row(
+                    name, f"clean+{tool}", report.metrics,
+                    "" if report.success else report.failure_reason or "N/A",
+                    extra={"cleaning_method": best_clean.system,
+                           "cleaning_pipeline": best_clean.pipeline_label},
+                )
+
+            graph.add(
+                f"cell:{name}:clean+{tool}", clean_cell,
+                deps=(f"prepare:{name}", f"clean:{name}"),
+                config={"dataset": name, "system": f"clean+{tool}",
+                        "seed": seed, "budget": automl_budget,
+                        "quick": quick},
+                seed=seed,
+            )
+
+    results = run_grid(graph, workers=workers, resume=resume,
+                       progress=progress, label="table5")
+    result = Table5Result()
+    result.rows = grid_rows(graph, results, fallback=lambda config, res: _row(
+        config["dataset"], config["system"], {}, "N/A",
+    ))
     return result

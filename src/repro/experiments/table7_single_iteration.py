@@ -17,12 +17,15 @@ from repro.baselines.cleaning import Learn2CleanLike
 from repro.experiments.common import (
     LLM_PROFILES,
     format_table,
+    grid_rows,
     metric_str,
     prepare_dataset,
     run_automl,
     run_catdb,
+    run_grid,
     run_llm_baseline,
 )
+from repro.runner import JobGraph
 
 __all__ = ["Table7Result", "run", "TABLE7_DATASETS"]
 
@@ -76,70 +79,155 @@ def run(
     max_fix_attempts: int = 15,
     quick: bool = True,
     seed: int = 0,
+    workers: int | None = None,
+    resume: bool = False,
+    progress: bool = False,
 ) -> Table7Result:
-    result = Table7Result()
+    graph = JobGraph()
+    catdb_cells: dict[str, list[str]] = {}
     for name in datasets:
-        prepared = prepare_dataset(name, seed=seed, quick=quick)
-        catdb_runtime = 0.0
+        graph.add(
+            f"prepare:{name}",
+            lambda name=name: prepare_dataset(name, seed=seed, quick=quick),
+            seed=seed,
+        )
+        catdb_cells[name] = []
         for llm in llms:
             for system in _LLM_SYSTEMS:
                 if system in ("catdb", "catdb-chain"):
-                    report = run_catdb(
-                        prepared, llm_name=llm,
-                        beta=1 if system == "catdb" else 2,
-                        max_fix_attempts=max_fix_attempts, seed=seed,
+
+                    def catdb_cell(prepared, name=name, llm=llm,
+                                   system=system):
+                        report = run_catdb(
+                            prepared, llm_name=llm,
+                            beta=1 if system == "catdb" else 2,
+                            max_fix_attempts=max_fix_attempts, seed=seed,
+                        )
+                        return {
+                            "dataset": name, "llm": llm, "system": system,
+                            "metric": report.primary_metric
+                            if report.success else None,
+                            "failure": "" if report.success else "N/A",
+                            "tokens": report.total_tokens,
+                            "seconds": report.end_to_end_seconds,
+                        }
+
+                    graph.add(
+                        f"cell:{name}:{llm}:{system}", catdb_cell,
+                        deps=(f"prepare:{name}",),
+                        config={"dataset": name, "llm": llm,
+                                "system": system, "seed": seed,
+                                "quick": quick},
+                        seed=seed,
                     )
-                    catdb_runtime = max(catdb_runtime, report.end_to_end_seconds)
-                    result.rows.append({
-                        "dataset": name, "llm": llm, "system": system,
-                        "metric": report.primary_metric if report.success else None,
-                        "failure": "" if report.success else "N/A",
-                        "tokens": report.total_tokens,
-                        "seconds": report.end_to_end_seconds,
-                    })
+                    catdb_cells[name].append(f"cell:{name}:{llm}:{system}")
                 else:
-                    baseline = run_llm_baseline(prepared, system,
-                                                llm_name=llm, seed=seed)
-                    result.rows.append({
-                        "dataset": name, "llm": llm, "system": system,
-                        "metric": baseline.primary_metric if baseline.success else None,
-                        "failure": "" if baseline.success else _short(baseline.failure_reason),
-                        "tokens": baseline.total_tokens,
-                        "seconds": baseline.end_to_end_seconds,
-                    })
+
+                    def baseline_cell(prepared, name=name, llm=llm,
+                                      system=system):
+                        baseline = run_llm_baseline(prepared, system,
+                                                    llm_name=llm, seed=seed)
+                        return {
+                            "dataset": name, "llm": llm, "system": system,
+                            "metric": baseline.primary_metric
+                            if baseline.success else None,
+                            "failure": "" if baseline.success
+                            else _short(baseline.failure_reason),
+                            "tokens": baseline.total_tokens,
+                            "seconds": baseline.end_to_end_seconds,
+                        }
+
+                    graph.add(
+                        f"cell:{name}:{llm}:{system}", baseline_cell,
+                        deps=(f"prepare:{name}",),
+                        config={"dataset": name, "llm": llm,
+                                "system": system, "seed": seed,
+                                "quick": quick},
+                        seed=seed,
+                    )
+
         # AutoML tools run once per dataset, budgeted by CatDB's runtime
-        # (capped so the quick-mode suite stays fast on one core)
-        budget = max(3.0, min(5.0, catdb_runtime))
-        for tool in _AUTOML:
-            report = run_automl(prepared, tool,
-                                time_budget_seconds=budget, seed=seed)
-            result.rows.append({
-                "dataset": name, "llm": "", "system": tool,
-                "metric": report.primary_metric if report.success else None,
-                "failure": "" if report.success else _short(report.failure_reason),
-                "tokens": 0, "seconds": report.end_to_end_seconds,
-            })
-        clean = Learn2CleanLike(seed=seed).clean(
-            prepared.train, prepared.target, prepared.task_type
-        )
-        for tool in _AUTOML:
-            if not clean.success or clean.cleaned is None:
-                result.rows.append({
-                    "dataset": name, "llm": "", "system": f"clean+{tool}",
-                    "metric": None, "failure": "N/A", "tokens": 0, "seconds": 0.0,
-                })
-                continue
-            report = run_automl(
-                prepared, tool, time_budget_seconds=budget, seed=seed,
-                train=clean.cleaned, test=prepared.test,
+        # (capped so the quick-mode suite stays fast on one core); the
+        # budget node fans in from every catdb/chain cell of the dataset.
+        def budget_node(*rows):
+            catdb_runtime = max(
+                (row["seconds"] for row in rows), default=0.0
             )
-            result.rows.append({
-                "dataset": name, "llm": "", "system": f"clean+{tool}",
-                "metric": report.primary_metric if report.success else None,
-                "failure": "" if report.success else _short(report.failure_reason),
-                "tokens": 0,
-                "seconds": report.end_to_end_seconds + clean.runtime_seconds,
-            })
+            return max(3.0, min(5.0, catdb_runtime))
+
+        graph.add(f"budget:{name}", budget_node,
+                  deps=tuple(catdb_cells[name]), seed=seed)
+
+        def clean_node(prepared):
+            return Learn2CleanLike(seed=seed).clean(
+                prepared.train, prepared.target, prepared.task_type
+            )
+
+        graph.add(f"clean:{name}", clean_node, deps=(f"prepare:{name}",),
+                  seed=seed)
+
+        for tool in _AUTOML:
+
+            def automl_cell(prepared, budget, name=name, tool=tool):
+                report = run_automl(prepared, tool,
+                                    time_budget_seconds=budget, seed=seed)
+                return {
+                    "dataset": name, "llm": "", "system": tool,
+                    "metric": report.primary_metric
+                    if report.success else None,
+                    "failure": "" if report.success
+                    else _short(report.failure_reason),
+                    "tokens": 0, "seconds": report.end_to_end_seconds,
+                }
+
+            graph.add(
+                f"cell:{name}:{tool}", automl_cell,
+                deps=(f"prepare:{name}", f"budget:{name}"),
+                config={"dataset": name, "system": tool, "seed": seed,
+                        "quick": quick},
+                seed=seed,
+            )
+
+        for tool in _AUTOML:
+
+            def clean_cell(prepared, budget, clean, name=name, tool=tool):
+                if not clean.success or clean.cleaned is None:
+                    return {
+                        "dataset": name, "llm": "",
+                        "system": f"clean+{tool}", "metric": None,
+                        "failure": "N/A", "tokens": 0, "seconds": 0.0,
+                    }
+                report = run_automl(
+                    prepared, tool, time_budget_seconds=budget, seed=seed,
+                    train=clean.cleaned, test=prepared.test,
+                )
+                return {
+                    "dataset": name, "llm": "", "system": f"clean+{tool}",
+                    "metric": report.primary_metric
+                    if report.success else None,
+                    "failure": "" if report.success
+                    else _short(report.failure_reason),
+                    "tokens": 0,
+                    "seconds":
+                        report.end_to_end_seconds + clean.runtime_seconds,
+                }
+
+            graph.add(
+                f"cell:{name}:clean+{tool}", clean_cell,
+                deps=(f"prepare:{name}", f"budget:{name}", f"clean:{name}"),
+                config={"dataset": name, "system": f"clean+{tool}",
+                        "seed": seed, "quick": quick},
+                seed=seed,
+            )
+
+    results = run_grid(graph, workers=workers, resume=resume,
+                       progress=progress, label="table7")
+    result = Table7Result()
+    result.rows = grid_rows(graph, results, fallback=lambda config, res: {
+        "dataset": config["dataset"], "llm": config.get("llm", ""),
+        "system": config["system"], "metric": None, "failure": "N/A",
+        "tokens": 0, "seconds": 0.0,
+    })
     return result
 
 

@@ -16,11 +16,14 @@ from dataclasses import dataclass, field
 from repro.experiments.common import (
     LLM_PROFILES,
     format_table,
+    grid_rows,
     prepare_dataset,
     run_catdb,
+    run_grid,
     run_llm_baseline,
 )
 from repro.experiments.table7_single_iteration import TABLE7_DATASETS
+from repro.runner import JobGraph
 
 __all__ = ["Table8Result", "run"]
 
@@ -71,28 +74,52 @@ def run(
     llms: tuple[str, ...] = LLM_PROFILES,
     quick: bool = True,
     seed: int = 0,
+    workers: int | None = None,
+    resume: bool = False,
+    progress: bool = False,
 ) -> Table8Result:
-    result = Table8Result()
+    graph = JobGraph()
     for name in datasets:
-        prepared = prepare_dataset(name, seed=seed, quick=quick)
+        graph.add(
+            f"prepare:{name}",
+            lambda name=name: prepare_dataset(name, seed=seed, quick=quick),
+            seed=seed,
+        )
+    for name in datasets:
         for llm in llms:
             for system in _SYSTEMS:
-                if system in ("catdb", "catdb-chain"):
-                    report = run_catdb(
-                        prepared, llm_name=llm,
-                        beta=1 if system == "catdb" else 2, seed=seed,
-                    )
-                    result.rows.append({
-                        "dataset": name, "llm": llm, "system": system,
-                        "success": report.success,
-                        "seconds": report.end_to_end_seconds,
-                    })
-                else:
+
+                def cell(prepared, name=name, llm=llm, system=system):
+                    if system in ("catdb", "catdb-chain"):
+                        report = run_catdb(
+                            prepared, llm_name=llm,
+                            beta=1 if system == "catdb" else 2, seed=seed,
+                        )
+                        return {
+                            "dataset": name, "llm": llm, "system": system,
+                            "success": report.success,
+                            "seconds": report.end_to_end_seconds,
+                        }
                     baseline = run_llm_baseline(prepared, system,
                                                 llm_name=llm, seed=seed)
-                    result.rows.append({
+                    return {
                         "dataset": name, "llm": llm, "system": system,
                         "success": baseline.success,
                         "seconds": baseline.end_to_end_seconds,
-                    })
+                    }
+
+                graph.add(
+                    f"cell:{name}:{llm}:{system}", cell,
+                    deps=(f"prepare:{name}",),
+                    config={"dataset": name, "llm": llm, "system": system,
+                            "seed": seed, "quick": quick},
+                    seed=seed,
+                )
+    results = run_grid(graph, workers=workers, resume=resume,
+                       progress=progress, label="table8")
+    result = Table8Result()
+    result.rows = grid_rows(graph, results, fallback=lambda config, res: {
+        "dataset": config["dataset"], "llm": config["llm"],
+        "system": config["system"], "success": False, "seconds": 0.0,
+    })
     return result

@@ -31,6 +31,7 @@ from repro.obs.metrics import (
 from repro.obs.session import (
     RunSession,
     active_session,
+    configured_ledger_path,
     disable_tracing,
     enable_tracing,
     run_session,
@@ -76,4 +77,5 @@ __all__ = [
     "disable_tracing",
     "tracing_enabled",
     "active_session",
+    "configured_ledger_path",
 ]

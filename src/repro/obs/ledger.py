@@ -11,11 +11,12 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator
 
 from repro.obs.trace import aggregate_spans, render_span_tree
 
@@ -132,31 +133,69 @@ class RunRecord:
         )
 
 
+# One lock per ledger *path*, not per RunLedger instance: every session
+# constructs its own RunLedger, so instance locks would not serialize
+# concurrent appenders targeting the same file.
+_PATH_LOCKS: dict[str, threading.Lock] = {}
+_PATH_LOCKS_GUARD = threading.Lock()
+
+
+def _lock_for(path: Path) -> threading.Lock:
+    key = str(path)
+    with _PATH_LOCKS_GUARD:
+        lock = _PATH_LOCKS.get(key)
+        if lock is None:
+            lock = _PATH_LOCKS[key] = threading.Lock()
+        return lock
+
+
 class RunLedger:
-    """Append-only JSONL store of :class:`RunRecord` entries."""
+    """Append-only JSONL store of :class:`RunRecord` entries.
+
+    Appends are concurrency-safe: the record is serialized to one string
+    first, then written in a single ``write()`` call under a per-path
+    lock, so parallel runs (the experiment scheduler's workers) cannot
+    interleave partial lines.  Reads skip — and count, in
+    ``skipped_lines`` — malformed lines rather than raising, so one
+    corrupt line (e.g. from a killed process) cannot take down
+    ``--resume`` or ``runs list``.
+    """
 
     def __init__(self, path: str | Path | None = None) -> None:
         self.path = Path(path) if path is not None else default_ledger_path()
         # Accept a directory (existing or not): store ledger.jsonl inside.
         if self.path.suffix not in (".jsonl", ".json"):
             self.path = self.path / "ledger.jsonl"
+        self.skipped_lines = 0
 
     def append(self, record: RunRecord) -> str:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record.to_dict(), default=str) + "\n")
+        line = json.dumps(record.to_dict(), default=str) + "\n"
+        with _lock_for(self.path):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(line)
         return record.run_id
 
-    def records(self) -> list[RunRecord]:
+    def iter_records(self) -> Iterator[RunRecord]:
+        """Yield records in append order, skipping malformed lines."""
+        self.skipped_lines = 0
         if not self.path.exists():
-            return []
-        out = []
+            return
         with self.path.open("r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
-                if line:
-                    out.append(RunRecord.from_dict(json.loads(line)))
-        return out
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                    record = RunRecord.from_dict(payload)
+                except (ValueError, KeyError, TypeError):
+                    self.skipped_lines += 1
+                    continue
+                yield record
+
+    def records(self) -> list[RunRecord]:
+        return list(self.iter_records())
 
     def get(self, run_id: str) -> RunRecord:
         """Load one record by exact id or unique prefix."""

@@ -10,6 +10,7 @@ whose methods are no-ops.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 from typing import Any
 
@@ -120,17 +121,20 @@ class NullMetrics(MetricsRegistry):
 
 NULL_METRICS = NullMetrics()
 
-_active_metrics: MetricsRegistry = NULL_METRICS
+# Context-local for the same reason as ``trace._active_tracer``: parallel
+# runs each install their own registry without clobbering each other's.
+_active_metrics: contextvars.ContextVar[MetricsRegistry] = contextvars.ContextVar(
+    "repro_active_metrics", default=NULL_METRICS
+)
 
 
 def get_metrics() -> MetricsRegistry:
-    """The process-active registry (``NULL_METRICS`` unless a run is traced)."""
-    return _active_metrics
+    """The context-active registry (``NULL_METRICS`` unless a run is traced)."""
+    return _active_metrics.get()
 
 
 def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
     """Install ``registry`` as active; returns the previous one for restore."""
-    global _active_metrics
-    previous = _active_metrics
-    _active_metrics = registry
+    previous = _active_metrics.get()
+    _active_metrics.set(registry)
     return previous

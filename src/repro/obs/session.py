@@ -12,10 +12,17 @@ exit appends one :class:`~repro.obs.ledger.RunRecord` to the ledger.
 Nested ``run_session`` calls (e.g. an experiment driver inside a traced
 CLI invocation) reuse the active session instead of emitting a second
 record.
+
+Session tracking is ``contextvars``-based (thread- and context-local),
+not a module global: two runs observed concurrently — e.g. scheduler
+workers each driving one grid cell — open disjoint sessions and emit one
+ledger record each, while nesting within one thread still reuses the
+outer session.
 """
 
 from __future__ import annotations
 
+import contextvars
 import os
 from contextlib import contextmanager
 from pathlib import Path
@@ -32,13 +39,17 @@ __all__ = [
     "disable_tracing",
     "tracing_enabled",
     "active_session",
+    "configured_ledger_path",
 ]
 
 _TRACE_ENV = "REPRO_TRACE"
 
 _enabled = False
 _ledger_path: Path | None = None
-_active_session: "RunSession | None" = None
+# Thread-/context-local: concurrent runs must not conflate into one record.
+_active_session: contextvars.ContextVar["RunSession | None"] = (
+    contextvars.ContextVar("repro_active_session", default=None)
+)
 
 
 def enable_tracing(ledger_path: str | Path | None = None) -> None:
@@ -62,7 +73,15 @@ def tracing_enabled() -> bool:
 
 
 def active_session() -> "RunSession | None":
-    return _active_session
+    return _active_session.get()
+
+
+def configured_ledger_path() -> Path:
+    """The ledger path runs record to: ``enable_tracing``'s override or
+    the ``$REPRO_RUNS_DIR``/``runs/`` default."""
+    from repro.obs.ledger import default_ledger_path
+
+    return _ledger_path if _ledger_path is not None else default_ledger_path()
 
 
 class RunSession:
@@ -115,19 +134,19 @@ def run_session(
     ``force=True`` opens a session regardless of the global switch
     (used by tests and the CLI, which enables + forces explicitly).
     """
-    global _active_session
     if not (force or tracing_enabled()):
         yield None
         return
-    if _active_session is not None:  # nested: reuse the outer session
-        yield _active_session
+    outer = _active_session.get()
+    if outer is not None:  # nested in this context: reuse the outer session
+        yield outer
         return
     session = RunSession(
         kind, dataset=dataset, llm=llm, config=config, ledger_path=ledger_path
     )
     previous_tracer = set_tracer(session.tracer)
     previous_metrics = set_metrics(session.metrics)
-    _active_session = session
+    token = _active_session.set(session)
     try:
         with session.tracer.span(
             f"run.{kind}", dataset=dataset, llm=llm
@@ -140,7 +159,7 @@ def run_session(
                     if isinstance(v, (str, int, float, bool))
                 })
     finally:
-        _active_session = None
+        _active_session.reset(token)
         set_tracer(previous_tracer)
         set_metrics(previous_metrics)
         session.record = session.build_record()

@@ -14,6 +14,7 @@ suite bounds at <5% of a small ``profile_table`` call.
 
 from __future__ import annotations
 
+import contextvars
 import functools
 import threading
 import time
@@ -215,29 +216,37 @@ class NullTracer(Tracer):
 
 NULL_TRACER = NullTracer()
 
-_active_tracer: Tracer = NULL_TRACER
+# Context-local, not process-global: two runs observed concurrently (e.g.
+# two scheduler workers each inside their own ``run_session``) must not
+# see each other's tracer.  A ContextVar is thread-local for plain
+# threads and context-local under ``contextvars.copy_context()``, so
+# nested reuse within one run still works while parallel runs stay
+# disjoint.  Worker pools that should *inherit* the submitting thread's
+# tracer propagate the context explicitly (see ProfilerExecutor).
+_active_tracer: contextvars.ContextVar[Tracer] = contextvars.ContextVar(
+    "repro_active_tracer", default=NULL_TRACER
+)
 
 
 def get_tracer() -> Tracer:
-    """The process-active tracer (``NULL_TRACER`` unless a run is traced)."""
-    return _active_tracer
+    """The context-active tracer (``NULL_TRACER`` unless a run is traced)."""
+    return _active_tracer.get()
 
 
 def set_tracer(tracer: Tracer) -> Tracer:
     """Install ``tracer`` as active; returns the previous one for restore."""
-    global _active_tracer
-    previous = _active_tracer
-    _active_tracer = tracer
+    previous = _active_tracer.get()
+    _active_tracer.set(tracer)
     return previous
 
 
 def span(name: str, **attrs: Any) -> Any:
     """Open a span on the active tracer (no-op when tracing is off)."""
-    return _active_tracer.span(name, **attrs)
+    return _active_tracer.get().span(name, **attrs)
 
 
 def current_span() -> Span | None:
-    return _active_tracer.current()
+    return _active_tracer.get().current()
 
 
 def traced(
@@ -252,7 +261,7 @@ def traced(
     def decorate(fn: Callable) -> Callable:
         @functools.wraps(fn)
         def wrapper(*args: Any, **kwargs: Any) -> Any:
-            tracer = _active_tracer
+            tracer = _active_tracer.get()
             if not tracer.enabled:
                 return fn(*args, **kwargs)
             attrs = attrs_fn(*args, **kwargs) if attrs_fn is not None else {}

@@ -332,6 +332,54 @@ class TestRunSession:
             assert session is not None
         assert len(RunLedger(tmp_path).records()) == 1
 
+    def test_concurrent_sessions_emit_disjoint_records(self, tmp_path):
+        """Two threads, two sessions, two disjoint span trees.
+
+        Session/tracer/metrics tracking is contextvars-based; with the
+        old module-global tracking, the second thread would nest into
+        the first session and the ledger would get one conflated record.
+        """
+        enable_tracing(tmp_path)
+        barrier = threading.Barrier(2)
+        errors: list[BaseException] = []
+
+        def observed_run(name: str) -> None:
+            try:
+                with run_session("catdb", dataset=name) as session:
+                    barrier.wait(timeout=10)  # both sessions open at once
+                    assert active_session() is session
+                    with get_tracer().span(f"work.{name}"):
+                        get_metrics().inc("llm.calls")
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=observed_run, args=(name,))
+                   for name in ("alpha", "beta")]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            disable_tracing()
+        assert not errors
+        records = RunLedger(tmp_path).records()
+        assert sorted(r.dataset for r in records) == ["alpha", "beta"]
+        by_dataset = {r.dataset: r for r in records}
+        for name in ("alpha", "beta"):
+            record = by_dataset[name]
+            assert {s["name"] for s in record.spans} == {
+                "run.catdb", f"work.{name}"
+            }
+            assert record.metrics["counters"]["llm.calls"] == 1
+            roots = [s for s in record.spans if s["parent_id"] is None]
+            assert len(roots) == 1  # its own tree, not a shared one
+        # disjoint trees: neither session saw the other's work span
+        assert not any(s["name"] == "work.beta"
+                       for s in by_dataset["alpha"].spans)
+        assert not any(s["name"] == "work.alpha"
+                       for s in by_dataset["beta"].spans)
+
 
 class TestOverhead:
     def test_null_tracer_overhead_under_5_percent(

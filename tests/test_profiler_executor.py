@@ -148,6 +148,50 @@ class TestProfileCache:
         without = column_fingerprint(Column("a", [1.0, 2.0, 3.0]))
         assert with_missing != without
 
+    def test_distinct_object_values_distinct_fingerprints(self):
+        # md5 digests over encoded values, not built-in hash(): values
+        # that collide under tuple-hash tricks must still separate
+        fingerprints = {
+            column_fingerprint(Column("a", values))
+            for values in (
+                ["x", "y"], ["y", "x"], ["xy", ""], ["x", "y", "x"],
+                ["x", None], [None, "x"], ["1", "2"],
+            )
+        }
+        assert len(fingerprints) == 7
+
+    def test_object_fingerprint_stable_across_hash_seeds(self):
+        """The resume/cache key must not depend on PYTHONHASHSEED.
+
+        The old implementation keyed object columns by
+        ``hash(tuple(...))``, whose str hashes are salted per process —
+        two processes would disagree on every fingerprint.
+        """
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        script = (
+            "from repro.catalog.cache import column_fingerprint\n"
+            "from repro.table.column import Column\n"
+            "print(column_fingerprint("
+            "Column('c', ['alpha', None, 'beta', 'beta'])))\n"
+        )
+        src = Path(__file__).resolve().parent.parent / "src"
+        outputs = set()
+        for hash_seed in ("0", "1", "12345"):
+            env = dict(os.environ,
+                       PYTHONHASHSEED=hash_seed,
+                       PYTHONPATH=os.pathsep.join(
+                           [str(src)] + sys.path))
+            proc = subprocess.run(
+                [sys.executable, "-c", script], env=env,
+                capture_output=True, text=True, timeout=120, check=True,
+            )
+            outputs.add(proc.stdout.strip())
+        assert len(outputs) == 1
+
     def test_lru_eviction_bounds_memory(self):
         cache = ProfileCache(max_entries=4)
         for i in range(10):
