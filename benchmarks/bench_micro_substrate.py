@@ -269,6 +269,105 @@ def test_micro_repair_loop_exec_skip_on(benchmark):
     assert report.first_error() is not None
 
 
+def _tall_table(n=20_000, seed=0):
+    """Few columns, many rows — the streaming-profiler stress shape."""
+    rng = np.random.default_rng(seed)
+    return Table.from_dict(
+        {
+            "uid": [f"u{i}" for i in range(n)],
+            "amount": rng.normal(50, 9, size=n),
+            "city": rng.choice(
+                ["ams", "ber", "par", "rom", "mad"], size=n
+            ).tolist(),
+            "y": np.where(rng.normal(size=n) > 0, "p", "n").tolist(),
+        },
+        name="tall",
+    )
+
+
+def test_micro_profiling_batch_tall(benchmark):
+    """Batch profiler on the tall shape — the streaming pair's baseline."""
+    table = _tall_table()
+
+    def run():
+        clear_default_cache()
+        return profile_table(table, target="y", task_type="binary", workers=1)
+
+    catalog = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(catalog) == 4
+
+
+def test_micro_profiling_streaming_tall(benchmark):
+    """Streaming profiler on the same rows, chunked as on disk.
+
+    Compare against ``test_micro_profiling_batch_tall``: the sketch path
+    pays a constant factor for mergeable summaries; what it buys is the
+    constant memory ceiling (``test_micro_profiling_streaming_memory``).
+    """
+    from repro.catalog import chunks_from_table, profile_table_streaming
+
+    table = _tall_table()
+
+    def run():
+        clear_default_cache()
+        return profile_table_streaming(
+            chunks_from_table(table, 4000),
+            target="y",
+            task_type="binary",
+            chunk_rows=4000,
+            workers=1,
+        )
+
+    catalog = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(catalog) == 4
+
+
+def test_micro_profiling_streaming_memory(tmp_path):
+    """Allocation-peak pair: streaming must profile a 120k-row CSV with
+    a far lower peak than load-then-batch (tracemalloc, Python+numpy)."""
+    import csv
+    import tracemalloc
+
+    from repro.catalog import profile_table_streaming
+    from repro.table.io_csv import read_csv
+
+    rng = np.random.default_rng(0)
+    path = tmp_path / "tall.csv"
+    n = 120_000
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["uid", "amount", "city", "y"])
+        cities = ["ams", "ber", "par", "rom", "mad"]
+        for i in range(n):
+            writer.writerow(
+                [f"u{i}", f"{rng.normal(50, 9):.4f}",
+                 cities[int(rng.integers(5))],
+                 "p" if rng.random() > 0.5 else "n"]
+            )
+
+    clear_default_cache()
+    tracemalloc.start()
+    profile_table(read_csv(path), target="y", task_type="binary", workers=1)
+    _, batch_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    clear_default_cache()
+    tracemalloc.start()
+    profile_table_streaming(
+        str(path), target="y", task_type="binary",
+        chunk_rows=10_000, workers=1,
+    )
+    _, stream_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    print(f"\npeak allocations: batch {batch_peak / 1e6:.1f} MB, "
+          f"streaming {stream_peak / 1e6:.1f} MB")
+    # The gap widens with row count (fixed sketch state vs O(rows)
+    # columns): ~1.4x at 120k rows here, ~2.6x RSS at 1M rows in the
+    # CI streaming-smoke job.
+    assert stream_peak < batch_peak * 0.85
+
+
 def test_micro_repair_loop_exec_skip_off(benchmark):
     """The same faulted candidate classified the pre-gate way: pay an
     execution attempt to learn the code is broken.  The on/off delta is

@@ -18,6 +18,11 @@ from repro.catalog.feature_types import FeatureType
 from repro.catalog.materialize import join_multi_table, materialize_refined
 from repro.catalog.profiler import profile_dataset, profile_table
 from repro.catalog.refinement import RefinementResult, refine_catalog
+from repro.catalog.streaming import (
+    chunks_from_table,
+    peak_rss_bytes,
+    profile_table_streaming,
+)
 from repro.catalog.validation import Expectation, ExpectationSuite, ValidationReport
 
 __all__ = [
@@ -29,6 +34,9 @@ __all__ = [
     "materialize_refined",
     "profile_dataset",
     "profile_table",
+    "profile_table_streaming",
+    "chunks_from_table",
+    "peak_rss_bytes",
     "ProfileCache",
     "ProfilerExecutor",
     "clear_default_cache",

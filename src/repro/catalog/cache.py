@@ -29,6 +29,7 @@ from repro.table.column import Column, ColumnKind
 __all__ = [
     "ProfileCache",
     "column_fingerprint",
+    "encode_object_values",
     "get_default_cache",
     "clear_default_cache",
 ]
@@ -48,21 +49,42 @@ def column_fingerprint(column: Column) -> tuple:
     key is unstable across processes — a persistent or process-pool-
     shared cache would miss spuriously — and a 64-bit collision would
     silently return another column's embeddings.
+
+    Data and mask run through *separate* md5 digests combined at the
+    end.  A single sequential digest would force any producer to see all
+    data bytes before the first mask byte; the two-digest layout lets
+    the streaming profiler feed both hashes chunk-by-chunk (see
+    :class:`repro.sketch.accumulators.FingerprintAccumulator`) and land
+    on the identical fingerprint without materializing the column.
     """
-    digest = hashlib.md5()
+    data_digest = hashlib.md5()
+    mask_digest = hashlib.md5()
     if column.kind is ColumnKind.NUMERIC:
-        digest.update(column.data.tobytes())
+        data_digest.update(column.data.tobytes())
     else:
-        for value in column.data.tolist():
-            if value is None:
-                digest.update(b"\xff\x00none")
-            else:
-                encoded = str(value).encode("utf-8", "surrogatepass")
-                digest.update(len(encoded).to_bytes(4, "little"))
-                digest.update(encoded)
-    digest.update(column.missing.tobytes())
-    content: Any = digest.hexdigest()
+        data_digest.update(encode_object_values(column.data.tolist()))
+    mask_digest.update(column.missing.tobytes())
+    content: Any = hashlib.md5(
+        data_digest.digest() + mask_digest.digest()
+    ).hexdigest()
     return (column.kind.value, len(column), int(column.missing.sum()), content)
+
+
+def encode_object_values(values: list) -> bytes:
+    """Length-prefixed byte encoding of object-column cells.
+
+    Shared by the batch fingerprint above and the streaming per-chunk
+    byte producer, so both paths hash exactly the same octets.
+    """
+    parts: list[bytes] = []
+    for value in values:
+        if value is None:
+            parts.append(b"\xff\x00none")
+        else:
+            encoded = str(value).encode("utf-8", "surrogatepass")
+            parts.append(len(encoded).to_bytes(4, "little"))
+            parts.append(encoded)
+    return b"".join(parts)
 
 
 class ProfileCache:
@@ -96,6 +118,16 @@ class ProfileCache:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
         return value
+
+    def memo(self, key: tuple, compute: Callable[[], Any]) -> Any:
+        """Public get-or-compute for externally fingerprinted artifacts.
+
+        The streaming profiler keys its sketch-derived embeddings and
+        hash sets by incremental column fingerprints through this hook —
+        distinct key namespaces keep them apart from the batch entries,
+        which are exact where the streaming ones are estimates.
+        """
+        return self._get_or_compute(key, compute)
 
     def _token_stats(self, column: Column, fingerprint: tuple) -> list:
         """Shared single-scan artifact behind embeddings and hash sets."""

@@ -40,6 +40,8 @@ __all__ = [
     "column_correlation",
     "pairwise_similarities",
     "find_inclusion_dependencies",
+    "similarities_from_vectors",
+    "inclusions_from_hash_sets",
     "similarity_matrix",
 ]
 
@@ -304,15 +306,17 @@ def similarity_matrix(
     return stacked @ stacked.T
 
 
-def pairwise_similarities(
-    table: Table,
+def similarities_from_vectors(
+    names: Sequence[str],
+    vectors: Sequence[np.ndarray],
     threshold: float = 0.5,
-    cache: "ProfileCache | None | bool" = None,
 ) -> dict[str, list[tuple[str, float]]]:
-    """Per-column list of (other column, cosine similarity) above threshold."""
-    names = table.column_names
-    sims = similarity_matrix(table, cache=cache)
+    """Similarity lists from precomputed embeddings (batch or streaming)."""
     result: dict[str, list[tuple[str, float]]] = {name: [] for name in names}
+    if not names:
+        return result
+    stacked = np.stack(list(vectors))
+    sims = stacked @ stacked.T
     rows, cols = np.nonzero(np.triu(sims >= threshold, k=1))
     for i, j in zip(rows.tolist(), cols.tolist()):
         sim = round(float(sims[i, j]), 4)
@@ -321,21 +325,30 @@ def pairwise_similarities(
     return result
 
 
-def find_inclusion_dependencies(
+def pairwise_similarities(
     table: Table,
-    threshold: float = 0.95,
+    threshold: float = 0.5,
     cache: "ProfileCache | None | bool" = None,
-) -> dict[str, list[str]]:
-    """Columns whose value set is (approximately) contained in another's."""
-    names = table.column_names
+) -> dict[str, list[tuple[str, float]]]:
+    """Per-column list of (other column, cosine similarity) above threshold."""
     resolved = _resolve_cache(cache)
-    result: dict[str, list[str]] = {name: [] for name in names}
-    hash_sets = {
-        name: resolved.hash_set(table[name])
+    names = table.column_names
+    vectors = [
+        resolved.embedding(table[name])
         if resolved is not None
-        else _value_hash_set(table[name])
+        else column_embedding(table[name])
         for name in names
-    }
+    ]
+    return similarities_from_vectors(names, vectors, threshold=threshold)
+
+
+def inclusions_from_hash_sets(
+    names: Sequence[str],
+    hash_sets: "dict[str, set[int]]",
+    threshold: float = 0.95,
+) -> dict[str, list[str]]:
+    """Inclusion lists from precomputed value-hash sets."""
+    result: dict[str, list[str]] = {name: [] for name in names}
     # sorted int64 arrays turn the O(n²) set intersections into C merges
     arrays = {
         name: np.sort(np.fromiter(hs, dtype=np.int64, count=len(hs)))
@@ -357,3 +370,20 @@ def find_inclusion_dependencies(
             if overlap / size_a >= threshold:
                 result[a].append(b)
     return result
+
+
+def find_inclusion_dependencies(
+    table: Table,
+    threshold: float = 0.95,
+    cache: "ProfileCache | None | bool" = None,
+) -> dict[str, list[str]]:
+    """Columns whose value set is (approximately) contained in another's."""
+    names = table.column_names
+    resolved = _resolve_cache(cache)
+    hash_sets = {
+        name: resolved.hash_set(table[name])
+        if resolved is not None
+        else _value_hash_set(table[name])
+        for name in names
+    }
+    return inclusions_from_hash_sets(names, hash_sets, threshold=threshold)

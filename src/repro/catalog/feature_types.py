@@ -12,7 +12,11 @@ import enum
 import re
 from typing import Any, Sequence
 
-__all__ = ["FeatureType", "infer_feature_type_heuristic"]
+__all__ = [
+    "FeatureType",
+    "infer_feature_type_heuristic",
+    "infer_feature_type_from_stats",
+]
 
 
 class FeatureType(str, enum.Enum):
@@ -46,26 +50,68 @@ def infer_feature_type_heuristic(
     if not present:
         return FeatureType.CONSTANT
     distinct = {str(v) for v in present}
-    if len(distinct) <= 1:
+    if is_numeric:
+        all_integer = len(distinct) > 1 and all(
+            float(v).is_integer() for v in present
+        )
+        in_boolean_domain = False
+    else:
+        all_integer = False
+        lowered = {str(v).strip().lower() for v in present}
+        in_boolean_domain = lowered <= _BOOLEAN_DOMAIN
+    return infer_feature_type_from_stats(
+        n_present=len(present),
+        distinct_count=len(distinct),
+        distinct_fraction=distinct_fraction,
+        is_numeric=is_numeric,
+        n_rows=n_rows,
+        all_integer=all_integer,
+        in_boolean_domain=in_boolean_domain,
+        evidence=[str(v) for v in present],
+    )
+
+
+_BOOLEAN_DOMAIN = frozenset(
+    {"true", "false", "yes", "no", "0", "1", "t", "f", "y", "n"}
+)
+
+
+def infer_feature_type_from_stats(
+    n_present: int,
+    distinct_count: int,
+    distinct_fraction: float,
+    is_numeric: bool,
+    n_rows: int,
+    all_integer: bool,
+    in_boolean_domain: bool,
+    evidence: Sequence[str],
+) -> FeatureType:
+    """Feature typing from summary statistics instead of the full column.
+
+    This is the decision core shared by the batch heuristic above and
+    the streaming profiler, which supplies the inputs from mergeable
+    sketches: ``distinct_count`` (KMV), ``all_integer`` and
+    ``in_boolean_domain`` (AND-merged flags), and ``evidence`` (the
+    first ~200 present values by row — the window the list/sentence
+    detectors inspect).
+    """
+    if n_present == 0 or distinct_count <= 1:
         return FeatureType.CONSTANT
     if is_numeric:
         # small distinct integer domains read as categorical codes
-        if len(distinct) <= 12 and all(float(v).is_integer() for v in present):
+        if distinct_count <= 12 and all_integer:
             return FeatureType.CATEGORICAL
-        if distinct_fraction > 0.999 and n_rows > 50 and all(
-            float(v).is_integer() for v in present
-        ):
+        if distinct_fraction > 0.999 and n_rows > 50 and all_integer:
             return FeatureType.ID
         return FeatureType.NUMERICAL
-    lowered = {str(v).strip().lower() for v in present}
-    if lowered <= {"true", "false", "yes", "no", "0", "1", "t", "f", "y", "n"}:
+    if in_boolean_domain:
         return FeatureType.BOOLEAN
-    str_values = [str(v) for v in present]
+    str_values = [str(v) for v in evidence]
     if _looks_like_list(str_values):
         return FeatureType.LIST
     if _looks_like_sentence(str_values, distinct_fraction):
         return FeatureType.SENTENCE
-    if distinct_fraction > 0.95 and len(distinct) > 50:
+    if distinct_fraction > 0.95 and distinct_count > 50:
         return FeatureType.ID
     return FeatureType.CATEGORICAL
 

@@ -37,6 +37,8 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.table.io_csv import DEFAULT_CHUNK_ROWS
+
 __all__ = ["main", "build_parser"]
 
 _EXPERIMENTS = {
@@ -102,13 +104,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     profile = sub.add_parser("profile", help="profile a dataset")
     add_trace_args(profile)
-    profile.add_argument("dataset")
+    profile.add_argument("dataset",
+                         help="registry dataset name, or a CSV path "
+                              "(with --streaming and --target)")
     profile.add_argument("--rows", type=int, default=None,
                          help="override generated row count")
     profile.add_argument("--seed", type=int, default=0)
     profile.add_argument("--profile-workers", type=int, default=None,
                          help="profiling worker-pool size "
                               "(1 = sequential, 0 = all cores)")
+    profile.add_argument("--streaming", action="store_true",
+                         help="profile chunk-by-chunk with mergeable "
+                              "sketches (constant memory)")
+    profile.add_argument("--chunk-rows", type=int, default=None,
+                         help="rows per streaming chunk "
+                              f"(default {DEFAULT_CHUNK_ROWS})")
+    profile.add_argument("--target", default=None,
+                         help="target column (required for CSV paths)")
+    profile.add_argument("--task-type", default="binary",
+                         choices=["binary", "multiclass", "regression"],
+                         help="task type for CSV paths")
 
     generate = sub.add_parser("generate", help="generate a pipeline with CatDB")
     add_trace_args(generate)
@@ -242,19 +257,47 @@ def _finish_trace(session: "object | None") -> None:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    from repro.datasets.registry import load_dataset
+    import os
+
     from repro.obs import run_session
 
+    csv_source = args.dataset.endswith(".csv") or os.path.isfile(args.dataset)
+    if csv_source and not args.target:
+        print("error: --target is required when profiling a CSV path",
+              file=sys.stderr)
+        return 2
+    chunk_rows = args.chunk_rows or DEFAULT_CHUNK_ROWS
     traced = _begin_trace(args)
-    overrides = {"n": args.rows} if args.rows else {}
-    bundle = load_dataset(args.dataset, seed=args.seed, **overrides)
     with run_session(
         "profile", dataset=args.dataset,
         config={"rows": args.rows, "seed": args.seed,
-                "workers": args.profile_workers},
+                "workers": args.profile_workers,
+                "streaming": bool(args.streaming or csv_source),
+                "chunk_rows": chunk_rows},
         force=traced,
     ) as session:
-        catalog = bundle.profile(seed=args.seed, workers=args.profile_workers)
+        if csv_source:
+            from repro.catalog import profile_table_streaming
+
+            catalog = profile_table_streaming(
+                args.dataset,
+                target=args.target,
+                task_type=args.task_type,
+                chunk_rows=chunk_rows,
+                workers=args.profile_workers,
+                seed=args.seed,
+            )
+        else:
+            from repro.datasets.registry import load_dataset
+
+            overrides = {"n": args.rows} if args.rows else {}
+            bundle = load_dataset(args.dataset, seed=args.seed, **overrides)
+            catalog = bundle.profile(
+                seed=args.seed,
+                workers=args.profile_workers,
+                streaming=args.streaming,
+                chunk_rows=args.chunk_rows,
+            )
         if session is not None:
             session.outcome.update(n_columns=len(catalog))
     print(catalog)

@@ -63,7 +63,33 @@ class DatasetBundle:
                 self._unified = join_multi_table(self.tables, self.join_plan)
         return self._unified
 
-    def profile(self, seed: int = 0, **kwargs: Any) -> DataCatalog:
+    def profile(
+        self,
+        seed: int = 0,
+        streaming: bool = False,
+        chunk_rows: int | None = None,
+        **kwargs: Any,
+    ) -> DataCatalog:
+        if streaming:
+            from repro.catalog.streaming import (
+                chunks_from_table,
+                profile_table_streaming,
+            )
+            from repro.table.io_csv import DEFAULT_CHUNK_ROWS
+
+            rows_per_chunk = chunk_rows or DEFAULT_CHUNK_ROWS
+            table = self.unified
+            return profile_table_streaming(
+                chunks_from_table(table, rows_per_chunk),
+                target=self.target,
+                task_type=self.task_type,
+                chunk_rows=rows_per_chunk,
+                seed=seed,
+                name=table.name,
+                n_tables=len(self.tables),
+                description=self.spec.description,
+                **kwargs,
+            )
         return profile_table(
             self.unified,
             target=self.target,

@@ -1,0 +1,52 @@
+"""Mergeable-summary sketches behind the streaming data catalog.
+
+Every sketch follows one contract: ``update(...)`` folds a batch of
+values, ``merge(other)`` combines summaries of disjoint row ranges
+(associative, order-invariant up to documented floating-point folds),
+and an *exact mode* below a configurable threshold makes small inputs
+round-trip without approximation — the streaming profiler uses it to
+reproduce the batch catalog bit-for-bit on small tables.
+"""
+
+from repro.sketch.accumulators import (
+    BOOLEAN_DOMAIN,
+    FingerprintAccumulator,
+    FirstKEvidence,
+    KindFlags,
+    TokenStats,
+)
+from repro.sketch.base import (
+    SketchConfig,
+    encode_value,
+    hash64,
+    priority_for_floats,
+    priority_for_tokens,
+    seed_material,
+)
+from repro.sketch.column import ColumnSketch, ColumnSketchResult
+from repro.sketch.heavyhitters import SpaceSavingSketch
+from repro.sketch.kmv import KMVSketch
+from repro.sketch.moments import MomentsSketch
+from repro.sketch.pairs import PairSketch
+from repro.sketch.reservoir import ReservoirSketch
+
+__all__ = [
+    "BOOLEAN_DOMAIN",
+    "ColumnSketch",
+    "ColumnSketchResult",
+    "FingerprintAccumulator",
+    "FirstKEvidence",
+    "KMVSketch",
+    "KindFlags",
+    "MomentsSketch",
+    "PairSketch",
+    "ReservoirSketch",
+    "SketchConfig",
+    "SpaceSavingSketch",
+    "TokenStats",
+    "encode_value",
+    "hash64",
+    "priority_for_floats",
+    "priority_for_tokens",
+    "seed_material",
+]

@@ -1,0 +1,164 @@
+"""SpaceSaving-style heavy-hitters sketch: top values and value counts.
+
+Exact mode keeps one counter per distinct value while the stream stays
+under ``exact_threshold`` distinct values — the common case for
+categorical columns, where the batch profiler stores *all* class counts.
+Past the threshold it degrades to a bounded table of ``capacity``
+counters with a running ``floor``: the invariant is that any value *not*
+in the table has true count at most ``floor``, so an untracked value is
+(re-)inserted with the overestimate ``floor + 1`` and error ``floor``.
+Pruning is batched (the table grows to ``2 * capacity`` before being cut
+back, the amortized-O(1) construction used by production frequent-items
+sketches), and every cut raises ``floor`` to the largest dropped count,
+preserving the invariant.
+
+Per entry the sketch keeps ``(count, error)`` where ``count`` is an
+overestimate of the true frequency and ``count - error`` a guaranteed
+lower bound.  Merging sums counts/errors over the union of tables
+(crediting each side's ``floor`` for values it does not track — the
+mergeable-summaries construction), then prunes.  Any value with true
+frequency comfortably above ``n / capacity`` survives every merge
+grouping; while no summary in the merge tree ever saturated, all counts
+are exact (``error == 0``, ``floor == 0``) and independent of chunk
+order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.sketch.base import SketchConfig, encode_value
+
+__all__ = ["SpaceSavingSketch"]
+
+_FAR_ROW = 1 << 62
+
+
+class SpaceSavingSketch:
+    """Mergeable top-k / value-count summary over one stream of values."""
+
+    __slots__ = ("capacity", "exact_threshold", "n", "floor", "_entries")
+
+    def __init__(self, capacity: int = 256, exact_threshold: int | None = None) -> None:
+        if capacity < 1:
+            raise ValueError("SpaceSaving needs capacity >= 1")
+        self.capacity = capacity
+        self.exact_threshold = max(
+            exact_threshold if exact_threshold is not None else capacity,
+            2 * capacity,
+        )
+        self.n = 0  # total values folded in
+        self.floor = 0  # upper bound on any untracked value's true count
+        # encoding -> [count, error, first_row, value]
+        self._entries: dict[bytes, list[Any]] = {}
+
+    @classmethod
+    def from_config(cls, config: SketchConfig) -> "SpaceSavingSketch":
+        return cls(capacity=config.heavy_k, exact_threshold=config.exact_threshold)
+
+    @property
+    def is_exact(self) -> bool:
+        """True while every tracked count is the exact frequency."""
+        return self.floor == 0
+
+    # -- updates ---------------------------------------------------------------
+
+    def update(self, values: Iterable[Any], rows: Iterable[int] | None = None) -> None:
+        if rows is None:
+            rows = range(_FAR_ROW)
+        entries = self._entries
+        bound = self.exact_threshold if self.floor == 0 else 2 * self.capacity
+        for value, row in zip(values, rows):
+            self.n += 1
+            encoded = encode_value(value)
+            entry = entries.get(encoded)
+            if entry is not None:
+                entry[0] += 1
+                if row < entry[2]:
+                    entry[2] = row
+            else:
+                entries[encoded] = [self.floor + 1, self.floor, row, value]
+                if len(entries) > bound:
+                    self._prune()
+                    bound = 2 * self.capacity  # saturated from here on
+
+    def _prune(self) -> None:
+        """Cut back to ``capacity`` counters; the largest dropped count
+        becomes the new ``floor`` (any dropped value's true count is at
+        most its overestimating counter)."""
+        if len(self._entries) <= self.capacity:
+            return
+        ranked = sorted(
+            self._entries.items(), key=lambda kv: (-kv[1][0], kv[1][2], kv[0])
+        )
+        dropped_max = max(entry[0] for _, entry in ranked[self.capacity:])
+        self.floor = max(self.floor, dropped_max)
+        self._entries = dict(ranked[: self.capacity])
+
+    # -- merge -----------------------------------------------------------------
+
+    def merge(self, other: "SpaceSavingSketch") -> "SpaceSavingSketch":
+        if (self.capacity, self.exact_threshold) != (
+            other.capacity,
+            other.exact_threshold,
+        ):
+            raise ValueError("cannot merge SpaceSaving sketches with different configs")
+        self_floor = self.floor
+        other_floor = other.floor
+        merged: dict[bytes, list[Any]] = {}
+        for encoded in self._entries.keys() | other._entries.keys():
+            a = self._entries.get(encoded)
+            b = other._entries.get(encoded)
+            count = (a[0] if a else self_floor) + (b[0] if b else other_floor)
+            error = (a[1] if a else self_floor) + (b[1] if b else other_floor)
+            first_row = min(a[2] if a else _FAR_ROW, b[2] if b else _FAR_ROW)
+            value = a[3] if a else b[3]  # type: ignore[index]
+            merged[encoded] = [count, error, first_row, value]
+        self._entries = merged
+        self.n += other.n
+        self.floor = self_floor + other_floor
+        bound = self.exact_threshold if self.floor == 0 else 2 * self.capacity
+        if len(self._entries) > bound:
+            self._prune()
+        return self
+
+    def copy(self) -> "SpaceSavingSketch":
+        clone = SpaceSavingSketch(self.capacity, self.exact_threshold)
+        clone.n = self.n
+        clone.floor = self.floor
+        clone._entries = {k: list(v) for k, v in self._entries.items()}
+        return clone
+
+    # -- queries ---------------------------------------------------------------
+
+    def counts(self) -> list[tuple[Any, int, int]]:
+        """``(value, count, error)`` sorted by count desc (ties: first seen)."""
+        return [
+            (entry[3], entry[0], entry[1])
+            for _, entry in sorted(
+                self._entries.items(), key=lambda kv: (-kv[1][0], kv[1][2], kv[0])
+            )
+        ]
+
+    def count_of(self, value: Any) -> tuple[int, int] | None:
+        """``(count, error)`` for one value, ``None`` when untracked."""
+        entry = self._entries.get(encode_value(value))
+        if entry is None:
+            return None
+        return entry[0], entry[1]
+
+    def canonical_state(self) -> tuple:
+        return (
+            self.n,
+            self.floor,
+            tuple(sorted(
+                (encoded, entry[0], entry[1], entry[2])
+                for encoded, entry in self._entries.items()
+            )),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SpaceSavingSketch(n={self.n}, tracked={len(self._entries)}, "
+            f"floor={self.floor})"
+        )

@@ -1,0 +1,190 @@
+"""Deterministic, order-invariant reservoir sampling via bottom-k priorities.
+
+A classical reservoir sample depends on arrival order, which breaks the
+"merge shards in any order" contract.  This sketch instead assigns every
+``(row, value)`` occurrence a priority drawn from a seeded hash of
+``(key, row, value)`` and keeps the ``k`` occurrences with the smallest
+priorities.  The selection is a pure function of the *multiset* of
+occurrences and the seed — chunk boundaries, shard order, worker count,
+and merge grouping cannot change it — while still being a uniform-like
+pseudo-random sample driven by a :class:`numpy.random.SeedSequence`-derived
+key.
+
+Exact mode keeps *every* occurrence while the stream holds at most
+``exact_threshold`` of them (hashing is deferred until the buffer first
+overflows), so small columns expose their full value list to the
+profiler and the batch sampling path can be replayed bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.sketch.base import priority_for_floats, priority_for_tokens
+
+__all__ = ["ReservoirSketch"]
+
+
+class ReservoirSketch:
+    """Mergeable bottom-k sample of ``(priority, row, value)`` entries."""
+
+    __slots__ = ("k", "exact_threshold", "key", "numeric", "n_seen", "_buffer", "_entries")
+
+    def __init__(
+        self,
+        k: int,
+        key: int = 0,
+        exact_threshold: int | None = None,
+        numeric: bool = False,
+    ) -> None:
+        if k < 1:
+            raise ValueError("reservoir needs k >= 1")
+        self.k = k
+        self.exact_threshold = max(
+            exact_threshold if exact_threshold is not None else k, k
+        )
+        self.key = key
+        self.numeric = numeric  # float values: vectorized priorities
+        self.n_seen = 0
+        # exact mode: every (row, value); sketch mode: None
+        self._buffer: list[tuple[int, Any]] | None = []
+        self._entries: list[tuple[int, int, Any]] = []  # (priority, row, value)
+
+    # -- properties ------------------------------------------------------------
+
+    @property
+    def is_exact(self) -> bool:
+        return self._buffer is not None
+
+    # -- updates ---------------------------------------------------------------
+
+    def update(self, values: "list[Any] | np.ndarray", rows: "list[int] | np.ndarray") -> None:
+        n = len(values)
+        if n == 0:
+            return
+        self.n_seen += n
+        if self._buffer is not None:
+            if self.numeric and isinstance(values, np.ndarray):
+                values = values.tolist()
+            if isinstance(rows, np.ndarray):
+                rows = rows.tolist()
+            self._buffer.extend(zip(rows, values))
+            if len(self._buffer) > self.exact_threshold:
+                self._degrade()
+            return
+        self._add_hashed(values, rows)
+        self._prune(soft=True)
+
+    def _priorities(self, values: "list[Any] | np.ndarray", rows: Any) -> np.ndarray:
+        if self.numeric:
+            return priority_for_floats(self.key, rows, np.asarray(values, dtype=np.float64))
+        return priority_for_tokens(self.key, rows, [str(v) for v in values])
+
+    def _add_hashed(self, values: "list[Any] | np.ndarray", rows: Any) -> None:
+        priorities = self._priorities(values, rows)
+        if self.numeric:
+            values = np.asarray(values, dtype=np.float64).tolist()
+        rows_list = np.asarray(rows).tolist()
+        self._entries.extend(zip(priorities.tolist(), rows_list, values))
+
+    def _degrade(self) -> None:
+        assert self._buffer is not None
+        buffer, self._buffer = self._buffer, None
+        if buffer:
+            rows = [row for row, _ in buffer]
+            values = [value for _, value in buffer]
+            self._add_hashed(values, rows)
+        self._prune(soft=True)
+
+    def _prune(self, soft: bool = False) -> None:
+        # bottom-k by (priority, row, repr) — pruning a non-bottom-4k entry
+        # of a subset can never evict a bottom-k entry of the superset, so
+        # lazy pruning stays order-invariant
+        limit = 4 * self.k if soft else self.k
+        if len(self._entries) > limit:
+            self._entries.sort(key=_entry_order)
+            del self._entries[self.k:]
+
+    # -- merge -----------------------------------------------------------------
+
+    def merge(self, other: "ReservoirSketch") -> "ReservoirSketch":
+        if (self.k, self.key, self.exact_threshold, self.numeric) != (
+            other.k,
+            other.key,
+            other.exact_threshold,
+            other.numeric,
+        ):
+            raise ValueError("cannot merge reservoirs with different configs")
+        self.n_seen += other.n_seen
+        if self._buffer is not None and other._buffer is not None:
+            self._buffer.extend(other._buffer)
+            if len(self._buffer) > self.exact_threshold:
+                self._degrade()
+            return self
+        if self._buffer is not None:
+            self._degrade()
+        if other._buffer is not None:
+            clone = other.copy()
+            clone._degrade()
+            self._entries.extend(clone._entries)
+        else:
+            self._entries.extend(other._entries)
+        self._prune(soft=True)
+        return self
+
+    def copy(self) -> "ReservoirSketch":
+        clone = ReservoirSketch(self.k, self.key, self.exact_threshold, self.numeric)
+        clone.n_seen = self.n_seen
+        clone._buffer = list(self._buffer) if self._buffer is not None else None
+        clone._entries = list(self._entries)
+        return clone
+
+    # -- queries ---------------------------------------------------------------
+
+    def all_values(self) -> list[tuple[int, Any]] | None:
+        """Every ``(row, value)`` in row order; ``None`` once degraded."""
+        if self._buffer is None:
+            return None
+        return sorted(self._buffer, key=lambda rv: rv[0])
+
+    def sample(self, size: int | None = None) -> list[Any]:
+        """The sample values in row order (``size`` trims by priority first)."""
+        if self._buffer is not None:
+            ordered = self.all_values() or []
+            if size is None or len(ordered) <= size:
+                return [value for _, value in ordered]
+            priorities = self._priorities(
+                [value for _, value in ordered], [row for row, _ in ordered]
+            )
+            picked = sorted(
+                zip(priorities.tolist(), (row for row, _ in ordered),
+                    (value for _, value in ordered)),
+                key=_entry_order,
+            )[:size]
+            return [value for _, _, value in sorted(picked, key=lambda e: e[1])]
+        self._prune()
+        picked = sorted(self._entries, key=_entry_order)
+        if size is not None:
+            picked = picked[:size]
+        return [value for _, _, value in sorted(picked, key=lambda e: e[1])]
+
+    def canonical_state(self) -> tuple:
+        if self._buffer is not None:
+            return ("exact", self.n_seen, tuple(sorted(
+                (row, repr(value)) for row, value in self._buffer
+            )))
+        self._prune()
+        return ("sketch", self.n_seen, tuple(sorted(
+            (priority, row, repr(value)) for priority, row, value in self._entries
+        )))
+
+    def __repr__(self) -> str:
+        mode = "exact" if self._buffer is not None else "bottom-k"
+        return f"ReservoirSketch(k={self.k}, mode={mode}, n_seen={self.n_seen})"
+
+
+def _entry_order(entry: tuple) -> tuple:
+    priority, row, value = entry
+    return (priority, row, repr(value))

@@ -7,7 +7,15 @@ row filtering, projections, joins, concatenation, and CSV I/O.
 """
 
 from repro.table.column import Column, ColumnKind
-from repro.table.io_csv import read_csv, write_csv
+from repro.table.io_csv import CsvChunk, iter_csv_chunks, read_csv, write_csv
 from repro.table.table import Table
 
-__all__ = ["Column", "ColumnKind", "Table", "read_csv", "write_csv"]
+__all__ = [
+    "Column",
+    "ColumnKind",
+    "CsvChunk",
+    "Table",
+    "iter_csv_chunks",
+    "read_csv",
+    "write_csv",
+]

@@ -4,6 +4,12 @@ CatDB encodes the file path, format and delimiter of a dataset into its
 prompts so the generated pipeline can load data without exploration (paper
 Section 4.1).  This module is the substrate behind that: a small, strict
 CSV layer over :class:`repro.table.Table`.
+
+Two entry points share one parser: :func:`read_csv` materializes a whole
+:class:`Table`, and :func:`iter_csv_chunks` streams the same file as
+bounded :class:`CsvChunk` batches for the out-of-core profiler — constant
+memory, quoted-newline-safe (the stdlib ``csv`` reader tracks quote state
+across physical lines), BOM-stripping, and tolerant of ragged rows.
 """
 
 from __future__ import annotations
@@ -11,24 +17,40 @@ from __future__ import annotations
 import csv
 import io
 import os
-from typing import Any, Sequence
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
 
 from repro.table.column import Column
 from repro.table.table import Table
 
-__all__ = ["read_csv", "write_csv", "sniff_delimiter"]
+__all__ = ["CsvChunk", "read_csv", "write_csv", "sniff_delimiter", "iter_csv_chunks"]
 
 _CANDIDATE_DELIMITERS = (",", ";", "\t", "|")
 
+DEFAULT_CHUNK_ROWS = 50_000
+_SNIFF_BYTES = 65_536
+
 
 def sniff_delimiter(sample: str) -> str:
-    """Pick the delimiter that yields the most consistent column count."""
-    lines = [line for line in sample.splitlines() if line.strip()][:20]
-    if not lines:
-        return ","
+    """Pick the delimiter that yields the most consistent column count.
+
+    Candidates are scored by parsing the sample with the real CSV reader
+    (not by counting characters per physical line), so delimiters and
+    newlines inside quoted fields do not distort the field counts.
+    """
     best, best_score = ",", -1.0
     for delim in _CANDIDATE_DELIMITERS:
-        counts = [line.count(delim) for line in lines]
+        try:
+            records = [
+                row
+                for row in csv.reader(io.StringIO(sample), delimiter=delim)
+                if any(cell.strip() for cell in row)
+            ][:20]
+        except csv.Error:
+            continue
+        if not records:
+            continue
+        counts = [len(row) - 1 for row in records]
         if max(counts) == 0:
             continue
         mean = sum(counts) / len(counts)
@@ -39,26 +61,100 @@ def sniff_delimiter(sample: str) -> str:
     return best
 
 
+@dataclass
+class CsvChunk:
+    """A bounded slice of a CSV file's body rows.
+
+    ``start_row`` is the 0-based global index of the first data row (the
+    header does not count), so chunk consumers can reason about absolute
+    row positions regardless of arrival order.  ``rows`` are raw string
+    cells, already normalized to ``len(header)`` columns (short rows are
+    padded with ``None``, cells beyond the header are dropped).
+    """
+
+    header: list[str]
+    start_row: int
+    rows: list[list[Any]]
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    def column_values(self, index: int) -> list[Any]:
+        return [row[index] for row in self.rows]
+
+
+def _normalize_header(raw: list[str]) -> list[str]:
+    """Strip names, drop trailing unnamed columns, name interior gaps.
+
+    Trailing delimiters (``a,b,``) produce empty header cells with no
+    data behind them — dropping those columns matches what every other
+    reader does.  An *interior* empty name gets a positional fallback so
+    the column (which has data) survives with a usable identifier.
+    """
+    names = [name.strip() for name in raw]
+    while names and not names[-1]:
+        names.pop()
+    return [name if name else f"column_{i}" for i, name in enumerate(names)]
+
+
+def iter_csv_chunks(
+    path: str | os.PathLike[str],
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    delimiter: str | None = None,
+) -> Iterator[CsvChunk]:
+    """Stream a CSV file as :class:`CsvChunk` batches of ``chunk_rows``.
+
+    Memory stays proportional to one chunk regardless of file size.  The
+    file is decoded as UTF-8 with an optional BOM; quoted fields may
+    contain newlines and delimiters.
+    """
+    if chunk_rows < 1:
+        raise ValueError("chunk_rows must be >= 1")
+    # utf-8-sig strips a leading BOM so the first header name stays clean
+    with open(path, "r", newline="", encoding="utf-8-sig") as handle:
+        if delimiter is None:
+            delimiter = sniff_delimiter(handle.read(_SNIFF_BYTES))
+            handle.seek(0)
+        reader = csv.reader(handle, delimiter=delimiter)
+        header_raw = next(reader, None)
+        if header_raw is None:
+            return
+        header = _normalize_header(header_raw)
+        width = len(header)
+        start_row = 0
+        rows: list[list[Any]] = []
+        for record in reader:
+            if len(record) != width:
+                record = record[:width] + [None] * (width - len(record))
+            rows.append(record)
+            if len(rows) >= chunk_rows:
+                yield CsvChunk(header=header, start_row=start_row, rows=rows)
+                start_row += len(rows)
+                rows = []
+        if rows or start_row == 0:
+            yield CsvChunk(header=header, start_row=start_row, rows=rows)
+
+
 def read_csv(
     path: str | os.PathLike[str],
     delimiter: str | None = None,
     name: str | None = None,
 ) -> Table:
     """Read a CSV file into a :class:`Table` with inferred column types."""
-    with open(path, "r", newline="", encoding="utf-8") as handle:
-        text = handle.read()
-    if delimiter is None:
-        delimiter = sniff_delimiter(text[:8192])
-    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
-    rows = list(reader)
-    if not rows:
+    header: list[str] | None = None
+    pools: list[list[Any]] = []
+    for chunk in iter_csv_chunks(path, delimiter=delimiter):
+        if header is None:
+            header = chunk.header
+            pools = [[] for _ in header]
+        for index, pool in enumerate(pools):
+            pool.extend(chunk.column_values(index))
+    if header is None:
         return Table(name=name or _default_name(path))
-    header = [h.strip() for h in rows[0]]
-    body = rows[1:]
-    columns = []
-    for i, col_name in enumerate(header):
-        values = [row[i] if i < len(row) else None for row in body]
-        columns.append(Column(col_name, values))
+    columns = [
+        Column(col_name, values) for col_name, values in zip(header, pools)
+    ]
     return Table(columns, name=name or _default_name(path))
 
 
