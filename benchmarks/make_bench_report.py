@@ -1,0 +1,142 @@
+"""Collate pytest-benchmark JSON output into the CI bench artifact.
+
+Usage::
+
+    python benchmarks/make_bench_report.py --out BENCH_8.json bench.json ...
+
+Reads one or more ``--benchmark-json`` files, groups the entries into
+the perf-trajectory sections (``profile``, ``runner``, ``streaming``,
+``execpool``, ``other``), and writes one consolidated report.
+
+This is also the bench job's gate: warm pool-mode execution of the
+clean generated pipeline (``test_execpool_pool_clean_warm``) must cost
+at most ``--max-pool-overhead`` times (default 2x) the in-process run
+(``test_execpool_inproc_clean``).  Exits non-zero when the ratio is
+exceeded *or* when either side is missing — a gate that cannot measure
+is a failure, not a pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+POOL_BENCH = "test_execpool_pool_clean_warm"
+INPROC_BENCH = "test_execpool_inproc_clean"
+
+_SECTION_RULES = (
+    ("execpool", ("execpool",)),
+    ("streaming", ("streaming",)),
+    ("runner", ("runner",)),
+    ("profile", ("profiling",)),
+)
+
+
+def _section_for(name: str) -> str:
+    for section, needles in _SECTION_RULES:
+        if any(needle in name for needle in needles):
+            return section
+    return "other"
+
+
+def _entry(bench: dict[str, Any]) -> dict[str, Any]:
+    stats = bench["stats"]
+    return {
+        "name": bench["name"],
+        "mean_s": stats["mean"],
+        "min_s": stats["min"],
+        "max_s": stats["max"],
+        "stddev_s": stats["stddev"],
+        "rounds": stats["rounds"],
+    }
+
+
+def build_report(paths: list[str]) -> dict[str, Any]:
+    sections: dict[str, list[dict[str, Any]]] = {}
+    machine: dict[str, Any] = {}
+    for path in paths:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        machine = machine or data.get("machine_info", {})
+        for bench in data.get("benchmarks", []):
+            sections.setdefault(_section_for(bench["name"]), []).append(
+                _entry(bench)
+            )
+    for entries in sections.values():
+        entries.sort(key=lambda e: e["name"])
+    return {
+        "schema": "bench-report/v1",
+        "machine": {
+            key: machine.get(key)
+            for key in ("node", "processor", "python_version", "cpu")
+            if key in machine
+        },
+        "sections": sections,
+    }
+
+
+def check_pool_overhead(
+    report: dict[str, Any], max_ratio: float
+) -> tuple[bool, str]:
+    by_name = {
+        entry["name"]: entry
+        for entry in report["sections"].get("execpool", [])
+    }
+    pool = by_name.get(POOL_BENCH)
+    inproc = by_name.get(INPROC_BENCH)
+    if pool is None or inproc is None:
+        return False, (
+            f"gate unmeasurable: need both {POOL_BENCH!r} and "
+            f"{INPROC_BENCH!r} in the execpool section "
+            f"(got {sorted(by_name)})"
+        )
+    ratio = pool["mean_s"] / max(inproc["mean_s"], 1e-12)
+    verdict = (
+        f"pool overhead: {pool['mean_s'] * 1000:.1f} ms vs "
+        f"{inproc['mean_s'] * 1000:.1f} ms inproc = {ratio:.2f}x "
+        f"(limit {max_ratio:g}x)"
+    )
+    report["gate"] = {
+        "pool_mean_s": pool["mean_s"],
+        "inproc_mean_s": inproc["mean_s"],
+        "ratio": ratio,
+        "max_ratio": max_ratio,
+        "passed": ratio <= max_ratio,
+    }
+    return ratio <= max_ratio, verdict
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("inputs", nargs="+",
+                        help="pytest-benchmark JSON files")
+    parser.add_argument("--out", default="BENCH_8.json",
+                        help="consolidated report path")
+    parser.add_argument("--max-pool-overhead", type=float, default=2.0,
+                        help="fail when pool/inproc mean ratio exceeds this")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="collate only; skip the pool-overhead gate")
+    args = parser.parse_args(argv)
+
+    report = build_report(args.inputs)
+    ok, verdict = True, "gate skipped"
+    if not args.no_gate:
+        ok, verdict = check_pool_overhead(report, args.max_pool_overhead)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    total = sum(len(v) for v in report["sections"].values())
+    for section in sorted(report["sections"]):
+        print(f"  {section}: {len(report['sections'][section])} benchmarks")
+    print(f"{args.out}: {total} benchmarks, {verdict}")
+    if not ok:
+        print("bench gate FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -122,6 +122,8 @@ def catdb_pipgen(
     test_size: float = 0.3,
     seed: int = 0,
     exec_timeout_seconds: float | None = None,
+    exec_mode: str | None = None,
+    exec_memory_mb: int | None = None,
 ) -> PipelineResult:
     """Generate, validate, and execute a data-centric ML pipeline.
 
@@ -129,7 +131,10 @@ def catdb_pipgen(
     paper's protocol) or explicit ``train``/``test`` tables.  ``beta > 1``
     selects CatDB Chain.  ``refine=True`` first runs catalog refinement and
     materializes the cleaned dataset.  ``exec_timeout_seconds`` bounds each
-    generated-pipeline execution with a hard wall-clock budget.
+    generated-pipeline execution with a hard wall-clock budget;
+    ``exec_mode="pool"`` runs each execution in an isolated subprocess
+    worker with an optional ``exec_memory_mb`` address-space cap (see
+    :mod:`repro.execpool`).
     """
     if data is None and (train is None or test is None):
         raise ValueError("pass `data`, or both `train` and `test`")
@@ -159,12 +164,14 @@ def catdb_pipgen(
             llm, alpha=alpha, combination=combination,
             max_fix_attempts=max_fix_attempts,
             exec_timeout_seconds=exec_timeout_seconds,
+            exec_mode=exec_mode, exec_memory_mb=exec_memory_mb,
         )
     else:
         generator = CatDBChain(
             llm, beta=beta, alpha=alpha, combination=combination,
             max_fix_attempts=max_fix_attempts,
             exec_timeout_seconds=exec_timeout_seconds,
+            exec_mode=exec_mode, exec_memory_mb=exec_memory_mb,
         )
     report = generator.generate(train, test, md, iteration=iteration)
     return PipelineResult(

@@ -18,7 +18,10 @@ Subcommands:
 
 ``generate`` and ``soak`` expose the resilience knobs (``--max-retries``,
 ``--llm-timeout``, ``--exec-timeout``, ``--fault-rate``); see
-``docs/resilience.md``.
+``docs/resilience.md``.  They also expose the execution-isolation knobs
+(``--exec-mode inproc|pool``, ``--exec-memory-mb``); ``soak
+--adversarial --exec-mode pool`` runs the hostile-pipeline containment
+gate; see ``docs/execution_pool.md``.
 
 ``profile``, ``generate``, and ``experiment`` accept ``--trace`` to record
 span trees + metrics into the run ledger (``--runs-dir``, default
@@ -37,6 +40,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.execpool.config import EXEC_MODES, MEMORY_ENV, MODE_ENV
 from repro.table.io_csv import DEFAULT_CHUNK_ROWS
 
 __all__ = ["main", "build_parser"]
@@ -99,6 +103,15 @@ def build_parser() -> argparse.ArgumentParser:
                              default=fault_rate_default,
                              help="transient-fault injection rate "
                                   "(FlakyLLM; 0 disables)")
+        command.add_argument("--exec-mode", default=None,
+                             choices=list(EXEC_MODES),
+                             help="pipeline execution backend: inproc "
+                                  "(default) or pool (isolated subprocess "
+                                  "workers; $REPRO_EXEC_MODE)")
+        command.add_argument("--exec-memory-mb", type=int, default=None,
+                             help="address-space cap per pool execution "
+                                  "in MiB (pool mode only; "
+                                  "$REPRO_EXEC_MEMORY_MB)")
 
     sub.add_parser("datasets", help="list the 20 dataset replicas")
 
@@ -160,6 +173,10 @@ def build_parser() -> argparse.ArgumentParser:
     soak.add_argument("--no-determinism-check", action="store_true",
                       help="skip comparing faulted pipelines against the "
                            "faults-off baseline")
+    soak.add_argument("--adversarial", action="store_true",
+                      help="run the adversarial containment soak instead: "
+                           "hostile pipelines (hang/OOM/segfault/exit/"
+                           "flood) must be contained and classified")
     _add_resilience_args(soak, fault_rate_default=0.3, exec_timeout_default=10.0)
 
     experiment = sub.add_parser("experiment", help="run one paper experiment")
@@ -177,6 +194,15 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--datasets", default=None,
                             help="comma-separated dataset subset "
                                  "(grid experiments only)")
+    experiment.add_argument("--exec-mode", default=None,
+                            choices=list(EXEC_MODES),
+                            help="pipeline execution backend for every "
+                                 "grid cell (exported as $REPRO_EXEC_MODE "
+                                 "so scheduler workers inherit it)")
+    experiment.add_argument("--exec-memory-mb", type=int, default=None,
+                            help="address-space cap per pool execution "
+                                 "in MiB (exported as "
+                                 "$REPRO_EXEC_MEMORY_MB)")
 
     runs = sub.add_parser("runs", help="inspect the observability run ledger")
     runs_sub = runs.add_subparsers(dest="runs_command", required=True)
@@ -330,6 +356,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             "rows": args.rows, "seed": args.seed,
             "fault_rate": args.fault_rate, "max_retries": args.max_retries,
             "llm_timeout": args.llm_timeout, "exec_timeout": args.exec_timeout,
+            "exec_mode": args.exec_mode,
         },
         force=traced,
     ) as session:
@@ -343,6 +370,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             alpha=args.alpha, beta=args.beta, combination=args.combination,
             refine=args.refine, seed=args.seed,
             exec_timeout_seconds=args.exec_timeout,
+            exec_mode=args.exec_mode, exec_memory_mb=args.exec_memory_mb,
         )
         if session is not None:
             session.outcome.update(
@@ -383,6 +411,16 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     """
     from repro.experiments.common import prepare_dataset, run_catdb
 
+    if args.adversarial:
+        from repro.execpool.adversarial import run_adversarial_soak
+
+        return run_adversarial_soak(
+            seeds=args.seeds,
+            timeout_seconds=args.exec_timeout or 2.0,
+            memory_mb=args.exec_memory_mb or 512,
+            exec_mode=args.exec_mode or "pool",
+        )
+
     _begin_trace(args)
     hard_failures: list[tuple[int, str]] = []
     mismatches: list[int] = []
@@ -406,6 +444,8 @@ def _cmd_soak(args: argparse.Namespace) -> int:
                 max_retries=args.max_retries,
                 llm_timeout=args.llm_timeout,
                 exec_timeout=args.exec_timeout,
+                exec_mode=args.exec_mode,
+                exec_memory_mb=args.exec_memory_mb,
                 retry_base_delay=0.0,  # soak shouldn't sleep through backoff
             )
         except Exception as exc:  # noqa: BLE001 - any escape is the failure
@@ -496,11 +536,19 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
+    import os
 
     # Experiments drive run_catdb/run_llm_baseline/run_automl, each of
     # which records its own ledger entry once tracing is on.  Grid-shaped
     # experiments additionally run on the parallel scheduler and record
     # one runner.cell entry per grid cell (the --resume key).
+    # The exec knobs travel through the environment: every execution in
+    # every scheduler worker thread resolves $REPRO_EXEC_MODE, so one
+    # flag moves a whole grid onto the subprocess pool.
+    if args.exec_mode is not None:
+        os.environ[MODE_ENV] = args.exec_mode
+    if args.exec_memory_mb is not None:
+        os.environ[MEMORY_ENV] = str(args.exec_memory_mb)
     _begin_trace(args)
     module_name, kwargs = _EXPERIMENTS[args.artifact]
     kwargs = dict(kwargs)

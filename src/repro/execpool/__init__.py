@@ -1,0 +1,51 @@
+"""Process-isolated pipeline execution pool.
+
+Public surface of the executor's ``mode="pool"`` backend: warm subprocess
+workers with per-execution rlimits, hard kill-on-timeout, and crash
+classification onto the RE taxonomy.  See ``docs/execution_pool.md``.
+"""
+
+from repro.execpool.config import (
+    EXEC_MODES,
+    PoolConfig,
+    pool_config_from_env,
+    resolve_exec_mode,
+    resolve_memory_mb,
+)
+
+# The pool/protocol layers import ExecutionResult from the executor, and
+# the executor imports this package's config at module load — so those
+# symbols resolve lazily (PEP 562) to keep the import graph acyclic.
+_LAZY = {
+    "ExecPool": "repro.execpool.pool",
+    "PoolWorker": "repro.execpool.pool",
+    "get_pool": "repro.execpool.pool",
+    "shutdown_pool": "repro.execpool.pool",
+    "ExecJob": "repro.execpool.protocol",
+    "WorkerReply": "repro.execpool.protocol",
+    "classify_worker_death": "repro.execpool.protocol",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+__all__ = [
+    "EXEC_MODES",
+    "PoolConfig",
+    "pool_config_from_env",
+    "resolve_exec_mode",
+    "resolve_memory_mb",
+    "ExecPool",
+    "PoolWorker",
+    "get_pool",
+    "shutdown_pool",
+    "ExecJob",
+    "WorkerReply",
+    "classify_worker_death",
+]

@@ -1,0 +1,240 @@
+"""Adversarial pipeline corpus + the pool containment soak.
+
+Each entry is a hostile ``run_pipeline`` script exercising one way a
+generated pipeline can attack the orchestrator: spin forever, allocate
+gigabytes, tear the interpreter down (``sys.exit`` / ``os._exit``),
+segfault through ctypes, or flood stdout.  The pool must *contain* every
+one of them — the orchestrator survives, the failure is classified onto
+the RE taxonomy, and the worker is recycled where it died — while clean
+pipelines stay bit-identical to in-process execution.
+
+:func:`run_adversarial_soak` is the CLI/CI gate
+(``repro soak --adversarial --exec-mode pool``): N seeded executions
+drawing variants from a :func:`~repro.llm.rand.stable_hash` schedule.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any
+
+import numpy as np
+
+from repro.generation.errors import ERROR_TYPES
+from repro.llm.rand import stable_hash
+from repro.table.table import Table
+
+__all__ = [
+    "ADVERSARIAL_PIPELINES",
+    "CLEAN_PIPELINE",
+    "adversarial_tables",
+    "pick_variant",
+    "run_adversarial_soak",
+]
+
+#: A well-behaved pipeline used for parity checks inside the soak.
+CLEAN_PIPELINE = '''
+import numpy as np
+
+
+def run_pipeline(train, test):
+    x = np.asarray([float(v) for v in train["x"]])
+    acc = float(np.clip(x.mean() / (abs(x).max() + 1.0) + 0.5, 0.0, 1.0))
+    return {
+        "train_accuracy": acc,
+        "test_accuracy": acc,
+        "model": "MeanClip",
+        "n_features": 1,
+    }
+'''
+
+#: name -> (script, expected RE-taxonomy error types)
+ADVERSARIAL_PIPELINES: dict[str, tuple[str, tuple[str, ...]]] = {
+    # pure-Python spin: the in-worker SIGALRM budget interrupts it
+    "hang": (
+        '''
+def run_pipeline(train, test):
+    while True:
+        pass
+''',
+        ("no_convergence",),
+    ),
+    # C-blocked sleep that swallows the alarm once, then spins: the
+    # worker-side budget re-raises / the parent SIGKILLs at grace
+    "stubborn_hang": (
+        '''
+import time
+
+
+def run_pipeline(train, test):
+    while True:
+        try:
+            time.sleep(60)
+        except BaseException:
+            pass
+''',
+        ("no_convergence",),
+    ),
+    # ~2 GB allocation: RLIMIT_AS turns it into an in-pipeline
+    # MemoryError (classified resource_limit), never an orchestrator OOM
+    "bigalloc": (
+        '''
+import numpy as np
+
+
+def run_pipeline(train, test):
+    hog = np.ones(2 * 1024**3 // 8, dtype=np.float64)
+    return {"test_accuracy": float(hog[0])}
+''',
+        ("resource_limit",),
+    ),
+    # interpreter teardown the polite way: BaseException, caught in-worker
+    "sys_exit": (
+        '''
+import sys
+
+
+def run_pipeline(train, test):
+    sys.exit(3)
+''',
+        ("no_convergence",),
+    ),
+    # interpreter teardown the hard way: no exception, the process is gone
+    "os_exit": (
+        '''
+import os
+
+
+def run_pipeline(train, test):
+    os._exit(7)
+''',
+        ("no_convergence",),
+    ),
+    # native crash: dereference NULL through ctypes
+    "segfault": (
+        '''
+import ctypes
+
+
+def run_pipeline(train, test):
+    ctypes.string_at(0)
+''',
+        ("no_convergence", "resource_limit"),
+    ),
+    # stdout flood: must not corrupt the worker protocol stream
+    "flood": (
+        '''
+def run_pipeline(train, test):
+    for _ in range(2000):
+        print("x" * 65536)
+    raise RuntimeError("flooded")
+''',
+        ("no_convergence",),
+    ),
+}
+
+_VARIANT_ORDER = tuple(ADVERSARIAL_PIPELINES) + ("clean",)
+
+
+def adversarial_tables(seed: int = 0, rows: int = 64) -> tuple[Table, Table]:
+    """Small deterministic train/test tables for the soak executions."""
+    rng = np.random.default_rng(seed)
+    def make(n: int, salt: int) -> Table:
+        rng_local = np.random.default_rng(seed * 1000 + salt)
+        return Table.from_dict({
+            "x": rng_local.normal(size=n),
+            "y": rng_local.choice(["p", "n"], size=n).tolist(),
+        })
+    del rng
+    return make(rows, 1), make(max(8, rows // 3), 2)
+
+
+def pick_variant(seed: int) -> str:
+    """Deterministic hostile/clean mix (clean seeds anchor the parity check)."""
+    return _VARIANT_ORDER[
+        stable_hash("adversarial-soak", seed) % len(_VARIANT_ORDER)
+    ]
+
+
+def run_adversarial_soak(
+    seeds: int = 50,
+    timeout_seconds: float = 2.0,
+    memory_mb: int = 512,
+    exec_mode: str = "pool",
+    verbose: bool = True,
+) -> int:
+    """Execute ``seeds`` adversarial/clean pipelines under the pool.
+
+    Asserts, per seed: the orchestrator survives (no exception escapes
+    ``execute_pipeline_code``), hostile failures classify into the
+    expected RE-taxonomy types, and clean pipelines return results
+    identical to in-process execution.  Returns a process exit code.
+    """
+    from repro.generation.executor import execute_pipeline_code
+
+    failures: list[tuple[int, str]] = []
+    by_variant: dict[str, int] = {}
+    for seed in range(seeds):
+        variant = pick_variant(seed)
+        by_variant[variant] = by_variant.get(variant, 0) + 1
+        train, test = adversarial_tables(seed)
+        if variant == "clean":
+            code, expected = CLEAN_PIPELINE, ()
+        else:
+            code, expected = ADVERSARIAL_PIPELINES[variant]
+        try:
+            result = execute_pipeline_code(
+                code, train, test,
+                timeout_seconds=timeout_seconds,
+                mode=exec_mode,
+                memory_mb=memory_mb,
+            )
+        except Exception as exc:  # noqa: BLE001 - any escape is the failure
+            failures.append(
+                (seed, f"{variant}: escaped {type(exc).__name__}: {exc}")
+            )
+            if verbose:
+                print(f"seed {seed:3d}: {variant:13s} ESCAPED "
+                      f"{type(exc).__name__}: {exc}")
+            continue
+        note = ""
+        if variant == "clean":
+            if not result.success:
+                failures.append((seed, f"clean pipeline failed: {result.error}"))
+                note = "  [clean FAILED]"
+            else:
+                inproc = execute_pipeline_code(
+                    code, train, test,
+                    timeout_seconds=timeout_seconds, mode="inproc",
+                )
+                if result.metrics != inproc.metrics:
+                    failures.append((seed, "clean parity mismatch: "
+                                     f"{result.metrics} != {inproc.metrics}"))
+                    note = "  [parity MISMATCH]"
+        else:
+            if result.success:
+                failures.append((seed, f"{variant} was not contained"))
+                note = "  [NOT CONTAINED]"
+            elif result.error is None or (
+                result.error.error_type.name not in ERROR_TYPES
+            ):
+                failures.append((seed, f"{variant} left no classified error"))
+                note = "  [UNCLASSIFIED]"
+            elif expected and result.error.error_type.name not in expected:
+                failures.append((
+                    seed,
+                    f"{variant} classified {result.error.error_type.name}, "
+                    f"expected one of {expected}",
+                ))
+                note = "  [MISCLASSIFIED]"
+        if verbose:
+            status = "ok" if result.success else (
+                result.error.error_type.name if result.error else "?"
+            )
+            print(f"seed {seed:3d}: {variant:13s} -> {status}{note}")
+    mix = ", ".join(f"{k}={v}" for k, v in sorted(by_variant.items()))
+    print(f"\nadversarial soak: {seeds} seeds @ exec_mode={exec_mode} "
+          f"({mix}) -> {len(failures)} failures")
+    for seed, why in failures:
+        print(f"  seed {seed}: {why}", file=sys.stderr)
+    return 1 if failures else 0

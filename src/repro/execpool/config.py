@@ -1,0 +1,111 @@
+"""Execution-mode and pool configuration (env-resolvable, import-light).
+
+This module is imported by :mod:`repro.generation.executor` at module
+load, so it must not import anything from the executor side — it only
+reads environment variables and holds the :class:`PoolConfig` value
+object.  The knobs:
+
+- ``REPRO_EXEC_MODE``            — ``inproc`` (default) | ``pool``
+- ``REPRO_EXEC_MEMORY_MB``       — per-execution address-space soft
+  limit applied inside pool workers (unset = unlimited)
+- ``REPRO_EXEC_POOL_SIZE``       — max warm workers (default: CPU count)
+- ``REPRO_EXEC_MAX_JOBS_PER_WORKER`` — recycle a worker after N jobs
+- ``REPRO_EXEC_KILL_GRACE``      — extra seconds past the wall-clock
+  budget before the parent SIGKILLs an unresponsive worker
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = [
+    "EXEC_MODES",
+    "MODE_ENV",
+    "MEMORY_ENV",
+    "PoolConfig",
+    "resolve_exec_mode",
+    "resolve_memory_mb",
+    "pool_config_from_env",
+]
+
+EXEC_MODES = ("inproc", "pool")
+
+MODE_ENV = "REPRO_EXEC_MODE"
+MEMORY_ENV = "REPRO_EXEC_MEMORY_MB"
+_POOL_SIZE_ENV = "REPRO_EXEC_POOL_SIZE"
+_MAX_JOBS_ENV = "REPRO_EXEC_MAX_JOBS_PER_WORKER"
+_KILL_GRACE_ENV = "REPRO_EXEC_KILL_GRACE"
+
+
+def resolve_exec_mode(mode: str | None = None) -> str:
+    """Normalize an execution mode: explicit arg > ``$REPRO_EXEC_MODE`` >
+    ``inproc``.  Raises ``ValueError`` on anything else."""
+    if mode is None:
+        mode = os.environ.get(MODE_ENV, "").strip().lower() or "inproc"
+    if mode not in EXEC_MODES:
+        raise ValueError(
+            f"unknown exec mode {mode!r}; expected one of {EXEC_MODES}"
+        )
+    return mode
+
+
+def resolve_memory_mb(memory_mb: int | None = None) -> int | None:
+    """Per-execution memory cap: explicit arg > ``$REPRO_EXEC_MEMORY_MB``
+    > unlimited (``None``).  ``0`` or negative also means unlimited."""
+    if memory_mb is None:
+        env = os.environ.get(MEMORY_ENV, "").strip()
+        if not env:
+            return None
+        try:
+            memory_mb = int(env)
+        except ValueError:
+            return None
+    return memory_mb if memory_mb > 0 else None
+
+
+def _int_env(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+def _float_env(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Sizing and containment knobs for one :class:`~repro.execpool.pool.\
+ExecPool`."""
+
+    size: int = 0  # 0 = one worker per CPU core
+    memory_mb: int | None = None  # default per-execution RLIMIT_AS (soft)
+    max_jobs_per_worker: int = 64  # recycle cadence (leak containment)
+    kill_grace_seconds: float = 1.0  # past-budget slack before SIGKILL
+    spawn_timeout_seconds: float = 60.0  # worker must report ready by then
+
+    def resolved_size(self) -> int:
+        if self.size > 0:
+            return self.size
+        return os.cpu_count() or 1
+
+
+def pool_config_from_env() -> PoolConfig:
+    """The default pool configuration (the ``get_pool()`` singleton's)."""
+    return PoolConfig(
+        size=_int_env(_POOL_SIZE_ENV, 0),
+        memory_mb=resolve_memory_mb(None),
+        max_jobs_per_worker=max(1, _int_env(_MAX_JOBS_ENV, 64)),
+        kill_grace_seconds=max(0.1, _float_env(_KILL_GRACE_ENV, 1.0)),
+    )

@@ -167,6 +167,8 @@ def run_catdb(
     max_retries: int | None = None,
     llm_timeout: float | None = None,
     exec_timeout: float | None = None,
+    exec_mode: str | None = None,
+    exec_memory_mb: int | None = None,
     retry_base_delay: float = 0.05,
     breaker: CircuitBreaker | None = None,
 ) -> GenerationReport:
@@ -180,7 +182,9 @@ def run_catdb(
     The resilience knobs (``fault_rate``, ``max_retries``, ``llm_timeout``,
     ``exec_timeout``, ``breaker``) assemble the
     FlakyLLM/ResilientLLM transport stack and the executor's wall-clock
-    budget; all defaults leave the legacy bit-identical MockLLM path.
+    budget; ``exec_mode="pool"`` moves pipeline execution into isolated
+    subprocess workers (``exec_memory_mb`` caps each one's address
+    space).  All defaults leave the legacy bit-identical MockLLM path.
     """
     llm = build_client(
         llm_name, seed=seed, fault_injection=fault_injection,
@@ -193,12 +197,14 @@ def run_catdb(
             llm, alpha=alpha, combination=combination,
             max_fix_attempts=max_fix_attempts,
             exec_timeout_seconds=exec_timeout,
+            exec_mode=exec_mode, exec_memory_mb=exec_memory_mb,
         )
     else:
         generator = CatDBChain(
             llm, beta=beta, alpha=alpha, combination=combination,
             max_fix_attempts=max_fix_attempts,
             exec_timeout_seconds=exec_timeout,
+            exec_mode=exec_mode, exec_memory_mb=exec_memory_mb,
         )
     with run_session(
         "catdb", dataset=prepared.name, llm=llm_name,
@@ -209,6 +215,7 @@ def run_catdb(
             "fault_injection": fault_injection,
             "fault_rate": fault_rate, "max_retries": max_retries,
             "llm_timeout": llm_timeout, "exec_timeout": exec_timeout,
+            "exec_mode": exec_mode,
         },
     ) as session:
         report = generator.generate(

@@ -11,6 +11,16 @@ traceback for the error-correction prompt.
 POSIX main thread, async-exception thread mode elsewhere); a pipeline
 that loops or sleeps forever is killed at the budget and reported as a
 runtime :class:`~repro.generation.errors.PipelineError`, never a hang.
+
+``mode`` selects the trust boundary: ``"inproc"`` (default) runs the
+script in this interpreter, ``"pool"`` ships it to a warm subprocess
+worker (:mod:`repro.execpool`) with per-execution RSS/CPU rlimits and
+SIGKILL-on-timeout, so OOM/segfault/``os._exit``/infinite-loop pipelines
+are reaped and classified instead of taking down the orchestrator.
+Clean pipelines return identical results in both modes (the pool worker
+runs the same implementation; only the transport differs) — the parity
+contract ``tests/test_execpool.py`` pins.  ``mode=None`` consults
+``$REPRO_EXEC_MODE``.
 """
 
 from __future__ import annotations
@@ -20,6 +30,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.execpool.config import resolve_exec_mode, resolve_memory_mb
 from repro.generation.errors import ERROR_TYPES, PipelineError, classify_exception
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
@@ -93,20 +104,37 @@ def execute_pipeline_code(
     filename: str = "<pipeline>",
     timeout_seconds: float | None = None,
     timeout_mode: str = "auto",
+    mode: str | None = None,
+    memory_mb: int | None = None,
 ) -> ExecutionResult:
     """Compile and run the script; never raises, always classifies.
 
     ``timeout_seconds`` bounds the script's wall-clock runtime (see the
-    module docstring); ``timeout_mode`` selects the enforcement mechanism
-    (``"auto"`` | ``"signal"`` | ``"thread"``).
+    module docstring); ``timeout_mode`` selects the in-process
+    enforcement mechanism (``"auto"`` | ``"signal"`` | ``"thread"``).
+    ``mode`` picks the execution backend (``"inproc"`` | ``"pool"``;
+    ``None`` = ``$REPRO_EXEC_MODE`` or in-process) and ``memory_mb`` caps
+    the pool worker's address space for this execution (``None`` =
+    ``$REPRO_EXEC_MEMORY_MB`` or unlimited; ignored in-process).
     """
+    resolved_mode = resolve_exec_mode(mode)
     with get_tracer().span(
-        "execute.pipeline", rows=train.n_rows, cols=train.n_cols
+        "execute.pipeline", rows=train.n_rows, cols=train.n_cols,
+        mode=resolved_mode,
     ) as span:
-        result = _execute_pipeline_code_impl(
-            code, train, test, filename,
-            timeout_seconds=timeout_seconds, timeout_mode=timeout_mode,
-        )
+        if resolved_mode == "pool":
+            from repro.execpool.pool import get_pool
+
+            result = get_pool().execute(
+                code, train, test, filename=filename,
+                timeout_seconds=timeout_seconds,
+                memory_mb=resolve_memory_mb(memory_mb),
+            )
+        else:
+            result = _execute_pipeline_code_impl(
+                code, train, test, filename,
+                timeout_seconds=timeout_seconds, timeout_mode=timeout_mode,
+            )
         span.set(success=result.success)
         metrics = get_metrics()
         metrics.inc("execute.runs")

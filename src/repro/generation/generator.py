@@ -120,6 +120,8 @@ class _GeneratorBase:
         library_policy: "LibraryPolicy | None" = None,
         exec_timeout_seconds: float | None = None,
         exec_timeout_mode: str = "auto",
+        exec_mode: str | None = None,
+        exec_memory_mb: int | None = None,
         static_gate: bool = True,
     ) -> None:
         self.llm = llm
@@ -132,6 +134,11 @@ class _GeneratorBase:
         self.library_policy = library_policy
         self.exec_timeout_seconds = exec_timeout_seconds
         self.exec_timeout_mode = exec_timeout_mode
+        # "inproc" | "pool" | None ($REPRO_EXEC_MODE): pool mode runs
+        # every candidate in an isolated subprocess worker, so hostile
+        # generated code cannot take the repair loop down with it
+        self.exec_mode = exec_mode
+        self.exec_memory_mb = exec_memory_mb
         # when on, statically-dirty code routes to repair without paying
         # an execution; off reproduces the execute-everything behaviour
         # (kept togglable for the exec-skip benchmark)
@@ -174,6 +181,8 @@ class _GeneratorBase:
             code, train, test,
             timeout_seconds=self.exec_timeout_seconds,
             timeout_mode=self.exec_timeout_mode,
+            mode=self.exec_mode,
+            memory_mb=self.exec_memory_mb,
         )
 
     def _analyze(

@@ -1,0 +1,141 @@
+"""Observability fencing for abandonable worker threads.
+
+Thread-mode execution timeouts (``run_with_timeout(mode="thread")``)
+inject :class:`~repro.resilience.deadline.ExecutionTimeout` into the
+worker, but a worker stuck in a C call — or one that swallows
+``BaseException`` — survives the grace period and is *abandoned*: the
+daemon thread keeps running until process exit while the orchestrator
+moves on, possibly into a different run's session.
+
+Two failure modes follow, and :class:`ObsFence` fixes both:
+
+1. **Lost emissions** (mode-parity bug): a plain worker thread starts
+   with a fresh contextvars context, so its spans/metrics land in the
+   null sinks instead of the caller's session.  ``ObsFence.wrap``
+   captures the caller's tracer/metrics (and current span, for correct
+   nesting) and installs them in the worker's copied context.
+2. **Late emissions** (cross-run corruption): once the caller gives up
+   on the worker, anything the zombie emits later must not land in a
+   session it no longer belongs to.  The captured tracer/metrics are
+   installed behind fenced proxies; ``seal()`` flips a
+   ``threading.Event`` and every subsequent emission from the abandoned
+   worker is dropped.
+
+Spans the worker opened *before* the seal stay in the run that started
+them (they were recorded at open time); sealing only stops new spans,
+counters, gauges, and histogram observations.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+from typing import Any, Callable, TypeVar
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+)
+from repro.obs.trace import NULL_TRACER, Span, Tracer, get_tracer, set_tracer
+
+__all__ = ["FencedMetrics", "FencedTracer", "ObsFence"]
+
+T = TypeVar("T")
+
+
+class FencedMetrics(MetricsRegistry):
+    """Delegates to the captured registry until the fence seals."""
+
+    def __init__(self, inner: MetricsRegistry, fence: threading.Event) -> None:
+        super().__init__()
+        self._inner = inner
+        self._fence = fence
+
+    def inc(self, name: str, value: float = 1, **labels: Any) -> None:
+        if not self._fence.is_set():
+            self._inner.inc(name, value, **labels)
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        if not self._fence.is_set():
+            self._inner.gauge(name, value, **labels)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        if not self._fence.is_set():
+            self._inner.observe(name, value, **labels)
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        return self._inner.counter_value(name, **labels)
+
+    def snapshot(self) -> dict[str, Any]:
+        return self._inner.snapshot()
+
+
+class FencedTracer(Tracer):
+    """Delegates to the captured tracer until the fence seals."""
+
+    def __init__(self, inner: Tracer, fence: threading.Event) -> None:
+        super().__init__()
+        self._inner = inner
+        self._fence = fence
+        self.enabled = inner.enabled
+
+    def span(self, name: str, **attrs: Any) -> Any:
+        if self._fence.is_set():
+            return NULL_TRACER.span(name)
+        return self._inner.span(name, **attrs)
+
+    def attach(self, parent: Span | None) -> Any:
+        if self._fence.is_set():
+            return NULL_TRACER.attach(parent)
+        return self._inner.attach(parent)
+
+    def current(self) -> Span | None:
+        if self._fence.is_set():
+            return None
+        return self._inner.current()
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return self._inner.to_dicts()
+
+
+class ObsFence:
+    """One-shot fence between a worker thread and its caller's session."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    @property
+    def sealed(self) -> bool:
+        return self._event.is_set()
+
+    def seal(self) -> None:
+        """Cut the worker off: every later emission through the fence drops."""
+        self._event.set()
+
+    def wrap(self, fn: Callable[[], T]) -> Callable[[], T]:
+        """A zero-arg callable running ``fn`` behind this fence.
+
+        Must be called on the *caller's* thread: it snapshots the active
+        tracer/metrics and current span there, then runs ``fn`` in a
+        copied context with the fenced proxies installed, the worker's
+        spans nesting under the caller's current span.  When
+        observability is off entirely, ``fn`` is returned unchanged.
+        """
+        tracer = get_tracer()
+        metrics = get_metrics()
+        if tracer is NULL_TRACER and metrics is NULL_METRICS:
+            return fn
+        parent = tracer.current()
+        fenced_tracer = FencedTracer(tracer, self._event)
+        fenced_metrics = FencedMetrics(metrics, self._event)
+        ctx = contextvars.copy_context()
+
+        def _runner() -> T:
+            set_tracer(fenced_tracer)
+            set_metrics(fenced_metrics)
+            with fenced_tracer.attach(parent):
+                return fn()
+
+        return lambda: ctx.run(_runner)

@@ -15,7 +15,11 @@ the mechanism behind ``--exec-timeout`` for generated-pipeline execution:
   generated pipelines' failure mode) between bytecodes; a worker stuck in
   a C call cannot be interrupted, so after a short grace period the worker
   is abandoned (daemon threads die with the process) and the timeout is
-  reported anyway — the caller never hangs.
+  reported anyway — the caller never hangs.  The worker runs behind an
+  :class:`~repro.obs.fence.ObsFence`: it inherits the caller's
+  tracer/metrics (emission parity with signal mode) and, once abandoned,
+  is sealed off so the zombie thread cannot emit spans or metrics into
+  whatever run is active later.
 - ``"auto"`` picks ``"signal"`` when available, else ``"thread"``.
 """
 
@@ -118,13 +122,21 @@ def _async_raise(thread_id: int, exc_type: type[BaseException]) -> None:
 def _run_with_thread(
     fn: Callable[[], T], seconds: float, grace_seconds: float = 1.0
 ) -> T:
+    from repro.obs.fence import ObsFence
+
     outcome: dict[str, Any] = {}
     started = threading.Event()
+    # the fence gives the worker the caller's tracer/metrics (parity with
+    # signal mode, where fn runs on the caller's own context) and, if the
+    # worker has to be abandoned, cuts it off so a zombie thread cannot
+    # emit into whatever run is active later
+    fence = ObsFence()
+    run = fence.wrap(fn)
 
     def _target() -> None:
         started.set()
         try:
-            outcome["result"] = fn()
+            outcome["result"] = run()
         except BaseException as exc:  # noqa: BLE001 - re-raised in the caller
             outcome["error"] = exc
 
@@ -141,9 +153,12 @@ def _run_with_thread(
         while worker.is_alive() and time.monotonic() < grace_deadline:
             _async_raise(worker.ident or 0, ExecutionTimeout)
             worker.join(0.02)
+        abandoned = worker.is_alive()
+        if abandoned:
+            fence.seal()
         raise ExecutionTimeout(
             f"execution exceeded its {seconds:g}s wall-clock budget"
-            + (" (worker abandoned)" if worker.is_alive() else "")
+            + (" (worker abandoned)" if abandoned else "")
         )
     if "error" in outcome:
         raise outcome["error"]

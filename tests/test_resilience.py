@@ -299,6 +299,76 @@ class TestRunWithTimeout:
         # the taxonomy must classify budget exhaustion as an RE-group error
         assert issubclass(ExecutionTimeout, RuntimeError)
 
+    def test_thread_mode_worker_emits_into_caller_session(self):
+        # emission parity with signal mode: the worker thread inherits the
+        # caller's metrics registry and tracer through the ObsFence
+        from repro.obs.trace import Tracer, set_tracer
+
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        prev_metrics = set_metrics(registry)
+        prev_tracer = set_tracer(tracer)
+        try:
+            def work():
+                from repro.obs.metrics import get_metrics
+                from repro.obs.trace import get_tracer
+
+                with get_tracer().span("worker.step"):
+                    get_metrics().inc("worker.live")
+                return "done"
+
+            assert run_with_timeout(work, 5.0, mode="thread") == "done"
+        finally:
+            set_metrics(prev_metrics)
+            set_tracer(prev_tracer)
+        assert registry.counter_value("worker.live") == 1
+        assert [s.name for s in tracer.spans] == ["worker.step"]
+
+    def test_abandoned_worker_obs_emissions_are_fenced(self):
+        # regression: a worker that survives async-exception injection
+        # (stuck in a C call, swallowing BaseException) is abandoned after
+        # grace -- anything the zombie emits afterwards must NOT land in
+        # the session of whatever run is active by then
+        import threading
+
+        from repro.obs.trace import Tracer, set_tracer
+
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        release = threading.Event()
+        emitted = threading.Event()
+
+        def zombie():
+            from repro.obs.metrics import get_metrics
+            from repro.obs.trace import get_tracer
+
+            # simulate "stuck in C": swallow every injected exception
+            while not release.is_set():
+                try:
+                    time.sleep(0.01)
+                except BaseException:  # noqa: BLE001
+                    pass
+            # the late emission, after the caller gave up on us
+            get_metrics().inc("zombie.late")
+            with get_tracer().span("zombie.late"):
+                pass
+            emitted.set()
+
+        prev_metrics = set_metrics(registry)
+        prev_tracer = set_tracer(tracer)
+        try:
+            with pytest.raises(ExecutionTimeout) as info:
+                run_with_timeout(zombie, 0.2, mode="thread",
+                                 grace_seconds=0.2)
+        finally:
+            set_metrics(prev_metrics)
+            set_tracer(prev_tracer)
+        assert "abandoned" in str(info.value)
+        release.set()
+        assert emitted.wait(5.0), "zombie never reached its late emission"
+        assert registry.counter_value("zombie.late") == 0
+        assert all(s.name != "zombie.late" for s in tracer.spans)
+
 
 # ---------------------------------------------------------------------------
 # CircuitBreaker
