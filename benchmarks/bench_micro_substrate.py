@@ -247,6 +247,34 @@ def test_micro_static_analysis(benchmark):
     assert report.ok
 
 
+def test_micro_static_analysis_flow_catalog(benchmark):
+    """Flow-sensitive analysis of one pipeline, schema grounding on.
+
+    The expensive configuration: per-scope CFG construction, the
+    reaching-definitions/definite-assignment fixpoints, provenance-taint
+    propagation, and the catalog-grounded ``schema-*`` rules all run.
+    This is the bench job's analyzer gate — ``make_bench_report.py
+    --max-analyzer-ms 15`` fails CI when the mean pass exceeds 15 ms,
+    keeping the gate negligible next to an execution attempt (compare
+    ``test_micro_pipeline_execution``).
+    """
+    from repro.analysis import analyze_source
+
+    table = _wide_table()
+    catalog = profile_table(table, target="y", task_type="binary")
+    plan = build_prompt_plan(catalog, beta=1)
+    payload = {
+        "task": "pipeline",
+        "dataset": catalog.info.to_dict(),
+        "schema": plan._full_schema,
+        "rules": [r.to_payload() for r in plan.rules],
+    }
+    code = generate_pipeline_code(payload, get_profile("gpt-4o"))
+
+    report = benchmark(lambda: analyze_source(code, catalog=catalog))
+    assert report.ok
+
+
 def test_micro_repair_loop_exec_skip_on(benchmark):
     """Repair-loop cost with the static gate ON for a syntax-faulted
     candidate: classification happens without executing the pipeline."""

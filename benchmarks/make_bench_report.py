@@ -11,9 +11,12 @@ the perf-trajectory sections (``profile``, ``runner``, ``streaming``,
 This is also the bench job's gate: warm pool-mode execution of the
 clean generated pipeline (``test_execpool_pool_clean_warm``) must cost
 at most ``--max-pool-overhead`` times (default 2x) the in-process run
-(``test_execpool_inproc_clean``).  Exits non-zero when the ratio is
-exceeded *or* when either side is missing — a gate that cannot measure
-is a failure, not a pass.
+(``test_execpool_inproc_clean``), and — when ``--max-analyzer-ms`` is
+given — the flow-sensitive static-analysis pass with schema grounding
+(``test_micro_static_analysis_flow_catalog``) must average under that
+many milliseconds per pipeline.  Exits non-zero when a limit is
+exceeded *or* when a gated benchmark is missing — a gate that cannot
+measure is a failure, not a pass.
 """
 
 from __future__ import annotations
@@ -25,8 +28,10 @@ from typing import Any
 
 POOL_BENCH = "test_execpool_pool_clean_warm"
 INPROC_BENCH = "test_execpool_inproc_clean"
+ANALYZER_BENCH = "test_micro_static_analysis_flow_catalog"
 
 _SECTION_RULES = (
+    ("analysis", ("static_analysis",)),
     ("execpool", ("execpool",)),
     ("streaming", ("streaming",)),
     ("runner", ("runner",)),
@@ -108,6 +113,32 @@ def check_pool_overhead(
     return ratio <= max_ratio, verdict
 
 
+def check_analyzer_latency(
+    report: dict[str, Any], max_ms: float
+) -> tuple[bool, str]:
+    by_name = {
+        entry["name"]: entry
+        for entry in report["sections"].get("analysis", [])
+    }
+    bench = by_name.get(ANALYZER_BENCH)
+    if bench is None:
+        return False, (
+            f"gate unmeasurable: need {ANALYZER_BENCH!r} in the "
+            f"analysis section (got {sorted(by_name)})"
+        )
+    mean_ms = bench["mean_s"] * 1000
+    verdict = (
+        f"analyzer pass: {mean_ms:.2f} ms mean per pipeline "
+        f"(limit {max_ms:g} ms)"
+    )
+    report["analyzer_gate"] = {
+        "mean_ms": mean_ms,
+        "max_ms": max_ms,
+        "passed": mean_ms <= max_ms,
+    }
+    return mean_ms <= max_ms, verdict
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("inputs", nargs="+",
@@ -116,14 +147,27 @@ def main(argv: list[str] | None = None) -> int:
                         help="consolidated report path")
     parser.add_argument("--max-pool-overhead", type=float, default=2.0,
                         help="fail when pool/inproc mean ratio exceeds this")
+    parser.add_argument("--max-analyzer-ms", type=float, default=None,
+                        help="fail when the flow-sensitive analyzer pass "
+                             "mean exceeds this many milliseconds")
     parser.add_argument("--no-gate", action="store_true",
-                        help="collate only; skip the pool-overhead gate")
+                        help="collate only; skip all gates")
     args = parser.parse_args(argv)
 
     report = build_report(args.inputs)
-    ok, verdict = True, "gate skipped"
-    if not args.no_gate:
-        ok, verdict = check_pool_overhead(report, args.max_pool_overhead)
+    ok, verdicts = True, []
+    if args.no_gate:
+        verdicts.append("gates skipped")
+    else:
+        pool_ok, verdict = check_pool_overhead(
+            report, args.max_pool_overhead
+        )
+        ok, verdicts = ok and pool_ok, verdicts + [verdict]
+        if args.max_analyzer_ms is not None:
+            analyzer_ok, verdict = check_analyzer_latency(
+                report, args.max_analyzer_ms
+            )
+            ok, verdicts = ok and analyzer_ok, verdicts + [verdict]
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -131,7 +175,7 @@ def main(argv: list[str] | None = None) -> int:
     total = sum(len(v) for v in report["sections"].values())
     for section in sorted(report["sections"]):
         print(f"  {section}: {len(report['sections'][section])} benchmarks")
-    print(f"{args.out}: {total} benchmarks, {verdict}")
+    print(f"{args.out}: {total} benchmarks, {'; '.join(verdicts)}")
     if not ok:
         print("bench gate FAILED", file=sys.stderr)
         return 1

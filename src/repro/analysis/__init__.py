@@ -8,14 +8,30 @@ errors are expensive) as a multi-pass AST analyzer:
   (module/function/class/comprehension/lambda scopes, ``global``/
   ``nonlocal``, walrus, ``AnnAssign``, ``match`` captures) replacing the
   old flat ``ast.walk`` name collection;
+- :mod:`repro.analysis.cfg` — statement-level control-flow graphs
+  (branches, loops, ``try``/``except``/``finally``, ``with``,
+  ``match``, ``break``/``continue``/``return`` edges);
+- :mod:`repro.analysis.dataflow` — flow-sensitive analyses over the
+  CFG: reaching definitions and def-use chains, definite assignment
+  (path-sensitive use-before-def), and the train/test/whole-dataset
+  provenance-taint lattice behind the alias-aware leakage rule;
 - :mod:`repro.analysis.rules` — the pluggable rule engine
   (:class:`Rule` protocol, :class:`Finding`, per-rule enable/severity
   :class:`RuleConfig`);
 - :mod:`repro.analysis.pipeline_rules` — ML-pipeline rules (data
-  leakage, banned APIs, nondeterminism, known-signature misuse);
+  leakage, use-before-def, banned APIs, nondeterminism, known-signature
+  misuse);
+- :mod:`repro.analysis.schema_rules` — catalog-grounded checks: when a
+  :class:`~repro.catalog.catalog.DataCatalog` is supplied, column
+  references, dtypes and the target column are verified against the
+  real dataset schema (with did-you-mean suggestions);
+- :mod:`repro.analysis.fixes` — the deterministic, LLM-free auto-fix
+  tier the repair loop tries before spending a model call (also
+  ``repro lint --fix``);
 - :mod:`repro.analysis.repo_rules` — the self-lint profile run over
-  ``src/repro`` (unseeded randomness, wall-clock reads, non-reentrant
-  lock re-entry — the PR-3 ``CircuitBreaker`` deadlock class);
+  ``src/repro``, ``tests`` and ``benchmarks`` in CI (unseeded
+  randomness, wall-clock reads, lock re-entry, swallowed
+  ``BaseException``, unbounded blocking waits);
 - :mod:`repro.analysis.engine` — profiles, :func:`analyze_source`,
   and the parallel :func:`lint_paths` driver behind ``repro lint``.
 
@@ -25,6 +41,15 @@ loop consumes them exactly like execution failures — without paying
 ``execute_pipeline_code``.
 """
 
+from repro.analysis.cfg import CFG, CFGNode, build_cfg, scope_cfgs
+from repro.analysis.dataflow import (
+    FitCall,
+    ModuleDataflow,
+    ScopeFlow,
+    Taint,
+    UseBeforeDef,
+    analyze_dataflow,
+)
 from repro.analysis.engine import (
     PROFILES,
     AnalysisReport,
@@ -34,22 +59,46 @@ from repro.analysis.engine import (
     lint_paths,
     render_findings,
 )
+from repro.analysis.fixes import (
+    AppliedFix,
+    FixResult,
+    FixTarget,
+    autofix,
+    fix_error,
+    fix_findings,
+)
 from repro.analysis.rules import Finding, Rule, RuleConfig, Severity
 from repro.analysis.scopes import Scope, ScopeInfo, build_scopes
 
 __all__ = [
     "AnalysisReport",
+    "AppliedFix",
+    "CFG",
+    "CFGNode",
     "FileReport",
     "Finding",
+    "FitCall",
+    "FixResult",
+    "FixTarget",
+    "ModuleDataflow",
     "PROFILES",
     "Rule",
     "RuleConfig",
     "Scope",
+    "ScopeFlow",
     "ScopeInfo",
     "Severity",
+    "Taint",
+    "UseBeforeDef",
+    "analyze_dataflow",
     "analyze_file",
     "analyze_source",
+    "autofix",
+    "build_cfg",
     "build_scopes",
+    "fix_error",
+    "fix_findings",
     "lint_paths",
     "render_findings",
+    "scope_cfgs",
 ]

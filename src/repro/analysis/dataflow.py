@@ -1,0 +1,850 @@
+"""Flow-sensitive dataflow over the statement CFG.
+
+Three classic analyses run per scope (module body and each function
+body), all as worklist fixpoints over :mod:`repro.analysis.cfg` graphs:
+
+- **Reaching definitions** (may, forward): which assignments of a name
+  can reach each program point.  Def-use chains fall out directly.
+- **Definite assignment** (must, forward): which names are bound on
+  *every* path into a program point.  A use with no reaching definition
+  is a *definite* use-before-def; a use that is reached by some
+  definition but is not definitely assigned is a *branch-dependent*
+  (maybe) use-before-def.
+- **Provenance taint**: an abstract interpretation over the lattice
+
+  ::
+
+      UNKNOWN (⊥)  <  TRAIN, TEST  <  WHOLE (⊤ = TRAIN|TEST)
+
+  seeded from ``run_pipeline``'s positional parameters (first = train
+  split, second = test split) and from train/test-ish parameter names,
+  then propagated through assignments (including tuple unpacking and
+  ``train_test_split``-style splitters), column subscripts, augmented
+  assignment, ``for``/``with`` bindings, and method calls (a call result
+  joins its receiver's and arguments' taints).  Unlike the old
+  name-substring heuristic, aliases (``full = concat(train, test)``,
+  ``X = test``) carry their provenance wherever they flow.
+
+Every ``.fit`` / ``.fit_transform`` / ``.partial_fit`` call site is
+recorded with the taint of each argument so the leakage rule can flag
+estimators fitted on test-tainted or whole-dataset-tainted data, and the
+taint of every constant-key column subscript's base is recorded for the
+catalog-grounded schema rules.
+
+Name-based fallback: a name with no tracked binding still gets TRAIN /
+TEST taint from the ``train``/``test`` naming convention, so everything
+the old heuristic caught is still caught.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import CFG, CFGNode, build_cfg
+
+__all__ = [
+    "Taint",
+    "FitCall",
+    "UseBeforeDef",
+    "ScopeFlow",
+    "ModuleDataflow",
+    "analyze_dataflow",
+    "is_trainish",
+    "is_testish",
+]
+
+
+class Taint(enum.IntFlag):
+    """Dataset-provenance lattice; join is bitwise OR."""
+
+    UNKNOWN = 0
+    TRAIN = 1
+    TEST = 2
+    WHOLE = 3  # TRAIN | TEST
+
+    def describe(self) -> str:
+        return {0: "unknown", 1: "train", 2: "test", 3: "train+test"}[int(self)]
+
+
+_FIT_METHODS = frozenset({"fit", "fit_transform", "partial_fit"})
+
+_MODULE_DUNDERS = frozenset(
+    {"__name__", "__file__", "__doc__", "__spec__", "__loader__", "__package__"}
+)
+
+
+def is_testish(name: str) -> bool:
+    low = name.lower()
+    return low == "test" or low.startswith("test_") or low.endswith("_test")
+
+
+def is_trainish(name: str) -> bool:
+    low = name.lower()
+    return low == "train" or low.startswith("train_") or low.endswith("_train")
+
+
+def _heuristic_taint(name: str) -> Taint:
+    if is_trainish(name):
+        return Taint.TRAIN
+    if is_testish(name):
+        return Taint.TEST
+    return Taint.UNKNOWN
+
+
+@dataclass(frozen=True)
+class UseBeforeDef:
+    """A load of a scope-local name before any (or every) binding."""
+
+    name: str
+    lineno: int
+    col: int
+    definite: bool  # True: unbound on every path; False: on some path
+    scope: str
+
+
+@dataclass(frozen=True)
+class FitCall:
+    """A ``.fit``-family call with the provenance of each argument."""
+
+    method: str
+    lineno: int
+    col: int
+    call: ast.Call = field(repr=False)
+    receiver: Taint = Taint.UNKNOWN
+    args: tuple[tuple[ast.expr, Taint], ...] = ()
+
+    def worst(self) -> Taint:
+        out = Taint.UNKNOWN
+        for _, taint in self.args:
+            out |= taint
+        return out
+
+
+@dataclass
+class ScopeFlow:
+    """Per-scope analysis results (module body or one function body)."""
+
+    name: str
+    cfg: CFG
+    params: tuple[str, ...]
+    bindings: frozenset[str]
+    # node index -> set of (name, defining node index); entry-index pairs
+    # stand for parameter bindings
+    reach_in: dict[int, set[tuple[str, int]]] = field(default_factory=dict)
+    # (name, use node index) -> defining node indices that reach the use
+    def_use: dict[tuple[str, int], frozenset[int]] = field(default_factory=dict)
+    taint_in: dict[int, dict[str, Taint]] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleDataflow:
+    """Whole-module results, aggregated across scopes."""
+
+    scopes: list[ScopeFlow] = field(default_factory=list)
+    fit_calls: list[FitCall] = field(default_factory=list)
+    use_before_def: list[UseBeforeDef] = field(default_factory=list)
+    # id(ast.Subscript) -> taint of the subscripted base expression
+    subscript_taints: dict[int, Taint] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# per-node facts: bound names, deleted names, uses
+# ---------------------------------------------------------------------------
+
+
+def _target_names(target: ast.AST | None) -> list[str]:
+    if target is None:
+        return []
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: list[str] = []
+        for elt in target.elts:
+            out.extend(_target_names(elt))
+        return out
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return []  # Subscript / Attribute stores bind nothing new
+
+
+def _pattern_names(pattern: ast.pattern) -> list[str]:
+    out: list[str] = []
+    for node in ast.walk(pattern):
+        if isinstance(node, ast.MatchAs) and node.name:
+            out.append(node.name)
+        elif isinstance(node, ast.MatchStar) and node.name:
+            out.append(node.name)
+        elif isinstance(node, ast.MatchMapping) and node.rest:
+            out.append(node.rest)
+    return out
+
+
+class _NameUses(ast.NodeVisitor):
+    """Collect Name loads belonging to the *current* scope.
+
+    Nested function/class/lambda bodies are separate scopes and skipped;
+    their decorators, defaults and annotations still evaluate here.
+    Comprehensions evaluate their first iterable in the current scope —
+    the rest runs in the comprehension scope and is skipped.  Walrus
+    targets bind in the current scope and are reported separately.
+    """
+
+    def __init__(self) -> None:
+        self.uses: list[ast.Name] = []
+        self.walrus: list[str] = []
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.uses.append(node)
+
+    def visit_NamedExpr(self, node: ast.NamedExpr) -> None:
+        self.walrus.append(node.target.id)
+        self.visit(node.value)
+
+    def _visit_arg_exprs(self, args: ast.arguments) -> None:
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            self.visit(default)
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            if arg.annotation is not None:
+                self.visit(arg.annotation)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        for dec in node.decorator_list:
+            self.visit(dec)
+        self._visit_arg_exprs(node.args)
+        if node.returns is not None:
+            self.visit(node.returns)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_arg_exprs(node.args)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        for dec in node.decorator_list:
+            self.visit(dec)
+        for base in node.bases:
+            self.visit(base)
+        for kw in node.keywords:
+            self.visit(kw.value)
+
+    def _visit_comp(self, node: ast.AST) -> None:
+        generators = getattr(node, "generators", [])
+        if generators:
+            self.visit(generators[0].iter)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+
+def _collect_uses(node: CFGNode) -> tuple[list[ast.Name], list[str]]:
+    visitor = _NameUses()
+    payloads: list[ast.AST] = []
+    if node.kind == "stmt" and node.stmt is not None:
+        if isinstance(node.stmt, ast.Assign):
+            visitor.visit(node.stmt.value)
+            for target in node.stmt.targets:
+                # subscript/attribute stores evaluate their base
+                if not isinstance(target, (ast.Name, ast.Tuple, ast.List)):
+                    visitor.visit(target)
+        elif isinstance(node.stmt, ast.AugAssign):
+            visitor.visit(node.stmt.value)
+            if isinstance(node.stmt.target, ast.Name):
+                visitor.uses.append(
+                    ast.copy_location(
+                        ast.Name(id=node.stmt.target.id, ctx=ast.Load()),
+                        node.stmt.target,
+                    )
+                )
+            else:
+                visitor.visit(node.stmt.target)
+        elif isinstance(node.stmt, ast.AnnAssign):
+            if node.stmt.value is not None:
+                visitor.visit(node.stmt.value)
+            visitor.visit(node.stmt.annotation)
+        else:
+            visitor.visit(node.stmt)
+        payloads = []
+    else:
+        if node.expr is not None:
+            payloads.append(node.expr)
+    for payload in payloads:
+        visitor.visit(payload)
+    return visitor.uses, visitor.walrus
+
+
+def _node_binds(
+    node: CFGNode, walrus: list[str] | None = None
+) -> tuple[list[str], list[str]]:
+    """(bound names, deleted names) for one CFG node.
+
+    ``walrus`` takes the already-collected ``:=`` bindings when the
+    caller ran :func:`_collect_uses` itself (so the facts pass visits
+    each node's expressions once, not twice).
+    """
+    gens: list[str] = []
+    dels: list[str] = []
+    if node.kind == "stmt" and node.stmt is not None:
+        stmt = node.stmt
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                gens.extend(_target_names(target))
+        elif isinstance(stmt, ast.AugAssign):
+            gens.extend(_target_names(stmt.target))
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                gens.extend(_target_names(stmt.target))
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                if alias.asname:
+                    gens.append(alias.asname)
+                elif alias.name != "*":
+                    gens.append(alias.name.split(".")[0])
+        elif isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            gens.append(stmt.name)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                dels.extend(_target_names(target))
+    elif node.kind in ("test", "withitem") and node.binds is not None:
+        gens.extend(_target_names(node.binds))
+    elif node.kind == "except" and node.handler is not None:
+        if node.handler.name:
+            gens.append(node.handler.name)
+    elif node.kind == "case" and node.binds is not None:
+        gens.extend(_pattern_names(node.binds))  # type: ignore[arg-type]
+    if walrus is None:
+        _, walrus = _collect_uses(node)
+    gens.extend(walrus)
+    return gens, dels
+
+
+@dataclass(frozen=True)
+class _NodeFacts:
+    gens: tuple[str, ...]
+    dels: tuple[str, ...]
+    uses: tuple[ast.Name, ...]
+    walrus: frozenset[str]
+
+
+def _compute_facts(cfg: CFG) -> dict[int, _NodeFacts]:
+    facts: dict[int, _NodeFacts] = {}
+    for node in cfg:
+        uses, walrus = _collect_uses(node)
+        gens, dels = _node_binds(node, walrus=walrus)
+        facts[node.index] = _NodeFacts(
+            gens=tuple(gens),
+            dels=tuple(dels),
+            uses=tuple(uses),
+            walrus=frozenset(walrus),
+        )
+    return facts
+
+
+def _declared_nonlocal(body_cfg: CFG) -> set[str]:
+    out: set[str] = set()
+    for node in body_cfg:
+        if node.kind == "stmt" and isinstance(
+            node.stmt, (ast.Global, ast.Nonlocal)
+        ):
+            out.update(node.stmt.names)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# reaching definitions + definite assignment
+# ---------------------------------------------------------------------------
+
+
+def _reaching_definitions(
+    cfg: CFG, params: tuple[str, ...], facts: dict[int, _NodeFacts]
+) -> dict[int, set[tuple[str, int]]]:
+    entry = cfg.entry.index
+    out_sets: dict[int, set[tuple[str, int]]] = {
+        n.index: set() for n in cfg
+    }
+    out_sets[entry] = {(p, entry) for p in params}
+    in_sets: dict[int, set[tuple[str, int]]] = {n.index: set() for n in cfg}
+    order = cfg.rpo()
+    changed = True
+    while changed:
+        changed = False
+        for idx in order:
+            if idx == entry:
+                continue
+            node = cfg.nodes[idx]
+            new_in: set[tuple[str, int]] = set()
+            for p in node.preds:
+                new_in |= out_sets[p]
+            gens, dels = facts[idx].gens, facts[idx].dels
+            killed = set(gens) | set(dels)
+            new_out = {d for d in new_in if d[0] not in killed}
+            new_out |= {(name, idx) for name in gens}
+            if new_in != in_sets[idx] or new_out != out_sets[idx]:
+                in_sets[idx] = new_in
+                out_sets[idx] = new_out
+                changed = True
+    return in_sets
+
+
+def _definite_assignment(
+    cfg: CFG, params: tuple[str, ...], facts: dict[int, _NodeFacts]
+) -> dict[int, set[str] | None]:
+    """Must-analysis: names bound on every path into each node.
+
+    ``None`` stands for TOP ("all names") on not-yet-visited nodes.
+    """
+    entry = cfg.entry.index
+    bound_out: dict[int, set[str] | None] = {n.index: None for n in cfg}
+    bound_in: dict[int, set[str] | None] = {n.index: None for n in cfg}
+    bound_out[entry] = set(params)
+    order = cfg.rpo()
+    changed = True
+    while changed:
+        changed = False
+        for idx in order:
+            if idx == entry:
+                continue
+            node = cfg.nodes[idx]
+            new_in: set[str] | None = None
+            for p in node.preds:
+                prev = bound_out[p]
+                if prev is None:
+                    continue
+                new_in = set(prev) if new_in is None else (new_in & prev)
+            if new_in is None:
+                continue  # no processed predecessor yet
+            gens, dels = facts[idx].gens, facts[idx].dels
+            new_out = (new_in - set(dels)) | set(gens)
+            if new_in != bound_in[idx] or new_out != bound_out[idx]:
+                bound_in[idx] = new_in
+                bound_out[idx] = new_out
+                changed = True
+    return bound_in
+
+
+# ---------------------------------------------------------------------------
+# taint abstract interpretation
+# ---------------------------------------------------------------------------
+
+
+def _splitter_name(func: ast.expr, import_aliases: dict[str, str]) -> bool:
+    """Does this call target look like a train/test splitter?"""
+    if isinstance(func, ast.Name):
+        dotted = import_aliases.get(func.id, func.id)
+        return dotted.split(".")[-1] == "train_test_split"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "train_test_split"
+    return False
+
+
+class _TaintInterp:
+    """One transfer-function evaluator; optionally records results."""
+
+    def __init__(
+        self,
+        import_aliases: dict[str, str],
+        record: ModuleDataflow | None = None,
+    ) -> None:
+        self.import_aliases = import_aliases
+        self.record = record
+
+    # -- expressions ----------------------------------------------------
+    def eval(self, expr: ast.expr | None, env: dict[str, Taint]) -> Taint:
+        if expr is None:
+            return Taint.UNKNOWN
+        if isinstance(expr, ast.Name):
+            taint = env.get(expr.id, Taint.UNKNOWN)
+            if taint is Taint.UNKNOWN:
+                taint = _heuristic_taint(expr.id)
+            return taint
+        if isinstance(expr, ast.Constant):
+            return Taint.UNKNOWN
+        if isinstance(expr, ast.Subscript):
+            base = self.eval(expr.value, env)
+            self.eval(expr.slice, env)
+            if self.record is not None:
+                self.record.subscript_taints[id(expr)] = base
+            return base
+        if isinstance(expr, ast.Attribute):
+            return self.eval(expr.value, env)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, env)
+        if isinstance(expr, ast.Lambda):
+            return Taint.UNKNOWN
+        if isinstance(
+            expr, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            taint = Taint.UNKNOWN
+            for gen in expr.generators:
+                taint |= self.eval(gen.iter, env)
+            return taint
+        # generic: join over child expressions
+        taint = Taint.UNKNOWN
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                taint |= self.eval(child, env)
+            elif isinstance(child, ast.keyword):
+                taint |= self.eval(child.value, env)
+        return taint
+
+    def _eval_call(self, call: ast.Call, env: dict[str, Taint]) -> Taint:
+        receiver = Taint.UNKNOWN
+        if isinstance(call.func, ast.Attribute):
+            receiver = self.eval(call.func.value, env)
+        arg_taints: list[tuple[ast.expr, Taint]] = []
+        for arg in call.args:
+            target = arg.value if isinstance(arg, ast.Starred) else arg
+            arg_taints.append((target, self.eval(target, env)))
+        for kw in call.keywords:
+            arg_taints.append((kw.value, self.eval(kw.value, env)))
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in _FIT_METHODS
+            and self.record is not None
+        ):
+            self.record.fit_calls.append(
+                FitCall(
+                    method=call.func.attr,
+                    lineno=call.lineno,
+                    col=call.col_offset,
+                    call=call,
+                    receiver=receiver,
+                    args=tuple(arg_taints),
+                )
+            )
+        result = receiver
+        for _, taint in arg_taints:
+            result |= taint
+        return result
+
+    # -- assignment helpers ---------------------------------------------
+    def _bind_target(
+        self, target: ast.expr, taint: Taint, env: dict[str, Taint]
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = taint
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind_target(elt, taint, env)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, taint, env)
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            # weak update: train["col"] = f(test) makes train suspect
+            base = target.value
+            while isinstance(base, (ast.Subscript, ast.Attribute)):
+                base = base.value
+            if isinstance(base, ast.Name):
+                prior = env.get(base.id, _heuristic_taint(base.id))
+                env[base.id] = prior | taint
+
+    def _assign(
+        self,
+        targets: list[ast.expr],
+        value: ast.expr,
+        env: dict[str, Taint],
+    ) -> None:
+        value_taint = self.eval(value, env)
+        for target in targets:
+            if (
+                isinstance(target, (ast.Tuple, ast.List))
+                and isinstance(value, ast.Call)
+                and _splitter_name(value.func, self.import_aliases)
+            ):
+                self._bind_split(target, value_taint, env)
+            elif isinstance(target, (ast.Tuple, ast.List)) and isinstance(
+                value, (ast.Tuple, ast.List)
+            ) and len(target.elts) == len(value.elts):
+                for t_elt, v_elt in zip(target.elts, value.elts):
+                    self._bind_target(t_elt, self.eval(v_elt, env), env)
+            else:
+                self._bind_target(target, value_taint, env)
+
+    def _bind_split(
+        self,
+        target: ast.Tuple | ast.List,
+        input_taint: Taint,
+        env: dict[str, Taint],
+    ) -> None:
+        """``a, b[, c, d] = train_test_split(X[, y])`` provenance."""
+        n = len(target.elts)
+        if input_taint in (Taint.UNKNOWN, Taint.WHOLE) and n in (2, 4):
+            pattern = [Taint.TRAIN, Taint.TEST] * (n // 2)
+            if n == 4:
+                pattern = [Taint.TRAIN, Taint.TEST, Taint.TRAIN, Taint.TEST]
+            for elt, taint in zip(target.elts, pattern):
+                self._bind_target(elt, taint, env)
+        else:
+            for elt in target.elts:
+                self._bind_target(elt, input_taint, env)
+
+    # -- node transfer --------------------------------------------------
+    def transfer(self, node: CFGNode, env: dict[str, Taint]) -> dict[str, Taint]:
+        env = dict(env)
+        if node.kind == "stmt" and node.stmt is not None:
+            stmt = node.stmt
+            if isinstance(stmt, ast.Assign):
+                self._assign(stmt.targets, stmt.value, env)
+            elif isinstance(stmt, ast.AugAssign):
+                taint = self.eval(stmt.value, env)
+                if isinstance(stmt.target, ast.Name):
+                    prior = env.get(
+                        stmt.target.id, _heuristic_taint(stmt.target.id)
+                    )
+                    env[stmt.target.id] = prior | taint
+                else:
+                    self._bind_target(stmt.target, taint, env)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                self._assign([stmt.target], stmt.value, env)
+            elif isinstance(stmt, ast.Delete):
+                for name in _target_names_many(stmt.targets):
+                    env.pop(name, None)
+            elif isinstance(
+                stmt,
+                (
+                    ast.Import,
+                    ast.ImportFrom,
+                    ast.FunctionDef,
+                    ast.AsyncFunctionDef,
+                    ast.ClassDef,
+                ),
+            ):
+                gens, _ = _node_binds(node)
+                for name in gens:
+                    env[name] = Taint.UNKNOWN
+            elif isinstance(stmt, ast.Expr):
+                self.eval(stmt.value, env)
+            elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                self.eval(stmt.value, env)
+            elif isinstance(stmt, ast.Assert):
+                self.eval(stmt.test, env)
+            elif isinstance(stmt, ast.Raise):
+                if stmt.exc is not None:
+                    self.eval(stmt.exc, env)
+        elif node.kind == "test":
+            taint = self.eval(node.expr, env)
+            if node.binds is not None:  # for-loop head: target <- iter
+                self._bind_target(node.binds, taint, env)  # type: ignore[arg-type]
+        elif node.kind == "withitem":
+            taint = self.eval(node.expr, env)
+            if node.binds is not None:
+                self._bind_target(node.binds, taint, env)  # type: ignore[arg-type]
+        elif node.kind == "except":
+            self.eval(node.expr, env)
+            if node.handler is not None and node.handler.name:
+                env[node.handler.name] = Taint.UNKNOWN
+        elif node.kind == "case":
+            self.eval(node.expr, env)
+            if node.binds is not None:
+                for name in _pattern_names(node.binds):  # type: ignore[arg-type]
+                    env[name] = Taint.UNKNOWN
+        return env
+
+
+def _target_names_many(targets: list[ast.expr]) -> list[str]:
+    out: list[str] = []
+    for target in targets:
+        out.extend(_target_names(target))
+    return out
+
+
+def _join_envs(envs: list[dict[str, Taint]]) -> dict[str, Taint]:
+    out: dict[str, Taint] = {}
+    for env in envs:
+        for name, taint in env.items():
+            out[name] = out.get(name, Taint.UNKNOWN) | taint
+    return out
+
+
+def _taint_fixpoint(
+    cfg: CFG,
+    seed: dict[str, Taint],
+    import_aliases: dict[str, str],
+) -> dict[int, dict[str, Taint]]:
+    interp = _TaintInterp(import_aliases, record=None)
+    entry = cfg.entry.index
+    out_envs: dict[int, dict[str, Taint]] = {n.index: {} for n in cfg}
+    in_envs: dict[int, dict[str, Taint]] = {n.index: {} for n in cfg}
+    out_envs[entry] = dict(seed)
+    order = cfg.rpo()
+    changed = True
+    iterations = 0
+    max_iterations = max(8, 2 * len(cfg))
+    while changed and iterations < max_iterations:
+        changed = False
+        iterations += 1
+        for idx in order:
+            if idx == entry:
+                continue
+            node = cfg.nodes[idx]
+            new_in = _join_envs([out_envs[p] for p in node.preds])
+            new_out = interp.transfer(node, new_in)
+            if new_in != in_envs[idx] or new_out != out_envs[idx]:
+                in_envs[idx] = new_in
+                out_envs[idx] = new_out
+                changed = True
+    return in_envs
+
+
+# ---------------------------------------------------------------------------
+# scope orchestration
+# ---------------------------------------------------------------------------
+
+
+def _param_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple[str, ...]:
+    args = func.args
+    names = [a.arg for a in args.posonlyargs + args.args]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    names.extend(a.arg for a in args.kwonlyargs)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return tuple(names)
+
+
+def _seed_taints(
+    scope_node: ast.AST | None,
+) -> dict[str, Taint]:
+    """Entry taint environment for one scope."""
+    if scope_node is None:
+        return {}
+    assert isinstance(scope_node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    seed: dict[str, Taint] = {}
+    positional = [
+        a.arg for a in scope_node.args.posonlyargs + scope_node.args.args
+    ]
+    if scope_node.name == "run_pipeline" and len(positional) >= 2:
+        # the pipeline contract: run_pipeline(train, test) — positional
+        # order defines provenance even when the params are renamed
+        seed[positional[0]] = Taint.TRAIN
+        seed[positional[1]] = Taint.TEST
+    for name in _param_names(scope_node):
+        if name not in seed:
+            taint = _heuristic_taint(name)
+            if taint is not Taint.UNKNOWN:
+                seed[name] = taint
+    return seed
+
+
+def _scope_use_before_def(
+    flow: ScopeFlow,
+    cfg: CFG,
+    reach_in: dict[int, set[tuple[str, int]]],
+    bound_in: dict[int, set[str] | None],
+    candidates: frozenset[str],
+    facts: dict[int, _NodeFacts],
+    result: ModuleDataflow,
+) -> None:
+    reachable = cfg.reachable()
+    for node in cfg:
+        if node.index not in reachable:
+            continue
+        uses = facts[node.index].uses
+        walrus_set = facts[node.index].walrus
+        seen_here: set[str] = set()
+        for use in uses:
+            name = use.id
+            if name not in candidates or name in walrus_set:
+                continue
+            if name in seen_here:
+                continue
+            reaching = {
+                d for (n, d) in reach_in.get(node.index, set()) if n == name
+            }
+            flow.def_use[(name, node.index)] = frozenset(reaching)
+            if not reaching:
+                seen_here.add(name)
+                result.use_before_def.append(
+                    UseBeforeDef(
+                        name=name,
+                        lineno=use.lineno,
+                        col=use.col_offset,
+                        definite=True,
+                        scope=flow.name,
+                    )
+                )
+                continue
+            bound = bound_in.get(node.index)
+            if bound is not None and name not in bound:
+                seen_here.add(name)
+                result.use_before_def.append(
+                    UseBeforeDef(
+                        name=name,
+                        lineno=use.lineno,
+                        col=use.col_offset,
+                        definite=False,
+                        scope=flow.name,
+                    )
+                )
+
+
+def analyze_dataflow(
+    tree: ast.Module,
+    import_aliases: dict[str, str] | None = None,
+) -> ModuleDataflow:
+    """Run all per-scope analyses over a parsed module."""
+    aliases = import_aliases or {}
+    result = ModuleDataflow()
+    scopes: list[tuple[ast.AST | None, CFG]] = [
+        (None, build_cfg(tree.body, "<module>"))
+    ]
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scopes.append((node, build_cfg(node.body, node.name)))
+
+    for scope_node, cfg in scopes:
+        if scope_node is None:
+            params: tuple[str, ...] = ()
+        else:
+            params = _param_names(scope_node)  # type: ignore[arg-type]
+
+        facts = _compute_facts(cfg)
+
+        # names bound anywhere in this scope = use-before-def candidates
+        all_gens: set[str] = set()
+        nonlocals = _declared_nonlocal(cfg)
+        for fact in facts.values():
+            all_gens.update(fact.gens)
+        candidates = frozenset(
+            (all_gens | set(params)) - nonlocals - _MODULE_DUNDERS
+        )
+
+        reach_in = _reaching_definitions(cfg, params, facts)
+        bound_in = _definite_assignment(cfg, params, facts)
+        seed = _seed_taints(scope_node)
+        taint_in = _taint_fixpoint(cfg, seed, aliases)
+
+        flow = ScopeFlow(
+            name=cfg.name,
+            cfg=cfg,
+            params=params,
+            bindings=candidates,
+            reach_in=reach_in,
+            taint_in=taint_in,
+        )
+        _scope_use_before_def(
+            flow, cfg, reach_in, bound_in, candidates, facts, result
+        )
+
+        # final recording pass with the fixpoint IN environments
+        recorder = _TaintInterp(aliases, record=result)
+        reachable = cfg.reachable()
+        for node in cfg:
+            if node.index in reachable and node.kind not in ("entry", "exit"):
+                recorder.transfer(node, taint_in.get(node.index, {}))
+
+        result.scopes.append(flow)
+    return result

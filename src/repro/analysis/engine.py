@@ -18,10 +18,11 @@ import ast
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.analysis.pipeline_rules import PIPELINE_RULES, VALIDATE_RULES
 from repro.analysis.repo_rules import REPO_RULES
+from repro.analysis.schema_rules import SCHEMA_RULES
 from repro.analysis.rules import (
     AnalysisContext,
     Finding,
@@ -31,6 +32,9 @@ from repro.analysis.rules import (
     run_rules,
 )
 from repro.generation.errors import ERROR_TYPES, PipelineError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.catalog.catalog import DataCatalog
 
 __all__ = [
     "PROFILES",
@@ -46,7 +50,7 @@ __all__ = [
 #: ``validate`` is the legacy structural surface, ``repo`` self-lints
 #: the substrate in CI
 PROFILES: dict[str, tuple[Rule, ...]] = {
-    "pipeline": PIPELINE_RULES,
+    "pipeline": PIPELINE_RULES + SCHEMA_RULES,
     "validate": VALIDATE_RULES,
     "repo": REPO_RULES,
 }
@@ -123,8 +127,14 @@ def analyze_source(
     profile: str = "pipeline",
     config: RuleConfig | None = None,
     filename: str = "<pipeline>",
+    catalog: "DataCatalog | None" = None,
 ) -> AnalysisReport:
-    """Parse and analyze one source string under a named profile."""
+    """Parse and analyze one source string under a named profile.
+
+    With a ``catalog``, the pipeline profile additionally grounds column
+    references, dtypes and the target column in the real dataset schema
+    (the ``schema-*`` rules no-op without one).
+    """
     rules = PROFILES[profile]
     try:
         tree = ast.parse(code)
@@ -139,7 +149,9 @@ def analyze_source(
             error_type=type_name,
         )
         return AnalysisReport(profile=profile, findings=[finding], syntax_error=True)
-    ctx = AnalysisContext(code, tree, filename=filename, profile=profile)
+    ctx = AnalysisContext(
+        code, tree, filename=filename, profile=profile, catalog=catalog
+    )
     findings = run_rules(ctx, rules, config)
     return AnalysisReport(profile=profile, findings=findings)
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 import ast
 from typing import Iterable, Iterator
 
+from repro.analysis.dataflow import Taint, is_testish, is_trainish
 from repro.analysis.rules import AnalysisContext, Finding, Severity
 from repro.analysis.signatures import (
     check_call,
@@ -35,6 +36,8 @@ __all__ = [
     "MissingImportRule",
     "BannedApiRule",
     "DataLeakageRule",
+    "UseBeforeDefRule",
+    "BranchUseBeforeDefRule",
     "NondeterminismRule",
     "SignatureRule",
     "PIPELINE_RULES",
@@ -155,7 +158,7 @@ class BannedApiRule:
     default_severity = Severity.ERROR
 
     def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if isinstance(node, (ast.Import, ast.ImportFrom)):
                 yield from self._check_import(node)
             elif isinstance(node, ast.Call):
@@ -225,74 +228,65 @@ class BannedApiRule:
 
 
 def _is_testish(name: str) -> bool:
-    return name == "test" or name.startswith("test_") or name.endswith("_test")
+    return is_testish(name)
 
 
 def _is_trainish(name: str) -> bool:
-    return name == "train" or name.startswith("train_") or name.endswith("_train")
+    return is_trainish(name)
+
+
+def _expr_label(expr: ast.AST) -> str:
+    if isinstance(expr, ast.Name):
+        return repr(expr.id)
+    try:
+        rendered = ast.unparse(expr)
+    except Exception:  # pragma: no cover - unparse is total on real ASTs
+        return "the argument"
+    if len(rendered) > 40:
+        rendered = rendered[:37] + "..."
+    return repr(rendered)
 
 
 class DataLeakageRule:
-    """Test data must never reach a ``fit``; the target is not a feature."""
+    """Test data must never reach a ``fit``; the target is not a feature.
+
+    Backed by the flow-sensitive provenance taint in
+    :mod:`repro.analysis.dataflow`: an argument whose abstract value is
+    TEST-tainted (directly, through an alias chain, or only on some
+    branch) or WHOLE-tainted (a train+test mixture, e.g. concatenated
+    before the split) is flagged — name spelling no longer matters.
+    """
 
     id = "data-leakage"
     description = "estimator/transformer fitted on test or pre-split data"
     default_severity = Severity.ERROR
 
     def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
-        provenance = self._name_provenance(ctx)
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            func = node.func
-            if not isinstance(func, ast.Attribute) or func.attr not in (
-                "fit", "fit_transform", "partial_fit"
-            ):
-                continue
-            for arg in list(node.args) + [kw.value for kw in node.keywords]:
-                if not isinstance(arg, ast.Name):
-                    continue
-                if _is_testish(arg.id):
+        for fit in ctx.dataflow.fit_calls:
+            for arg, taint in fit.args:
+                if taint is Taint.TEST:
                     yield Finding(
                         rule_id=self.id,
                         severity=self.default_severity,
-                        message=f".{func.attr}() called on test data {arg.id!r} "
+                        message=f".{fit.method}() called on test data "
+                                f"{_expr_label(arg)} "
                                 "(fit on train only, then transform test)",
-                        line=node.lineno,
+                        line=fit.lineno,
                         error_type="task_mismatch",
                     )
                     break
-                sources = provenance.get(arg.id, set())
-                if any(_is_testish(s) for s in sources) and any(
-                    _is_trainish(s) for s in sources
-                ):
+                if taint is Taint.WHOLE:
                     yield Finding(
                         rule_id=self.id,
                         severity=self.default_severity,
-                        message=f".{func.attr}() called on {arg.id!r}, which mixes "
-                                "train and test data (fit before the split leaks)",
-                        line=node.lineno,
+                        message=f".{fit.method}() called on {_expr_label(arg)}, "
+                                "which mixes train and test data "
+                                "(fit before the split leaks)",
+                        line=fit.lineno,
                         error_type="task_mismatch",
                     )
                     break
         yield from self._target_in_features(ctx)
-
-    @staticmethod
-    def _name_provenance(ctx: AnalysisContext) -> dict[str, set[str]]:
-        """One-level map: assigned name -> names read on the right side."""
-        provenance: dict[str, set[str]] = {}
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
-                continue
-            target = node.targets[0]
-            if not isinstance(target, ast.Name):
-                continue
-            sources = {
-                sub.id for sub in ast.walk(node.value)
-                if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load)
-            }
-            provenance[target.id] = sources
-        return provenance
 
     def _target_in_features(self, ctx: AnalysisContext) -> Iterator[Finding]:
         target_value: str | None = None
@@ -325,6 +319,70 @@ class DataLeakageRule:
                 )
 
 
+class UseBeforeDefRule:
+    """A scope-local name read before *any* binding can reach it.
+
+    Only names that are bound somewhere in the same scope qualify — a
+    name never bound anywhere stays a runtime ``NameError`` (the SE/RE
+    split: an unknown identifier is not statically attributable, a
+    mis-ordered local is).  Reaching definitions over the CFG make this
+    path-sensitive: a definition inside a loop body reaches later uses
+    via the back edge, one inside a dead branch does not.
+    """
+
+    id = "use-before-def"
+    description = "local name used before any assignment on every path"
+    default_severity = Severity.ERROR
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
+        for use in ctx.dataflow.use_before_def:
+            if not use.definite:
+                continue
+            where = (
+                "at module level" if use.scope == "<module>"
+                else f"in {use.scope}()"
+            )
+            yield Finding(
+                rule_id=self.id,
+                severity=self.default_severity,
+                message=f"name {use.name!r} is used before assignment {where} "
+                        "(no definition reaches this use on any path)",
+                line=use.lineno,
+                col=use.col,
+                error_type="undefined_variable",
+            )
+
+
+class BranchUseBeforeDefRule:
+    """A name bound on some paths but read where a path skips the binding.
+
+    Advisory: the unbound path may be impossible at runtime (e.g. a loop
+    guaranteed to run), so this stays a warning rather than gating.
+    """
+
+    id = "branch-use-before-def"
+    description = "local name may be unbound on some execution path"
+    default_severity = Severity.WARNING
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
+        for use in ctx.dataflow.use_before_def:
+            if use.definite:
+                continue
+            where = (
+                "at module level" if use.scope == "<module>"
+                else f"in {use.scope}()"
+            )
+            yield Finding(
+                rule_id=self.id,
+                severity=self.default_severity,
+                message=f"name {use.name!r} may be unbound {where} "
+                        "(a branch, loop or except path skips its assignment)",
+                line=use.lineno,
+                col=use.col,
+                error_type="undefined_variable",
+            )
+
+
 #: global-RNG functions on the stdlib ``random`` module
 _RANDOM_MODULE_FNS = {
     "random", "randint", "randrange", "choice", "choices", "shuffle",
@@ -343,7 +401,7 @@ class NondeterminismRule:
     default_severity = Severity.WARNING
 
     def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(node, ast.Call):
                 continue
             dotted = ctx.dotted_name(node.func)
@@ -422,9 +480,9 @@ class SignatureRule:
     default_severity = Severity.ERROR
 
     def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
-        guarded = self._guarded_nodes(ctx.tree)
+        guarded = self._guarded_nodes(ctx)
         inferred = self._inferred_types(ctx)
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(node, ast.Call) or id(node) in guarded:
                 continue
             func = node.func
@@ -461,7 +519,7 @@ class SignatureRule:
         must never fire on a variable it cannot pin down.
         """
         inferred: dict[str, str | None] = {}
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(node, ast.Assign) or len(node.targets) != 1:
                 continue
             target = node.targets[0]
@@ -486,26 +544,51 @@ class SignatureRule:
         return {k: v for k, v in inferred.items() if v is not None}
 
     @staticmethod
-    def _guarded_nodes(tree: ast.Module) -> set[int]:
-        """ids of Call nodes inside try bodies guarded by broad handlers."""
+    def _guarded_nodes(ctx: AnalysisContext) -> set[int]:
+        """ids of Call nodes inside runtime-guarded blocks.
+
+        Two guard shapes count: ``try`` bodies whose handlers catch a
+        broad exception, and ``with contextlib.suppress(...)`` bodies
+        suppressing one (``suppress`` resolved through import aliases).
+        """
         guarded: set[int] = set()
-        for node in ast.walk(tree):
-            if not isinstance(node, ast.Try):
-                continue
-            names: set[str] = set()
-            bare = False
-            for handler in node.handlers:
-                if handler.type is None:
-                    bare = True
-                else:
-                    for sub in ast.walk(handler.type):
-                        if isinstance(sub, ast.Name):
-                            names.add(sub.id)
-            if bare or names & _GUARD_EXCEPTIONS:
-                for stmt in node.body:
-                    for sub in ast.walk(stmt):
-                        if isinstance(sub, ast.Call):
-                            guarded.add(id(sub))
+
+        def guard_body(body: list[ast.stmt]) -> None:
+            for stmt in body:
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Call):
+                        guarded.add(id(sub))
+
+        for node in ctx.walk():
+            if isinstance(node, ast.Try):
+                names: set[str] = set()
+                bare = False
+                for handler in node.handlers:
+                    if handler.type is None:
+                        bare = True
+                    else:
+                        for sub in ast.walk(handler.type):
+                            if isinstance(sub, ast.Name):
+                                names.add(sub.id)
+                if bare or names & _GUARD_EXCEPTIONS:
+                    guard_body(node.body)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    expr = item.context_expr
+                    if not isinstance(expr, ast.Call):
+                        continue
+                    dotted = ctx.dotted_name(expr.func)
+                    if dotted != "contextlib.suppress":
+                        continue
+                    suppressed = {
+                        sub.id
+                        for arg in expr.args
+                        for sub in ast.walk(arg)
+                        if isinstance(sub, ast.Name)
+                    }
+                    if suppressed & _GUARD_EXCEPTIONS:
+                        guard_body(node.body)
+                        break
         return guarded
 
     def _finding(self, message: str, line: int) -> Finding:
@@ -524,6 +607,8 @@ PIPELINE_RULES = (
     MissingImportRule(),
     BannedApiRule(),
     DataLeakageRule(),
+    UseBeforeDefRule(),
+    BranchUseBeforeDefRule(),
     NondeterminismRule(),
     SignatureRule(),
 )

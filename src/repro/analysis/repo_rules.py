@@ -12,6 +12,14 @@ These encode repo invariants that unit tests cannot cheaply pin:
   This is exactly the ``CircuitBreaker.failure_rate`` deadlock class
   fixed in PR 3: ``before_call`` held ``self._lock`` and called
   ``failure_rate()``, which blocked acquiring it again.
+- ``swallowed-base-exception`` — an ``except BaseException:`` (or bare
+  ``except:``) handler that neither re-raises nor uses the bound
+  exception eats ``KeyboardInterrupt``/``SystemExit`` and the pool's
+  timeout alarms; containment code must classify-and-reraise, never
+  silently drop
+- ``unbounded-wait``    — ``.join()`` / ``.wait()`` / ``.result()``
+  with no timeout blocks forever when the peer dies; every blocking
+  wait in the substrate must carry a deadline
 
 Run with ``repro lint src/repro --profile repo``; CI fails on errors.
 """
@@ -27,6 +35,8 @@ __all__ = [
     "UnseededRandomRule",
     "WallClockRule",
     "LockReentryRule",
+    "SwallowedBaseExceptionRule",
+    "UnboundedWaitRule",
     "REPO_RULES",
 ]
 
@@ -46,7 +56,7 @@ class UnseededRandomRule:
     default_severity = Severity.ERROR
 
     def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(node, ast.Call):
                 continue
             dotted = ctx.dotted_name(node.func)
@@ -91,7 +101,7 @@ class WallClockRule:
     default_severity = Severity.WARNING
 
     def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(node, ast.Call):
                 continue
             dotted = ctx.dotted_name(node.func)
@@ -122,7 +132,7 @@ class LockReentryRule:
     default_severity = Severity.ERROR
 
     def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if isinstance(node, ast.ClassDef):
                 yield from self._check_class(ctx, node)
 
@@ -240,9 +250,122 @@ class LockReentryRule:
         return None
 
 
+class SwallowedBaseExceptionRule:
+    """``except BaseException``/bare ``except`` must not eat the exception.
+
+    ``BaseException`` covers ``KeyboardInterrupt``, ``SystemExit`` and the
+    execution pool's timeout alarms — a handler that neither re-raises
+    nor touches the bound exception turns all of them into silent
+    no-ops.  Handlers that *classify* the exception (use the ``as exc``
+    name) or re-raise on any path are fine; so is
+    ``contextlib.suppress`` of narrower exceptions, but
+    ``contextlib.suppress(BaseException)`` is flagged too.
+    """
+
+    id = "swallowed-base-exception"
+    description = "BaseException handler that neither re-raises nor inspects"
+    default_severity = Severity.ERROR
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
+        for node in ctx.walk():
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(ctx, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_suppress(ctx, node)
+
+    def _check_handler(
+        self, ctx: AnalysisContext, handler: ast.ExceptHandler
+    ) -> Iterator[Finding]:
+        if handler.type is None:
+            caught = "bare 'except:'"
+        elif ctx.dotted_name(handler.type) in ("BaseException", "builtins.BaseException"):
+            caught = "'except BaseException:'"
+        else:
+            return
+        if self._reraises(handler) or self._uses_bound_name(handler):
+            return
+        yield Finding(
+            rule_id=self.id,
+            severity=self.default_severity,
+            message=f"{caught} swallows KeyboardInterrupt/SystemExit and "
+                    "timeout alarms without re-raising or classifying "
+                    "(catch Exception, or re-raise after cleanup)",
+            line=handler.lineno,
+        )
+
+    def _check_suppress(
+        self, ctx: AnalysisContext, call: ast.Call
+    ) -> Iterator[Finding]:
+        if ctx.dotted_name(call.func) != "contextlib.suppress":
+            return
+        for arg in call.args:
+            if ctx.dotted_name(arg) in ("BaseException", "builtins.BaseException"):
+                yield Finding(
+                    rule_id=self.id,
+                    severity=self.default_severity,
+                    message="contextlib.suppress(BaseException) swallows "
+                            "KeyboardInterrupt/SystemExit and timeout alarms "
+                            "(suppress a narrower exception type)",
+                    line=call.lineno,
+                )
+                return
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(isinstance(n, ast.Raise) for n in ast.walk(handler))
+
+    @staticmethod
+    def _uses_bound_name(handler: ast.ExceptHandler) -> bool:
+        if handler.name is None:
+            return False
+        return any(
+            isinstance(n, ast.Name) and n.id == handler.name
+            for stmt in handler.body
+            for n in ast.walk(stmt)
+        )
+
+
+class UnboundedWaitRule:
+    """Blocking waits must carry a timeout.
+
+    A zero-argument ``.join()`` / ``.wait()`` / ``.result()`` blocks the
+    caller forever if the peer thread, process or future never finishes
+    — exactly the hang class the deadline/watchdog machinery exists to
+    prevent.  Any positional or keyword argument exempts the call
+    (``sep.join(parts)`` and ``q.join(...)`` never collide because
+    string joins always pass an iterable).
+    """
+
+    id = "unbounded-wait"
+    description = "blocking wait without a timeout can hang forever"
+    default_severity = Severity.ERROR
+
+    _BLOCKING = frozenset({"join", "wait", "result"})
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
+        for node in ctx.walk():
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._BLOCKING
+                and not node.args
+                and not node.keywords
+            ):
+                yield Finding(
+                    rule_id=self.id,
+                    severity=self.default_severity,
+                    message=f"'.{node.func.attr}()' without a timeout blocks "
+                            "forever if the peer never finishes (pass "
+                            "timeout=... and handle the expiry)",
+                    line=node.lineno,
+                )
+
+
 #: the self-lint profile run over ``src/repro`` in CI
 REPO_RULES = (
     UnseededRandomRule(),
     WallClockRule(),
     LockReentryRule(),
+    SwallowedBaseExceptionRule(),
+    UnboundedWaitRule(),
 )

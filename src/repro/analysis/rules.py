@@ -16,9 +16,13 @@ from __future__ import annotations
 import ast
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Any, Iterable, Protocol, runtime_checkable
 
 from repro.analysis.scopes import ScopeInfo, build_scopes
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.dataflow import ModuleDataflow
+    from repro.catalog.catalog import DataCatalog
 
 __all__ = [
     "Severity",
@@ -104,14 +108,30 @@ class AnalysisContext:
         tree: ast.Module,
         filename: str = "<pipeline>",
         profile: str = "pipeline",
+        catalog: "DataCatalog | None" = None,
     ) -> None:
         self.code = code
         self.lines = code.split("\n")
         self.tree = tree
         self.filename = filename
         self.profile = profile
+        self.catalog = catalog
         self._scopes: ScopeInfo | None = None
         self._import_aliases: dict[str, str] | None = None
+        self._dataflow: "ModuleDataflow | None" = None
+        self._nodes: tuple[ast.AST, ...] | None = None
+
+    def walk(self) -> tuple[ast.AST, ...]:
+        """All nodes of the module tree, in ``ast.walk`` order.
+
+        Flattened once and shared: every full-tree rule iterates this
+        instead of re-traversing with ``ast.walk`` — with ~a dozen such
+        rules per profile the repeated traversal was the single largest
+        cost of an analysis pass.
+        """
+        if self._nodes is None:
+            self._nodes = tuple(ast.walk(self.tree))
+        return self._nodes
 
     @property
     def scopes(self) -> ScopeInfo:
@@ -119,6 +139,17 @@ class AnalysisContext:
         if self._scopes is None:
             self._scopes = build_scopes(self.tree)
         return self._scopes
+
+    @property
+    def dataflow(self) -> "ModuleDataflow":
+        """Flow-sensitive results (CFG, taint, use-before-def), lazy."""
+        if self._dataflow is None:
+            from repro.analysis.dataflow import analyze_dataflow
+
+            self._dataflow = analyze_dataflow(
+                self.tree, import_aliases=self.import_aliases
+            )
+        return self._dataflow
 
     @property
     def import_aliases(self) -> dict[str, str]:
@@ -130,7 +161,7 @@ class AnalysisContext:
         """
         if self._import_aliases is None:
             aliases: dict[str, str] = {}
-            for node in ast.walk(self.tree):
+            for node in self.walk():
                 if isinstance(node, ast.Import):
                     for alias in node.names:
                         aliases[(alias.asname or alias.name).split(".")[0]] = alias.name

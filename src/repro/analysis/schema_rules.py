@@ -1,0 +1,347 @@
+"""Catalog-grounded schema rules.
+
+When :func:`repro.analysis.analyze_source` is handed the
+:class:`~repro.catalog.catalog.DataCatalog` the profiler built for the
+dataset, generated code can be checked against the *real* schema before
+it ever executes:
+
+- ``schema-column``  — a constant-key column subscript on dataset-tainted
+  data (``train["colour"]``) or a ``FEATURES`` entry that names a column
+  the dataset does not have, with a did-you-mean suggestion
+  (``unknown_column``, the KeyError the pipeline would have raised);
+- ``schema-target``  — the catalog's target column listed in
+  ``FEATURES`` (label leakage the TARGET-constant check can't see when
+  the generated constants disagree with the catalog), or a ``TARGET``
+  constant naming a non-existent column;
+- ``schema-dtype``   — arithmetic on a string-typed column, or a
+  comparison/arithmetic combining a column with a constant of an
+  incompatible type (``type_mismatch``).
+
+All three rules are no-ops without a catalog, so profiles stay usable
+for plain file linting.  Column subscripts are only checked when the
+subscripted expression is dataset-tainted (per the provenance analysis)
+— indexing into an unrelated dict is none of our business.  Columns
+created locally (``train["derived"] = ...``) are learned from the AST
+and never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+from typing import Iterable, Iterator
+
+from repro.analysis.dataflow import Taint
+from repro.analysis.rules import AnalysisContext, Finding, Severity
+
+__all__ = [
+    "SchemaColumnRule",
+    "SchemaTargetRule",
+    "SchemaDtypeRule",
+    "SCHEMA_RULES",
+]
+
+#: arithmetic operators that need numeric operands
+_NUMERIC_BINOPS = (
+    ast.Sub,
+    ast.Mult,
+    ast.Div,
+    ast.FloorDiv,
+    ast.Mod,
+    ast.Pow,
+)
+
+#: ordering comparisons that need like-typed operands
+_ORDERING_CMPOPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+
+def _suggest(name: str, known: list[str]) -> str:
+    matches = difflib.get_close_matches(name, known, n=1, cutoff=0.6)
+    return f" (did you mean {matches[0]!r}?)" if matches else ""
+
+
+def _const_key(node: ast.Subscript) -> str | None:
+    if isinstance(node.slice, ast.Constant) and isinstance(
+        node.slice.value, str
+    ):
+        return node.slice.value
+    return None
+
+
+def _locally_created_columns(nodes: "Iterable[ast.AST]") -> set[str]:
+    """Keys the code itself creates: ``x["col"] = ...`` stores and the
+    constant keys of any dict literal (a metrics dict built from train
+    and test values is dataset-tainted but not a dataset)."""
+    created: set[str] = set()
+    for node in nodes:
+        if isinstance(node, ast.Subscript) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            key = _const_key(node)
+            if key is not None:
+                created.add(key)
+        elif isinstance(node, ast.Dict):
+            for key_node in node.keys:
+                if isinstance(key_node, ast.Constant) and isinstance(
+                    key_node.value, str
+                ):
+                    created.add(key_node.value)
+    return created
+
+
+def _dictish_names(nodes: "Iterable[ast.AST]") -> set[str]:
+    """Names ever assigned a dict literal / ``dict(...)`` — their
+    subscripts are key lookups, not dataset column access."""
+    out: set[str] = set()
+    for node in nodes:
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        is_dict = isinstance(value, (ast.Dict, ast.DictComp)) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "dict"
+        )
+        if not is_dict:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                out.add(target.id)
+    return out
+
+
+def _features_list(tree: ast.Module) -> tuple[list[tuple[str, int]], int] | None:
+    """Constant entries of a top-level ``FEATURES = [...]`` with lines."""
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "FEATURES"
+            and isinstance(node.value, ast.List)
+        ):
+            entries = [
+                (elt.value, elt.lineno)
+                for elt in node.value.elts
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            ]
+            return entries, node.lineno
+    return None
+
+
+class SchemaColumnRule:
+    """Column subscripts and FEATURES entries must name real columns."""
+
+    id = "schema-column"
+    description = "column reference not present in the dataset catalog"
+    default_severity = Severity.ERROR
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
+        if ctx.catalog is None:
+            return
+        known = list(ctx.catalog.column_names)
+        known_set = set(known) | _locally_created_columns(ctx.walk())
+        dictish = _dictish_names(ctx.walk())
+        taints = ctx.dataflow.subscript_taints
+        seen: set[str] = set()
+        for node in ctx.walk():
+            if not isinstance(node, ast.Subscript) or not isinstance(
+                node.ctx, ast.Load
+            ):
+                continue
+            key = _const_key(node)
+            if key is None or key in known_set or key in seen:
+                continue
+            if isinstance(node.value, ast.Name) and node.value.id in dictish:
+                continue  # a plain dict, not a dataset
+            if taints.get(id(node), Taint.UNKNOWN) is Taint.UNKNOWN:
+                continue  # not provably dataset-backed
+            seen.add(key)
+            yield Finding(
+                rule_id=self.id,
+                severity=self.default_severity,
+                message=f"column {key!r} does not exist in the dataset"
+                        f"{_suggest(key, known)}",
+                line=node.lineno,
+                col=node.col_offset,
+                error_type="unknown_column",
+            )
+        features = _features_list(ctx.tree)
+        if features is not None:
+            entries, _ = features
+            for value, lineno in entries:
+                if value in known_set or value in seen:
+                    continue
+                seen.add(value)
+                yield Finding(
+                    rule_id=self.id,
+                    severity=self.default_severity,
+                    message=f"FEATURES lists {value!r}, which is not a column "
+                            f"of the dataset{_suggest(value, known)}",
+                    line=lineno,
+                    error_type="unknown_column",
+                )
+
+
+class SchemaTargetRule:
+    """The catalog's target must not leak into FEATURES; TARGET must exist."""
+
+    id = "schema-target"
+    description = "target column misuse relative to the dataset catalog"
+    default_severity = Severity.ERROR
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
+        if ctx.catalog is None:
+            return
+        target = ctx.catalog.info.target
+        features = _features_list(ctx.tree)
+        if target and features is not None:
+            entries, lineno = features
+            if any(value == target for value, _ in entries):
+                yield Finding(
+                    rule_id=self.id,
+                    severity=self.default_severity,
+                    message=f"catalog target column {target!r} is listed in "
+                            "FEATURES (the label leaks into the design matrix)",
+                    line=lineno,
+                    error_type="task_mismatch",
+                )
+        yield from self._check_target_constant(ctx)
+
+    def _check_target_constant(self, ctx: AnalysisContext) -> Iterator[Finding]:
+        assert ctx.catalog is not None
+        known = list(ctx.catalog.column_names)
+        for node in ctx.tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "TARGET"
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+                and node.value.value not in known
+            ):
+                yield Finding(
+                    rule_id=self.id,
+                    severity=self.default_severity,
+                    message=f"TARGET names {node.value.value!r}, which is not "
+                            f"a column of the dataset"
+                            f"{_suggest(node.value.value, known)}",
+                    line=node.lineno,
+                    error_type="unknown_column",
+                )
+
+
+class SchemaDtypeRule:
+    """Operations must be compatible with the catalog's column dtypes."""
+
+    id = "schema-dtype"
+    description = "operation incompatible with the column's physical dtype"
+    default_severity = Severity.ERROR
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
+        if ctx.catalog is None:
+            return
+        catalog = ctx.catalog
+        taints = ctx.dataflow.subscript_taints
+        dictish = _dictish_names(ctx.walk())
+
+        def column_of(expr: ast.AST) -> str | None:
+            """The catalog column a dataset-tainted subscript reads."""
+            if not isinstance(expr, ast.Subscript):
+                return None
+            key = _const_key(expr)
+            if key is None or key not in catalog:
+                return None
+            if isinstance(expr.value, ast.Name) and expr.value.id in dictish:
+                return None
+            if taints.get(id(expr), Taint.UNKNOWN) is Taint.UNKNOWN:
+                return None
+            return key
+
+        for node in ctx.walk():
+            if isinstance(node, ast.BinOp):
+                yield from self._check_binop(ctx, node, column_of)
+            elif isinstance(node, ast.Compare):
+                yield from self._check_compare(ctx, node, column_of)
+
+    def _check_binop(
+        self, ctx: AnalysisContext, node: ast.BinOp, column_of
+    ) -> Iterator[Finding]:
+        catalog = ctx.catalog
+        assert catalog is not None
+        for side, other in ((node.left, node.right), (node.right, node.left)):
+            col = column_of(side)
+            if col is None:
+                continue
+            dtype = catalog[col].data_type
+            if dtype == "string" and isinstance(node.op, _NUMERIC_BINOPS):
+                yield self._finding(
+                    f"arithmetic on string column {col!r} "
+                    f"({type(node.op).__name__.lower()} needs numbers)",
+                    node.lineno,
+                )
+                return
+            if isinstance(other, ast.Constant):
+                mismatch = self._const_mismatch(dtype, other.value)
+                if mismatch and isinstance(
+                    node.op, _NUMERIC_BINOPS + (ast.Add,)
+                ):
+                    yield self._finding(
+                        f"column {col!r} is {dtype}-typed but is combined "
+                        f"with {other.value!r}",
+                        node.lineno,
+                    )
+                    return
+
+    def _check_compare(
+        self, ctx: AnalysisContext, node: ast.Compare, column_of
+    ) -> Iterator[Finding]:
+        catalog = ctx.catalog
+        assert catalog is not None
+        operands = [node.left] + list(node.comparators)
+        ops = node.ops
+        for i, op in enumerate(ops):
+            if not isinstance(op, _ORDERING_CMPOPS):
+                continue
+            for side, other in (
+                (operands[i], operands[i + 1]),
+                (operands[i + 1], operands[i]),
+            ):
+                col = column_of(side)
+                if col is None or not isinstance(other, ast.Constant):
+                    continue
+                if self._const_mismatch(catalog[col].data_type, other.value):
+                    yield self._finding(
+                        f"ordering comparison between {catalog[col].data_type}"
+                        f"-typed column {col!r} and {other.value!r}",
+                        node.lineno,
+                    )
+                    return
+
+    @staticmethod
+    def _const_mismatch(dtype: str, value: object) -> bool:
+        if isinstance(value, bool):
+            return dtype == "string"
+        if isinstance(value, (int, float)):
+            return dtype == "string"
+        if isinstance(value, str):
+            return dtype in ("number", "boolean")
+        return False
+
+    def _finding(self, message: str, line: int) -> Finding:
+        return Finding(
+            rule_id=self.id,
+            severity=self.default_severity,
+            message=message,
+            line=line,
+            error_type="type_mismatch",
+        )
+
+
+#: appended to the pipeline profile; every rule no-ops without a catalog
+SCHEMA_RULES = (
+    SchemaColumnRule(),
+    SchemaTargetRule(),
+    SchemaDtypeRule(),
+)

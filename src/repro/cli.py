@@ -245,6 +245,9 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--disable", action="append", default=[],
                       metavar="RULE_ID",
                       help="disable a rule by id (repeatable)")
+    lint.add_argument("--fix", action="store_true",
+                      help="apply the deterministic auto-fix tier in place "
+                           "before reporting (files are rewritten)")
     return parser
 
 
@@ -427,6 +430,9 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     degraded = 0
     succeeded = 0
     static_skips = 0
+    static_fixes = 0
+    llm_fixes_avoided = 0
+    static_fix_types: dict[str, int] = {}
     for seed in range(args.seeds):
         prepared = prepare_dataset(
             args.dataset, seed=seed, quick=False, n=args.rows
@@ -466,6 +472,12 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         # paying an execution — injected syntax faults can never reach
         # the executor
         static_skips += report.static_exec_skipped
+        static_fixes += report.static_fixes
+        llm_fixes_avoided += report.llm_fixes_avoided
+        for type_name, count in report.static_fix_types.items():
+            static_fix_types[type_name] = (
+                static_fix_types.get(type_name, 0) + count
+            )
         se_errors = sum(1 for e in report.errors if e.group.value == "SE")
         if se_errors > report.static_exec_skipped:
             hard_failures.append((
@@ -488,6 +500,9 @@ def _cmd_soak(args: argparse.Namespace) -> int:
           f"{len(hard_failures)} hard failures, "
           f"{len(mismatches)} determinism mismatches, "
           f"static.exec_skipped={static_skips}")
+    print(f"repair.static_fixes={static_fixes} "
+          f"repair.llm_fixes_avoided={llm_fixes_avoided}"
+          + (f" classes={sorted(static_fix_types)}" if static_fix_types else ""))
     if hard_failures or mismatches:
         for seed, why in hard_failures:
             print(f"  hard failure seed {seed}: {why}", file=sys.stderr)
@@ -510,6 +525,19 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import RuleConfig, lint_paths, render_findings
 
     config = RuleConfig(enabled={rule_id: False for rule_id in args.disable})
+    n_fixes = 0
+    fixed_files = 0
+    if args.fix:
+        from repro.analysis.engine import _collect_py_files
+        from repro.analysis.fixes import autofix
+
+        for path in _collect_py_files(args.paths):
+            source = path.read_text(encoding="utf-8")
+            result = autofix(source, profile=args.profile, config=config)
+            if result.changed:
+                path.write_text(result.code, encoding="utf-8")
+                fixed_files += 1
+                n_fixes += len(result.applied)
     reports = lint_paths(
         args.paths, profile=args.profile, config=config, workers=args.workers
     )
@@ -527,6 +555,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         rendered = render_findings(r for r in reports if r.findings)
         if rendered:
             print(rendered)
+        if args.fix:
+            print(f"fix: {n_fixes} fixes applied across {fixed_files} files")
         print(f"lint: {len(reports)} files, profile={args.profile} "
               f"-> {n_errors} errors, {n_warnings} warnings")
     if n_errors or (args.strict and n_warnings):

@@ -28,6 +28,7 @@ from repro.generation.cost import CostModel
 if TYPE_CHECKING:  # pragma: no cover
     from repro.generation.constraints import LibraryPolicy
 from repro.analysis.engine import analyze_source
+from repro.analysis.fixes import fix_error
 from repro.generation.errors import ErrorGroup, PipelineError
 from repro.generation.executor import ExecutionResult, execute_pipeline_code
 from repro.generation.knowledge_base import KnowledgeBase
@@ -72,6 +73,9 @@ class GenerationReport:
     fix_attempts: int = 0
     kb_fixes: int = 0
     llm_fixes: int = 0
+    static_fixes: int = 0  # errors repaired by the deterministic fix tier
+    llm_fixes_avoided: int = 0  # static fixes with no KB patch available
+    static_fix_types: dict[str, int] = field(default_factory=dict)
     fallback_used: bool = False
     degraded: bool = False
     degraded_reason: str = ""
@@ -123,6 +127,7 @@ class _GeneratorBase:
         exec_mode: str | None = None,
         exec_memory_mb: int | None = None,
         static_gate: bool = True,
+        static_fix: bool = True,
     ) -> None:
         self.llm = llm
         self.alpha = alpha
@@ -143,6 +148,9 @@ class _GeneratorBase:
         # an execution; off reproduces the execute-everything behaviour
         # (kept togglable for the exec-skip benchmark)
         self.static_gate = static_gate
+        # when on, mechanical error classes are rewritten by the
+        # deterministic fix tier before the KB and the LLM are consulted
+        self.static_fix = static_fix
 
     # -- LLM round trips -----------------------------------------------------------
 
@@ -186,18 +194,23 @@ class _GeneratorBase:
         )
 
     def _analyze(
-        self, report: GenerationReport, code: str
+        self,
+        report: GenerationReport,
+        code: str,
+        catalog: DataCatalog | None = None,
     ) -> PipelineError | None:
         """Static gate: run the full pipeline profile, skip exec on error.
 
         Every finding is counted per rule; an error-severity finding maps
         onto the taxonomy and is returned *without* executing the code —
         the repair loop consumes it exactly like an observed failure, so
-        a statically-dirty candidate never costs a pipeline run.
+        a statically-dirty candidate never costs a pipeline run.  With a
+        catalog, column references and dtypes are grounded in the real
+        schema (the ``schema-*`` rules).
         """
         metrics = get_metrics()
         with get_tracer().span("static.analyze") as span:
-            analysis = analyze_source(code, profile="pipeline")
+            analysis = analyze_source(code, profile="pipeline", catalog=catalog)
             for finding in analysis.findings:
                 metrics.inc("static.findings", rule=finding.rule_id)
             error = analysis.first_error()
@@ -214,10 +227,11 @@ class _GeneratorBase:
         code: str,
         train_sample: Table,
         test_sample: Table,
+        catalog: DataCatalog | None = None,
     ) -> PipelineError | None:
         with get_tracer().span("generate.validate") as span:
             if self.static_gate:
-                error = self._analyze(report, code)
+                error = self._analyze(report, code, catalog=catalog)
                 if error is not None:
                     span.set(error_type=error.error_type.name)
                     return error
@@ -239,7 +253,9 @@ class _GeneratorBase:
         tracer = get_tracer()
         metrics = get_metrics()
         for attempt in range(self.max_fix_attempts):
-            error = self._first_error(report, code, train_sample, test_sample)
+            error = self._first_error(
+                report, code, train_sample, test_sample, catalog=catalog
+            )
             if error is None:
                 return code
             report.errors.append(error)
@@ -251,6 +267,33 @@ class _GeneratorBase:
                 "generate.repair", attempt=attempt, section=section,
                 error_type=error.error_type.name,
             ) as span:
+                # cheapest tier first: a deterministic rewrite costs
+                # neither a KB lookup nor an LLM round-trip, and the next
+                # loop iteration re-analyzes the result (parity contract)
+                if self.static_fix:
+                    outcome = fix_error(code, error)
+                    if outcome.changed:
+                        self.knowledge_base.record(
+                            catalog.info.name, self.llm.model, error,
+                            fixed_by="static",
+                        )
+                        type_name = error.error_type.name
+                        report.static_fixes += 1
+                        report.static_fix_types[type_name] = (
+                            report.static_fix_types.get(type_name, 0) + 1
+                        )
+                        metrics.inc("repair.static_fixes", type=type_name)
+                        kb_would_fix = self.use_knowledge_base and (
+                            self.knowledge_base.find_patch(error, code)
+                            is not None
+                        )
+                        if not kb_would_fix:
+                            report.llm_fixes_avoided += 1
+                            metrics.inc("repair.llm_fixes_avoided")
+                        span.set(fixed_by="static")
+                        code = outcome.code
+                        continue
+
                 if self.use_knowledge_base:
                     entry = self.knowledge_base.find_patch(error, code)
                 else:
@@ -328,7 +371,8 @@ class _GeneratorBase:
         metrics = get_metrics()
         with get_tracer().span("generate.finalize") as span:
             if not code or self._first_error(
-                report, code, train_sample, test_sample
+                report, code, train_sample, test_sample,
+                catalog=plan.catalog,
             ) is not None:
                 report.fallback_used = True
                 code = self._handcraft(plan)

@@ -144,7 +144,9 @@ def _run_with_thread(
         target=_target, name="repro-exec-budget", daemon=True
     )
     worker.start()
-    started.wait()
+    # the worker sets this first thing; the timeout only guards against a
+    # pathologically starved scheduler and keeps the budget clock honest
+    started.wait(timeout=seconds)
     worker.join(seconds)
     if worker.is_alive():
         # inject ExecutionTimeout between bytecodes; re-send for a short

@@ -327,7 +327,9 @@ class Scheduler:
                 newly_ready: list[str] = []
                 for future in done:
                     in_flight.pop(future)
-                    newly_ready.extend(finish(future.result()))
+                    # the future is in the done set, so result() cannot
+                    # block; the timeout pins that invariant
+                    newly_ready.extend(finish(future.result(timeout=0)))
                 for job_id in newly_ready:
                     submit(job_id)
 

@@ -143,7 +143,7 @@ class TestThreadedSpans:
             for t in threads:
                 t.start()
             for t in threads:
-                t.join()
+                t.join(timeout=30)
         items = [s for s in tracer.spans if s.name == "item"]
         assert len(items) == 4
         assert all(s.parent_id == parent.span_id for s in items)
@@ -198,7 +198,7 @@ class TestMetrics:
         for t in threads:
             t.start()
         for t in threads:
-            t.join()
+            t.join(timeout=30)
         assert registry.counter_value("atomic", type="x") == n_threads * n_incs
 
     def test_null_metrics_records_nothing(self):
@@ -359,7 +359,7 @@ class TestRunSession:
             for t in threads:
                 t.start()
             for t in threads:
-                t.join()
+                t.join(timeout=30)
         finally:
             disable_tracing()
         assert not errors

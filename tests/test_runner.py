@@ -312,7 +312,7 @@ class TestLedgerConcurrency:
         barrier = threading.Barrier(n_threads)
 
         def writer(k: int) -> None:
-            barrier.wait()
+            barrier.wait(timeout=30)
             for i in range(per_thread):
                 # separate RunLedger instances, same path: the per-path
                 # lock registry must still serialize them
@@ -327,7 +327,7 @@ class TestLedgerConcurrency:
         for t in threads:
             t.start()
         for t in threads:
-            t.join()
+            t.join(timeout=30)
         records = ledger.records()
         assert ledger.skipped_lines == 0
         assert len(records) == n_threads * per_thread

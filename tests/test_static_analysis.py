@@ -345,6 +345,33 @@ class TestPipelineRules:
         )
         assert "signature" not in _error_rules(code)
 
+    def test_signature_contextlib_suppress_guards(self):
+        # with contextlib.suppress(AttributeError): is the same runtime
+        # guard as try/except AttributeError
+        code = (
+            "import contextlib\n"
+            "from repro.ml import Ridge\n"
+            "def run_pipeline(train, test):\n"
+            "    model = Ridge()\n"
+            "    with contextlib.suppress(AttributeError):\n"
+            "        model.predict_proba(test)\n"
+            "    return {}\n"
+        )
+        assert "signature" not in _error_rules(code)
+
+    def test_signature_suppress_unrelated_exception_no_guard(self):
+        # suppressing an unrelated exception does not excuse the call
+        code = (
+            "import contextlib\n"
+            "from repro.ml import Ridge\n"
+            "def run_pipeline(train, test):\n"
+            "    model = Ridge()\n"
+            "    with contextlib.suppress(ZeroDivisionError):\n"
+            "        model.run_inference(test)\n"
+            "    return {}\n"
+        )
+        assert "signature" in _error_rules(code)
+
     def test_signature_negative_valid_call(self):
         code = (
             "from repro.ml import Ridge\n"
@@ -475,7 +502,10 @@ class TestExecSkipAudit:
             generator_module, "execute_pipeline_code", recording_execute
         )
         llm = _DirtyLLM()
-        gen = CatDB(llm, max_fix_attempts=3)
+        # static_fix off: this audit pins the pure gate-and-regenerate
+        # path (with the fix tier on, the missing import is simply fixed
+        # — covered by test_static_fix_repairs_dirty_code below)
+        gen = CatDB(llm, max_fix_attempts=3, static_fix=False)
         report = gen.generate(train, test, catalog)
         # every dirty candidate was gated statically: zero executions of
         # the dirty code, one exec skip per inspection
@@ -483,6 +513,38 @@ class TestExecSkipAudit:
         assert report.static_exec_skipped >= gen.max_fix_attempts
         # the run still ends well via the deterministic fallback
         assert report.fallback_used and report.success
+
+    def test_static_fix_repairs_dirty_code(self, generation_setup, monkeypatch):
+        train, test, catalog = generation_setup
+        executed: list[str] = []
+        import repro.generation.generator as generator_module
+
+        real_execute = generator_module.execute_pipeline_code
+
+        def recording_execute(code, *args, **kwargs):
+            executed.append(code)
+            return real_execute(code, *args, **kwargs)
+
+        monkeypatch.setattr(
+            generator_module, "execute_pipeline_code", recording_execute
+        )
+        llm = _DirtyLLM()
+        gen = CatDB(llm, max_fix_attempts=3)
+        report = gen.generate(train, test, catalog)
+        # the deterministic tier inserted the missing import: one static
+        # fix, no LLM repair round-trip, and the repaired code executed
+        assert report.static_fixes >= 1
+        assert report.llm_fixes_avoided >= 1
+        assert report.static_fix_types.get("missing_import", 0) >= 1
+        assert report.llm_fixes == 0
+        assert not report.fallback_used and report.success
+        assert any("import numpy as np" in code for code in executed)
+        # the raw dirty code itself still never executed
+        assert all(
+            "import numpy as np" in code
+            for code in executed
+            if _DirtyLLM.DIRTY.strip() in code
+        )
 
     def test_static_gate_off_reproduces_execute_path(
         self, generation_setup, monkeypatch
@@ -510,7 +572,7 @@ class TestExecSkipAudit:
         registry = MetricsRegistry()
         previous = set_metrics(registry)
         try:
-            gen = CatDB(_DirtyLLM(), max_fix_attempts=2)
+            gen = CatDB(_DirtyLLM(), max_fix_attempts=2, static_fix=False)
             gen.generate(train, test, catalog)
         finally:
             set_metrics(previous)
@@ -518,6 +580,20 @@ class TestExecSkipAudit:
         assert registry.counter_value(
             "static.findings", rule="missing-import"
         ) >= 2
+
+    def test_static_fix_metrics_counters(self, generation_setup):
+        train, test, catalog = generation_setup
+        registry = MetricsRegistry()
+        previous = set_metrics(registry)
+        try:
+            gen = CatDB(_DirtyLLM(), max_fix_attempts=3)
+            gen.generate(train, test, catalog)
+        finally:
+            set_metrics(previous)
+        assert registry.counter_value(
+            "repair.static_fixes", type="missing_import"
+        ) >= 1
+        assert registry.counter_value("repair.llm_fixes_avoided") >= 1
 
     def test_static_gate_keeps_clean_runs_bit_identical(self, generation_setup):
         train, test, catalog = generation_setup
