@@ -2,21 +2,25 @@
 
 Usage::
 
-    python benchmarks/make_bench_report.py --out BENCH_8.json bench.json ...
+    python benchmarks/make_bench_report.py --out BENCH_10.json bench.json ...
 
 Reads one or more ``--benchmark-json`` files, groups the entries into
-the perf-trajectory sections (``profile``, ``runner``, ``streaming``,
-``execpool``, ``other``), and writes one consolidated report.
+the perf-trajectory sections (``table``, ``profile``, ``runner``,
+``streaming``, ``execpool``, ``other``), and writes one consolidated
+report.
 
 This is also the bench job's gate: warm pool-mode execution of the
 clean generated pipeline (``test_execpool_pool_clean_warm``) must cost
 at most ``--max-pool-overhead`` times (default 2x) the in-process run
-(``test_execpool_inproc_clean``), and — when ``--max-analyzer-ms`` is
-given — the flow-sensitive static-analysis pass with schema grounding
+(``test_execpool_inproc_clean``); with ``--max-analyzer-ms``, the
+flow-sensitive static-analysis pass with schema grounding
 (``test_micro_static_analysis_flow_catalog``) must average under that
-many milliseconds per pipeline.  Exits non-zero when a limit is
-exceeded *or* when a gated benchmark is missing — a gate that cannot
-measure is a failure, not a pass.
+many milliseconds per pipeline; and with ``--min-ingest-speedup`` /
+``--min-join-speedup``, the dictionary-encoded data plane's
+seed-vs-encoded pairs (``bench_table_ops.py``) must beat the seed
+per-row implementation by at least those ratios.  Exits non-zero when
+a limit is exceeded *or* when a gated benchmark is missing — a gate
+that cannot measure is a failure, not a pass.
 """
 
 from __future__ import annotations
@@ -29,8 +33,13 @@ from typing import Any
 POOL_BENCH = "test_execpool_pool_clean_warm"
 INPROC_BENCH = "test_execpool_inproc_clean"
 ANALYZER_BENCH = "test_micro_static_analysis_flow_catalog"
+INGEST_SEED_BENCH = "test_table_ingest_profile_seed"
+INGEST_ENCODED_BENCH = "test_table_ingest_profile_encoded"
+JOIN_SEED_BENCH = "test_table_join_100k_seed"
+JOIN_ENCODED_BENCH = "test_table_join_100k_encoded"
 
 _SECTION_RULES = (
+    ("table", ("test_table_",)),
     ("analysis", ("static_analysis",)),
     ("execpool", ("execpool",)),
     ("streaming", ("streaming",)),
@@ -139,17 +148,61 @@ def check_analyzer_latency(
     return mean_ms <= max_ms, verdict
 
 
+def check_speedup(
+    report: dict[str, Any],
+    gate_key: str,
+    label: str,
+    seed_name: str,
+    encoded_name: str,
+    min_ratio: float,
+) -> tuple[bool, str]:
+    """Gate on the seed-vs-encoded mean ratio of one ``table`` pair."""
+    by_name = {
+        entry["name"]: entry
+        for entry in report["sections"].get("table", [])
+    }
+    seed = by_name.get(seed_name)
+    encoded = by_name.get(encoded_name)
+    if seed is None or encoded is None:
+        return False, (
+            f"gate unmeasurable: need both {seed_name!r} and "
+            f"{encoded_name!r} in the table section (got {sorted(by_name)})"
+        )
+    ratio = seed["mean_s"] / max(encoded["mean_s"], 1e-12)
+    verdict = (
+        f"{label} speedup: {seed['mean_s'] * 1000:.1f} ms seed vs "
+        f"{encoded['mean_s'] * 1000:.1f} ms encoded = {ratio:.2f}x "
+        f"(floor {min_ratio:g}x)"
+    )
+    report[gate_key] = {
+        "seed_mean_s": seed["mean_s"],
+        "encoded_mean_s": encoded["mean_s"],
+        "speedup": ratio,
+        "min_speedup": min_ratio,
+        "passed": ratio >= min_ratio,
+    }
+    return ratio >= min_ratio, verdict
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("inputs", nargs="+",
                         help="pytest-benchmark JSON files")
-    parser.add_argument("--out", default="BENCH_8.json",
+    parser.add_argument("--out", default="BENCH_10.json",
                         help="consolidated report path")
     parser.add_argument("--max-pool-overhead", type=float, default=2.0,
                         help="fail when pool/inproc mean ratio exceeds this")
     parser.add_argument("--max-analyzer-ms", type=float, default=None,
                         help="fail when the flow-sensitive analyzer pass "
                              "mean exceeds this many milliseconds")
+    parser.add_argument("--min-ingest-speedup", type=float, default=None,
+                        help="fail when vectorized CSV-ingest+profile is "
+                             "less than this many times faster than the "
+                             "seed per-row path")
+    parser.add_argument("--min-join-speedup", type=float, default=None,
+                        help="fail when the factorized 100k-row join is "
+                             "less than this many times faster than the "
+                             "seed per-row path")
     parser.add_argument("--no-gate", action="store_true",
                         help="collate only; skip all gates")
     args = parser.parse_args(argv)
@@ -168,6 +221,20 @@ def main(argv: list[str] | None = None) -> int:
                 report, args.max_analyzer_ms
             )
             ok, verdicts = ok and analyzer_ok, verdicts + [verdict]
+        if args.min_ingest_speedup is not None:
+            ingest_ok, verdict = check_speedup(
+                report, "ingest_gate", "ingest+profile",
+                INGEST_SEED_BENCH, INGEST_ENCODED_BENCH,
+                args.min_ingest_speedup,
+            )
+            ok, verdicts = ok and ingest_ok, verdicts + [verdict]
+        if args.min_join_speedup is not None:
+            join_ok, verdict = check_speedup(
+                report, "join_gate", "join@100k",
+                JOIN_SEED_BENCH, JOIN_ENCODED_BENCH,
+                args.min_join_speedup,
+            )
+            ok, verdicts = ok and join_ok, verdicts + [verdict]
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")

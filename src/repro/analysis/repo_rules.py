@@ -20,6 +20,12 @@ These encode repo invariants that unit tests cannot cheaply pin:
 - ``unbounded-wait``    — ``.join()`` / ``.wait()`` / ``.result()``
   with no timeout blocks forever when the peer dies; every blocking
   wait in the substrate must carry a deadline
+- ``per-row-iteration`` — the table layer is dictionary-encoded and
+  vectorized; a Python loop over row indices (``for i in
+  range(table.n_rows)``, ``for i in range(len(col))`` + ``col[i]``)
+  runs orders of magnitude slower than the columnar kernels.
+  Deliberate per-row fallbacks carry a ``# repro: allow-per-row``
+  pragma on the ``for`` line.
 
 Run with ``repro lint src/repro --profile repo``; CI fails on errors.
 """
@@ -37,6 +43,7 @@ __all__ = [
     "LockReentryRule",
     "SwallowedBaseExceptionRule",
     "UnboundedWaitRule",
+    "PerRowIterationRule",
     "REPO_RULES",
 ]
 
@@ -361,6 +368,117 @@ class UnboundedWaitRule:
                 )
 
 
+class PerRowIterationRule:
+    """Python row loops over Columns/Tables defeat the columnar layer.
+
+    Two shapes are flagged:
+
+    - ``for ... in range(<expr>.n_rows)`` (or ``range(a, <expr>.n_rows)``)
+      — iterating row indices of a table is per-row by construction;
+    - ``for i in range(len(X))`` whose body subscripts ``X[i]`` — the
+      classic index-and-peek loop; each ``col[i]`` crosses the
+      Python/array boundary once per row.
+
+    Deliberate fallbacks (pathological pools, unhashable cells, seed
+    reference implementations in tests) stay allowed with a
+    ``# repro: allow-per-row`` pragma on the ``for`` line.
+    """
+
+    id = "per-row-iteration"
+    description = "per-row loop over a Column/Table (use the vectorized kernels)"
+    default_severity = Severity.WARNING
+
+    _PRAGMA = "repro: allow-per-row"
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
+        for node in ctx.walk():
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            line = ctx.lines[node.lineno - 1] if node.lineno <= len(ctx.lines) else ""
+            if self._PRAGMA in line:
+                continue
+            yield from self._check_loop(node)
+
+    def _check_loop(self, loop: ast.For | ast.AsyncFor) -> Iterator[Finding]:
+        rng = self._range_call(loop.iter)
+        if rng is None:
+            return
+        for arg in rng.args:
+            if isinstance(arg, ast.Attribute) and arg.attr == "n_rows":
+                yield Finding(
+                    rule_id=self.id,
+                    severity=self.default_severity,
+                    message="loop over range(....n_rows) visits the table "
+                            "row by row (use take/mask_rows/codes kernels, "
+                            "or mark a deliberate fallback with "
+                            f"'# {self._PRAGMA}')",
+                    line=loop.lineno,
+                )
+                return
+        subscripted = self._len_subscript_target(loop, rng)
+        if subscripted is not None:
+            yield Finding(
+                rule_id=self.id,
+                severity=self.default_severity,
+                message=f"'for i in range(len({subscripted}))' with "
+                        f"'{subscripted}[i]' in the body reads one cell per "
+                        "iteration (vectorize, or mark a deliberate "
+                        f"fallback with '# {self._PRAGMA}')",
+                line=loop.lineno,
+            )
+
+    @staticmethod
+    def _range_call(iter_node: ast.AST) -> ast.Call | None:
+        """The ``range(...)`` call behind the iterable, unwrapping
+        ``enumerate``/``reversed``/``zip`` shells."""
+        node = iter_node
+        while (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("enumerate", "reversed", "zip")
+            and node.args
+        ):
+            node = node.args[0]
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "range"
+        ):
+            return node
+        return None
+
+    @classmethod
+    def _len_subscript_target(
+        cls, loop: ast.For | ast.AsyncFor, rng: ast.Call
+    ) -> str | None:
+        """Name ``X`` when the loop is ``for i in range(len(X))`` and the
+        body contains ``X[i]``; otherwise ``None``."""
+        if len(rng.args) != 1 or not isinstance(loop.target, ast.Name):
+            return None
+        call = rng.args[0]
+        if not (
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Name)
+            and call.func.id == "len"
+            and len(call.args) == 1
+            and isinstance(call.args[0], ast.Name)
+        ):
+            return None
+        seq = call.args[0].id
+        index = loop.target.id
+        for stmt in loop.body:
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Subscript)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == seq
+                    and isinstance(node.slice, ast.Name)
+                    and node.slice.id == index
+                ):
+                    return seq
+        return None
+
+
 #: the self-lint profile run over ``src/repro`` in CI
 REPO_RULES = (
     UnseededRandomRule(),
@@ -368,4 +486,5 @@ REPO_RULES = (
     LockReentryRule(),
     SwallowedBaseExceptionRule(),
     UnboundedWaitRule(),
+    PerRowIterationRule(),
 )

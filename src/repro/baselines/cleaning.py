@@ -79,14 +79,25 @@ def prim_approx_duplicates(table: Table, target: str) -> Table:
     names = _numeric_names(table, target)
     if not names:
         return drop_duplicate_rows(table)
-    keys = []
-    for i in range(table.n_rows):
-        row = table.row(i)
-        key = tuple(
-            round(row[n], 2) if n in names and row[n] is not None else row[n]
-            for n in table.column_names
+    rounded_names = set(names)
+    cells_by_column = []
+    for name in table.column_names:
+        column = table[name]
+        if name not in rounded_names:
+            cells_by_column.append(column.to_list())
+            continue
+        # round once per distinct value (Python round: correctly-rounded
+        # decimal, unlike np.round's scaled multiply)
+        miss = column.missing
+        uniq, inverse = np.unique(column.data[~miss], return_inverse=True)
+        rounded = np.array(
+            [round(float(v), 2) for v in uniq.tolist()], dtype=object
         )
-        keys.append(key)
+        cells = np.full(table.n_rows, None, dtype=object)
+        if uniq.shape[0]:
+            cells[~miss] = rounded[inverse]
+        cells_by_column.append(cells.tolist())
+    keys = list(zip(*cells_by_column)) if cells_by_column else []
     seen: set = set()
     keep = []
     for i, key in enumerate(keys):

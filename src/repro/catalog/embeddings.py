@@ -85,6 +85,8 @@ def _column_token_stats(
         fast = _numeric_token_stats(column, embed_cap, hash_cap)
         if fast is not None:
             return fast
+    elif column.codes is not None:
+        return _dict_token_stats(column, embed_cap, hash_cap)
     counts: dict[str, int] = {}
     present = 0
     for value in column.to_list():
@@ -111,6 +113,58 @@ def _stats_from_counts(
         sign = 1.0 if int(digest[8], 16) % 2 == 0 else -1.0
         stats.append((count, index, sign, int(digest[:12], 16)))
     return stats
+
+
+def _dict_token_stats(
+    column: Column, embed_cap: int, hash_cap: int
+) -> list[tuple[int, int, float, int]]:
+    """Token stats for dictionary-encoded columns via the codes.
+
+    Canonicalizes and md5-hashes once per distinct pool value, then
+    reproduces the seed scan's admission semantics exactly: every token
+    seen in the first ``embed_cap`` present cells is counted, the scan
+    admits (with count 0) tokens past that window until the distinct
+    count reaches ``hash_cap`` *at or after* the window edge, and the
+    cell at the break position is still admitted (including the
+    ``hash_cap=0`` immediate-break case).
+    """
+    codes = column.codes
+    pool_values = column.pool.tolist()
+    token_ids = np.empty(len(pool_values) + 1, dtype=np.int64)
+    token_ids[-1] = -1  # code -1 wraps here (missing cells)
+    tid_of: dict[str, int] = {}
+    tokens: list[str] = []
+    for code, value in enumerate(pool_values):
+        if value is None:  # seed scan skips None cells outright
+            token_ids[code] = -1
+            continue
+        token = _canonical_token(value)
+        tid = tid_of.get(token)
+        if tid is None:
+            tid = len(tokens)
+            tid_of[token] = tid
+            tokens.append(token)
+        token_ids[code] = tid
+    mapped = token_ids[codes]
+    stream = mapped[mapped >= 0]
+    m = stream.shape[0]
+    if m == 0:
+        return []
+    uniq_tids, first_pos = np.unique(stream, return_index=True)
+    if hash_cap and uniq_tids.shape[0] >= hash_cap:
+        p_star = max(embed_cap, int(np.sort(first_pos)[hash_cap - 1]))
+    elif hash_cap:
+        p_star = m - 1  # distinct count never reaches the cap: full scan
+    else:
+        p_star = embed_cap  # hash_cap=0 breaks right past the window
+    p_star = min(p_star, m - 1)
+    counts = np.bincount(stream[:embed_cap], minlength=len(tokens))
+    admitted = first_pos <= p_star
+    order = np.argsort(first_pos[admitted], kind="stable")
+    return _stats_from_counts(
+        (tokens[tid], int(counts[tid]))
+        for tid in uniq_tids[admitted][order].tolist()
+    )
 
 
 def _numeric_token_stats(

@@ -71,8 +71,7 @@ def _profile_column_impl(
     tau_1: int,
     rng: np.random.Generator,
 ) -> ColumnProfile:
-    values = column.to_list()
-    present = [v for v in values if v is not None]
+    present = column.non_missing().tolist()
     distinct = column.unique()
     distinct_pct = 100.0 * len(distinct) / n_rows if n_rows else 0.0
     missing_pct = 100.0 * column.n_missing / n_rows if n_rows else 0.0

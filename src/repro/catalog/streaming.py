@@ -53,6 +53,7 @@ from repro.sketch import (
     PairSketch,
     SketchConfig,
 )
+from repro.sketch.base import typed_factorize
 from repro.table.column import (
     _FALSE_TOKENS,
     _TRUE_TOKENS,
@@ -81,12 +82,12 @@ def chunks_from_table(
     """Adapt an in-memory :class:`Table` (e.g. one shard) into chunks."""
     header = list(table.column_names)
     columns = [list(table[name]) for name in header]
-    for start in range(0, table.n_rows, chunk_rows):
+    all_rows = [list(row) for row in zip(*columns)]
+    for start in range(0, table.n_rows, chunk_rows):  # repro: allow-per-row (steps per chunk, not per row)
         stop = min(start + chunk_rows, table.n_rows)
-        rows = [
-            [column[i] for column in columns] for i in range(start, stop)
-        ]
-        yield CsvChunk(header=header, start_row=start, rows=rows)
+        yield CsvChunk(
+            header=header, start_row=start, rows=all_rows[start:stop]
+        )
     if table.n_rows == 0:
         yield CsvChunk(header=header, start_row=0, rows=[])
 
@@ -97,6 +98,48 @@ class _ColumnChunkArtifacts:
     __slots__ = ("raw_mask", "floats", "num_mask", "tokens", "bools")
 
     def __init__(self, values: list[Any]) -> None:
+        factorized = typed_factorize(values)
+        if factorized is None:  # exotic cell types: per-cell parse
+            self._init_per_cell(values)
+            return
+        # parse/format/bool-probe once per distinct value, gather by code
+        distinct, codes = factorized
+        k = len(distinct)
+        d_missing = np.fromiter(
+            (_is_missing_scalar(v) for v in distinct), dtype=bool, count=k
+        )
+        d_floats = np.full(k, np.nan, dtype=np.float64)
+        d_num_bad = d_missing.copy()
+        d_tokens = np.empty(k, dtype=object)
+        d_bools = np.empty(k, dtype=object)
+        bool_chunk = True
+        for i, value in enumerate(distinct):
+            if d_missing[i]:
+                continue
+            try:
+                d_floats[i] = float(value)
+            except (TypeError, ValueError):
+                d_num_bad[i] = True
+            d_tokens[i] = _format_value(value)
+            if not bool_chunk:
+                continue
+            if isinstance(value, bool):
+                d_bools[i] = value
+            else:
+                lowered = str(value).strip().lower()
+                if lowered in _TRUE_TOKENS:
+                    d_bools[i] = True
+                elif lowered in _FALSE_TOKENS:
+                    d_bools[i] = False
+                else:
+                    bool_chunk = False  # not a boolean-coercible chunk
+        self.raw_mask = d_missing[codes]
+        self.floats = d_floats[codes]
+        self.num_mask = d_num_bad[codes]
+        self.tokens = d_tokens[codes].tolist()
+        self.bools = d_bools[codes].tolist() if bool_chunk else None
+
+    def _init_per_cell(self, values: list[Any]) -> None:
         n = len(values)
         self.raw_mask = np.fromiter(
             (_is_missing_scalar(v) for v in values), dtype=bool, count=n
@@ -105,7 +148,7 @@ class _ColumnChunkArtifacts:
         num_mask = self.raw_mask.copy()
         tokens: list[str | None] = [None] * n
         bools: list[Any] | None = [None] * n
-        for i, value in enumerate(values):
+        for i, value in enumerate(values):  # repro: allow-per-row
             if self.raw_mask[i]:
                 floats[i] = np.nan
                 continue

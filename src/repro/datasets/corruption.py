@@ -83,14 +83,23 @@ def inject_missing_values(
         if n_hits == 0:
             continue
         hits = rng.choice(present, size=n_hits, replace=False)
-        data = column.data.copy()
-        missing = column.missing.copy()
-        missing[hits] = True
         if column.kind is ColumnKind.NUMERIC:
+            data = column.data.copy()
+            missing = column.missing.copy()
+            missing[hits] = True
             data[hits] = np.nan
+            out.set_column(
+                Column.from_numpy(column.name, data, missing, column.kind)
+            )
         else:
-            data[hits] = None
-        out.set_column(Column.from_numpy(column.name, data, missing, column.kind))
+            # dictionary columns: blanking a cell is just code -> -1
+            codes = column.codes.copy()
+            codes[hits] = -1
+            out.set_column(
+                Column._from_dict_storage(
+                    column.name, column.kind, column.pool, codes
+                )
+            )
     return out
 
 

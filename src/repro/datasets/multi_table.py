@@ -40,11 +40,9 @@ def split_into_dimensions(
         keys = rng.integers(0, cardinality, size=n)
         dim_data: dict[str, list[Any]] = {key_name: list(range(cardinality))}
         for col_name in columns:
-            source = current[col_name]
+            picks = rng.integers(0, n, size=cardinality)
             # dimension attribute values: one representative per key
-            representatives = [source[int(i)] for i in
-                               rng.integers(0, n, size=cardinality)]
-            dim_data[col_name] = representatives
+            dim_data[col_name] = current[col_name].take(picks).to_list()
         dim = Table.from_dict(dim_data, name=dim_name)
         current = current.drop(columns)
         current.set_column(Column(key_name, keys.tolist()))

@@ -43,6 +43,55 @@ def _is_missing(value: Any) -> bool:
     return isinstance(value, float) and np.isnan(value)
 
 
+_IS_MISSING_UFUNC = np.frompyfunc(_is_missing, 1, 1)
+
+
+def _missing_mask(values: np.ndarray) -> np.ndarray:
+    return _IS_MISSING_UFUNC(values).astype(bool)
+
+
+def _factorize_cells(values: list) -> tuple[list, np.ndarray] | None:
+    """First-seen distinct values plus per-cell indices into them.
+
+    Lets the encoders do per-value work (dict lookups, md5, parsing) once
+    per *distinct* value and gather results by code — the same trick the
+    dictionary-encoded columns use.  Returns ``None`` when cells are
+    unhashable, so callers can keep the per-cell fallback.
+    """
+    try:
+        index = dict.fromkeys(values)
+    except TypeError:
+        return None
+    distinct = list(index)
+    for i, value in enumerate(distinct):
+        index[value] = i
+    codes = np.fromiter(
+        map(index.__getitem__, values), dtype=np.int64, count=len(values)
+    )
+    return distinct, codes
+
+
+def _factorize_typed(values: list) -> tuple[list, np.ndarray] | None:
+    """Like :func:`_factorize_cells` but keyed by ``(type, value)``.
+
+    For per-value work that depends on ``str(value)`` (hashing, parsing):
+    hash-equal values of different types (``True`` vs ``1`` vs ``1.0``)
+    render differently and must not share a slot.
+    """
+    keys = [(type(value), value) for value in values]
+    try:
+        index = dict.fromkeys(keys)
+    except TypeError:
+        return None
+    distinct_keys = list(index)
+    for i, key in enumerate(distinct_keys):
+        index[key] = i
+    codes = np.fromiter(
+        map(index.__getitem__, keys), dtype=np.int64, count=len(values)
+    )
+    return [key[1] for key in distinct_keys], codes
+
+
 class SimpleImputer(BaseEstimator, TransformerMixin):
     """Column-wise missing value imputation.
 
@@ -102,10 +151,9 @@ class SimpleImputer(BaseEstimator, TransformerMixin):
             return out
         X = _as_object_matrix(X)
         out = X.copy()
+        missing = _missing_mask(out)
         for j, value in enumerate(self.statistics_):
-            for i in range(out.shape[0]):
-                if _is_missing(out[i, j]):
-                    out[i, j] = value
+            out[missing[:, j], j] = value
         return out
 
 
@@ -200,12 +248,23 @@ class LabelEncoder(BaseEstimator, TransformerMixin):
 
     def transform(self, y: Iterable[Any]) -> np.ndarray:
         self._check_fitted("classes_")
-        out = []
-        for value in y:
-            if value not in self._index:
+        values = list(y)
+        factorized = _factorize_cells(values)
+        if factorized is None:  # unhashable labels: fail like the seed path
+            out = []
+            for value in values:  # repro: allow-per-row
+                if value not in self._index:
+                    raise ValueError(f"unseen label {value!r}")
+                out.append(self._index[value])
+            return np.asarray(out, dtype=np.int64)
+        distinct, codes = factorized
+        lut = np.empty(len(distinct), dtype=np.int64)
+        for i, value in enumerate(distinct):
+            code = self._index.get(value)
+            if code is None:
                 raise ValueError(f"unseen label {value!r}")
-            out.append(self._index[value])
-        return np.asarray(out, dtype=np.int64)
+            lut[i] = code
+        return lut[codes]
 
     def inverse_transform(self, codes: Iterable[int]) -> list[Any]:
         self._check_fitted("classes_")
@@ -233,10 +292,24 @@ class OrdinalEncoder(BaseEstimator, TransformerMixin):
         X = _as_object_matrix(X)
         out = np.full(X.shape, -1.0, dtype=np.float64)
         for j, index in enumerate(self._index):
-            for i in range(X.shape[0]):
-                code = index.get(X[i, j])
-                if code is not None:
-                    out[i, j] = float(code)
+            cells = X[:, j].tolist()
+            factorized = _factorize_cells(cells)
+            if factorized is None:  # unhashable cells: fail like the seed path
+                for i, value in enumerate(cells):  # repro: allow-per-row
+                    code = index.get(value)
+                    if code is not None:
+                        out[i, j] = float(code)
+                continue
+            distinct, codes = factorized
+            lut = np.fromiter(
+                (
+                    -1.0 if (code := index.get(value)) is None else float(code)
+                    for value in distinct
+                ),
+                dtype=np.float64,
+                count=len(distinct),
+            )
+            out[:, j] = lut[codes]
         return out
 
 
@@ -280,18 +353,36 @@ class OneHotEncoder(BaseEstimator, TransformerMixin):
         X = _as_object_matrix(X)
         widths = [len(values) for values in self.categories_]
         out = np.zeros((X.shape[0], sum(widths)), dtype=np.float64)
+        rows = np.arange(X.shape[0], dtype=np.intp)
         offset = 0
         for j, index in enumerate(self._index):
             has_other = self.categories_[j] and self.categories_[j][-1] == self.OTHER
-            for i in range(X.shape[0]):
-                value = X[i, j]
+            cells = X[:, j].tolist()
+            factorized = _factorize_cells(cells)
+            if factorized is None:  # unhashable cells: fail like the seed path
+                for i, value in enumerate(cells):  # repro: allow-per-row
+                    if _is_missing(value):
+                        continue
+                    code = index.get(value)
+                    if code is None and has_other:
+                        code = index[self.OTHER]
+                    if code is not None:
+                        out[i, offset + code] = 1.0
+                offset += widths[j]
+                continue
+            distinct, codes = factorized
+            lut = np.full(len(distinct), -1, dtype=np.int64)
+            for pos, value in enumerate(distinct):
                 if _is_missing(value):
                     continue
                 code = index.get(value)
                 if code is None and has_other:
                     code = index[self.OTHER]
                 if code is not None:
-                    out[i, offset + code] = 1.0
+                    lut[pos] = code
+            hits = lut[codes]
+            hit = hits >= 0
+            out[rows[hit], offset + hits[hit]] = 1.0
             offset += widths[j]
         return out
 
@@ -345,12 +436,28 @@ class KHotEncoder(BaseEstimator, TransformerMixin):
         self._check_fitted("items_")
         cells = list(_flatten_column(column))
         out = np.zeros((len(cells), len(self.items_)), dtype=np.float64)
-        for i, cell in enumerate(cells):
-            for item in self._items(cell):
-                j = self._index.get(item)
-                if j is not None:
-                    out[i, j] = 1.0
+        # parse + item lookups once per distinct cell, then scatter by code
+        memo: dict[Any, list[int]] = {}
+        rows: list[int] = []
+        cols: list[int] = []
+        for i, cell in enumerate(cells):  # repro: allow-per-row
+            try:
+                # keyed by (type, value): parsing depends on str(cell)
+                hit = memo[type(cell), cell]
+            except KeyError:
+                memo[type(cell), cell] = hit = self._item_codes(cell)
+            except TypeError:  # list-valued cell: not memoizable
+                hit = self._item_codes(cell)
+            rows.extend([i] * len(hit))
+            cols.extend(hit)
+        if rows:
+            out[rows, cols] = 1.0
         return out
+
+    def _item_codes(self, cell: Any) -> list[int]:
+        return [
+            j for j in map(self._index.get, self._items(cell)) if j is not None
+        ]
 
 
 class FeatureHasher(BaseEstimator, TransformerMixin):
@@ -372,14 +479,33 @@ class FeatureHasher(BaseEstimator, TransformerMixin):
         self._check_fitted("fitted_")
         cells = list(_flatten_column(column))
         out = np.zeros((len(cells), self.n_features), dtype=np.float64)
-        for i, cell in enumerate(cells):
+        factorized = _factorize_typed(cells)
+        if factorized is None:  # unhashable cells: hash one by one
+            for i, cell in enumerate(cells):  # repro: allow-per-row
+                if _is_missing(cell):
+                    continue
+                bucket, sign = self._hash_cell(cell)
+                out[i, bucket] += sign
+            return out
+        distinct, codes = factorized
+        # one md5 per distinct value instead of one per cell
+        buckets = np.full(len(distinct), -1, dtype=np.int64)
+        signs = np.zeros(len(distinct), dtype=np.float64)
+        for pos, cell in enumerate(distinct):
             if _is_missing(cell):
                 continue
-            digest = hashlib.md5(str(cell).encode("utf-8")).hexdigest()
-            bucket = int(digest[:8], 16) % self.n_features
-            sign = 1.0 if int(digest[8], 16) % 2 == 0 else -1.0
-            out[i, bucket] += sign
+            buckets[pos], signs[pos] = self._hash_cell(cell)
+        cell_buckets = buckets[codes]
+        present = cell_buckets >= 0
+        rows = np.arange(len(cells), dtype=np.intp)
+        out[rows[present], cell_buckets[present]] = signs[codes][present]
         return out
+
+    def _hash_cell(self, cell: Any) -> tuple[int, float]:
+        digest = hashlib.md5(str(cell).encode("utf-8")).hexdigest()
+        bucket = int(digest[:8], 16) % self.n_features
+        sign = 1.0 if int(digest[8], 16) % 2 == 0 else -1.0
+        return bucket, sign
 
 
 def _flatten_column(column: Any) -> Iterable[Any]:

@@ -16,7 +16,14 @@ from __future__ import annotations
 
 from typing import Any, Iterable
 
-from repro.sketch.base import SketchConfig, encode_value, hash64_many
+import numpy as np
+
+from repro.sketch.base import (
+    SketchConfig,
+    encode_distinct,
+    encode_value,
+    hash64_many,
+)
 
 __all__ = ["KMVSketch"]
 
@@ -59,11 +66,48 @@ class KMVSketch:
 
     def update(self, values: Iterable[Any], rows: Iterable[int] | None = None) -> None:
         """Fold values (with their global row indices) into the summary."""
+        values = list(values)
+        if not values:
+            return
+        factorized = encode_distinct(values)
+        if factorized is None:
+            self._update_per_cell(values, rows)
+            return
+        encodings, codes = factorized
+        if self._exact is None:
+            # hash once per distinct encoding — the set union is the same
+            self._hashes.update(hash64_many(self.key, encodings).tolist())
+            self._prune(soft=True)
+            return
+        if rows is None:
+            rows_arr = np.arange(len(values), dtype=np.int64)
+        else:
+            rows_arr = np.fromiter(
+                rows, dtype=np.int64, count=len(values)
+            )
+        # per distinct encoding: the cell at its smallest row (seed keeps
+        # the first-seen value for each encoding)
+        order = np.argsort(rows_arr, kind="stable")
+        _, first_pos = np.unique(codes[order], return_index=True)
+        exact = self._exact
+        for j, encoded in enumerate(encodings):
+            cell = int(order[first_pos[j]])
+            row = int(rows_arr[cell])
+            seen = exact.get(encoded)
+            if seen is None or row < seen[0]:
+                exact[encoded] = (row, values[cell])
+        if len(exact) > self.exact_threshold:
+            self._degrade()
+
+    def _update_per_cell(
+        self, values: list[Any], rows: Iterable[int] | None
+    ) -> None:
+        """Seed path for values without a stable per-distinct key."""
         if rows is None:
             rows = range(1 << 62)  # exact first-seen order is then meaningless
         if self._exact is not None:
             exact = self._exact
-            for value, row in zip(values, rows):
+            for value, row in zip(values, rows):  # repro: allow-per-row
                 encoded = encode_value(value)
                 seen = exact.get(encoded)
                 if seen is None:

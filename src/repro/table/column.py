@@ -1,10 +1,17 @@
 """Typed columns with explicit missing-value masks.
 
-A :class:`Column` stores its values in a numpy array plus a boolean
-``missing`` mask.  Numeric columns use ``float64`` storage (missing slots
-hold ``nan``); string and boolean columns use ``object`` storage (missing
-slots hold ``None``).  Keeping the mask explicit avoids the usual
-``nan``-in-object-array ambiguities when profiling dirty data.
+A :class:`Column` stores numeric values in a ``float64`` array (missing
+slots hold ``nan``).  String and boolean columns are **dictionary
+encoded**: an ``int32`` code per row (``-1`` marks missing) plus an
+object array of distinct values, the *pool*.  Coercion, formatting and
+hashing run once per distinct value instead of once per cell, and the
+``data`` property materializes the legacy object-array view lazily so
+existing callers keep working.
+
+The encoding is an implementation detail: ``unique()`` keeps first-seen
+order, ``value_counts()`` keeps the ``(-count, str(value))`` tie-break,
+and the missing-token rules are unchanged (see ``docs/data_plane.md``
+for the parity contract).
 """
 
 from __future__ import annotations
@@ -43,6 +50,184 @@ def _is_missing_scalar(value: Any) -> bool:
     return False
 
 
+# -- dictionary-encoding helpers -----------------------------------------------
+
+# Types whose __eq__/__hash__ never cross type boundaries in a way that
+# changes coercion: two pool-equal values of these types always coerce to
+# the same cell (bool is the exception, handled separately below).
+_POOL_SAFE_TYPES = (
+    str,
+    bool,
+    int,
+    float,
+    np.bool_,
+    np.integer,
+    np.floating,
+    type(None),
+)
+
+_IS_NONE = np.frompyfunc(lambda value: value is None, 1, 1)
+_IS_BOOL = np.frompyfunc(lambda value: isinstance(value, bool), 1, 1)
+
+
+def _object_array(values: Sequence[Any]) -> np.ndarray:
+    out = np.empty(len(values), dtype=object)
+    try:
+        out[:] = values
+    except ValueError:  # sequence-valued cells defeat the bulk assign
+        for i, value in enumerate(values):
+            out[i] = value
+    return out
+
+
+def _all_numeric_types(types: set) -> bool:
+    return bool(types) and all(
+        t is not bool
+        and t is not np.bool_
+        and (t in (int, float) or issubclass(t, (np.integer, np.floating)))
+        for t in types
+    )
+
+
+def _factorize_raw(values: list, types: set) -> tuple[list, np.ndarray] | None:
+    """First-seen distinct pool + per-row pool index, or ``None``.
+
+    Returns ``None`` when the values cannot safely share one hash table:
+    unhashable cells, exotic types with cross-type equality, or bools
+    mixed with numbers (``hash(True) == hash(1)`` would merge cells whose
+    string coercions differ).  Callers fall back to per-cell coercion.
+    """
+    boolish = 0
+    numeric = 0
+    for t in types:
+        if not issubclass(t, _POOL_SAFE_TYPES):
+            return None
+        if t is bool or t is np.bool_:
+            boolish += 1
+        elif not issubclass(t, (str, type(None))):
+            numeric += 1
+    if boolish and (boolish > 1 or numeric):
+        return None
+    try:
+        pool = list(dict.fromkeys(values))
+    except TypeError:
+        return None
+    index = {value: code for code, value in enumerate(pool)}
+    codes = np.fromiter(
+        map(index.__getitem__, values), dtype=np.int64, count=len(values)
+    )
+    return pool, codes
+
+
+def _coerce_pool(
+    pool: list, codes: np.ndarray, kind: ColumnKind
+) -> tuple[np.ndarray, np.ndarray]:
+    """Coerce once per distinct raw value, then gather per-row storage.
+
+    For NUMERIC returns ``(float64 data, missing mask)``; for STRING and
+    BOOLEAN returns ``(object pool, int32 codes)`` where the pool has been
+    re-deduplicated after formatting (``1`` and ``"1"`` both format to
+    ``"1"``) and ``-1`` codes mark missing cells.
+    """
+    if kind is ColumnKind.NUMERIC:
+        fpool = np.empty(len(pool), dtype=np.float64)
+        mpool = np.zeros(len(pool), dtype=bool)
+        for i, value in enumerate(pool):
+            if _is_missing_scalar(value):
+                fpool[i] = np.nan
+                mpool[i] = True
+                continue
+            try:
+                fpool[i] = float(value)
+            except (TypeError, ValueError):
+                fpool[i] = np.nan
+                mpool[i] = True
+        return fpool[codes], mpool[codes]
+    remap = np.empty(len(pool), dtype=np.int32)
+    index: dict[Any, int] = {}
+    out_pool: list[Any] = []
+    for i, value in enumerate(pool):
+        if _is_missing_scalar(value):
+            remap[i] = -1
+            continue
+        coerced = (
+            _to_bool(value) if kind is ColumnKind.BOOLEAN else _format_value(value)
+        )
+        code = index.get(coerced)
+        if code is None:
+            code = len(out_pool)
+            index[coerced] = code
+            out_pool.append(coerced)
+        remap[i] = code
+    if len(pool):
+        new_codes = remap[codes]
+    else:
+        new_codes = np.empty(0, dtype=np.int32)
+    return _object_array(out_pool), new_codes
+
+
+def _encode_coerced(
+    values: list, missing: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dictionary-encode already-coerced values under a missing mask.
+
+    Used by :meth:`Column.from_numpy`, which (like the seed) stores the
+    given values verbatim.  Hash-colliding values of different types
+    (``True`` vs ``1``) keep distinct codes so fingerprints still hash
+    the original cell values; ``unique()`` re-applies the seed's
+    hash-collapse at query time.
+    """
+    present = [v for v, m in zip(values, missing) if not m]
+    types = set(map(type, present))
+    safe = all(issubclass(t, _POOL_SAFE_TYPES) for t in types)
+    if safe:
+        boolish = (bool in types) + (np.bool_ in types)
+        numeric = sum(
+            1
+            for t in types
+            if t not in (bool, np.bool_)
+            and not issubclass(t, (str, type(None)))
+        )
+        safe = not (boolish and (boolish > 1 or numeric))
+    index: dict[Any, int] = {}
+    pool: list[Any] = []
+    codes = np.empty(len(values), dtype=np.int32)
+    try:
+        if safe:
+            for i, (value, m) in enumerate(zip(values, missing)):
+                if m:
+                    codes[i] = -1
+                    continue
+                code = index.get(value)
+                if code is None:
+                    code = len(pool)
+                    index[value] = code
+                    pool.append(value)
+                codes[i] = code
+        else:
+            # key by (type, value) so hash-equal cross-type cells stay apart
+            for i, (value, m) in enumerate(zip(values, missing)):
+                if m:
+                    codes[i] = -1
+                    continue
+                key = (value.__class__, value)
+                code = index.get(key)
+                if code is None:
+                    code = len(pool)
+                    index[key] = code
+                    pool.append(value)
+                codes[i] = code
+    except TypeError:  # unhashable cells: no dedup, one code per cell
+        pool = []
+        for i, (value, m) in enumerate(zip(values, missing)):
+            if m:
+                codes[i] = -1
+            else:
+                codes[i] = len(pool)
+                pool.append(value)
+    return _object_array(pool), codes
+
+
 class Column:
     """A named, typed vector of values with a missing mask.
 
@@ -58,7 +243,7 @@ class Column:
         Force a :class:`ColumnKind`; inferred from the values when omitted.
     """
 
-    __slots__ = ("name", "kind", "data", "missing")
+    __slots__ = ("name", "kind", "missing", "_data", "_codes", "_pool")
 
     def __init__(
         self,
@@ -69,13 +254,53 @@ class Column:
         if not isinstance(name, str) or not name:
             raise ValueError(f"column name must be a non-empty string, got {name!r}")
         self.name = name
-        raw = list(values)
+        raw = values if isinstance(values, list) else list(values)
         if kind is not None:
             kind = ColumnKind(kind)
+        types = set(map(type, raw))
+        if (
+            kind in (None, ColumnKind.NUMERIC)
+            and _all_numeric_types(types)
+        ):
+            data = np.asarray(raw, dtype=np.float64)
+            missing = np.isnan(data)
+            if kind is not None or not bool(missing.all()):
+                # all-missing numeric input still infers STRING (seed rule)
+                self.kind = ColumnKind.NUMERIC
+                self._data = data
+                self.missing = missing
+                self._codes = None
+                self._pool = None
+                return
+        factorized = _factorize_raw(raw, types)
+        if factorized is None:
+            self.kind = kind if kind is not None else _infer_kind(raw)
+            data, missing = _coerce(raw, self.kind)
+            if self.kind is ColumnKind.NUMERIC:
+                self._data = data
+                self.missing = missing
+                self._codes = None
+                self._pool = None
+            else:
+                pool, codes = _encode_coerced(data.tolist(), missing)
+                self._pool = pool
+                self._codes = codes
+                self.missing = missing
+                self._data = None
+            return
+        pool, codes = factorized
+        self.kind = kind if kind is not None else _infer_kind(pool)
+        a, b = _coerce_pool(pool, codes, self.kind)
+        if self.kind is ColumnKind.NUMERIC:
+            self._data = a
+            self.missing = b
+            self._codes = None
+            self._pool = None
         else:
-            kind = _infer_kind(raw)
-        self.kind = kind
-        self.data, self.missing = _coerce(raw, kind)
+            self._pool = a
+            self._codes = b
+            self.missing = b < 0
+            self._data = None
 
     # -- construction helpers -------------------------------------------------
 
@@ -88,36 +313,154 @@ class Column:
         kind: ColumnKind | str | None = None,
     ) -> "Column":
         """Wrap pre-coerced numpy storage without re-inferring types."""
+        is_float = data.dtype.kind == "f"
+        if missing is None:
+            if is_float:
+                missing = np.isnan(data)
+            elif data.dtype == object and data.size:
+                missing = _IS_NONE(data).astype(bool)
+            else:
+                missing = np.zeros(data.shape[0], dtype=bool)
+        else:
+            missing = np.asarray(missing, dtype=bool)
+        if kind is None:
+            if is_float:
+                kind = ColumnKind.NUMERIC
+            elif data.dtype.kind == "b":
+                kind = ColumnKind.BOOLEAN
+            else:
+                present = data[~missing] if missing.any() else data
+                if present.size and bool(_IS_BOOL(present).all()):
+                    kind = ColumnKind.BOOLEAN
+                else:
+                    kind = ColumnKind.STRING
+        kind = ColumnKind(kind)
         col = cls.__new__(cls)
         col.name = name
-        if kind is None:
-            kind = ColumnKind.NUMERIC if data.dtype.kind == "f" else ColumnKind.STRING
-        col.kind = ColumnKind(kind)
-        col.data = data
-        if missing is None:
-            if data.dtype.kind == "f":
-                missing = np.isnan(data)
+        col.kind = kind
+        if kind is ColumnKind.NUMERIC:
+            if is_float:
+                col._data = data
             else:
-                missing = np.array([v is None for v in data], dtype=bool)
+                col._data = np.array(
+                    [
+                        np.nan if m else float(v)
+                        for v, m in zip(data.tolist(), missing)
+                    ],
+                    dtype=np.float64,
+                )
+            col.missing = missing
+            col._codes = None
+            col._pool = None
+            return col
+        if data.dtype.kind == "b":
+            # bool storage maps straight onto a two-value pool
+            col._pool = _object_array([False, True])
+            codes = data.astype(np.int32)
+            codes[missing] = -1
+            col._codes = codes
+        else:
+            col._pool, col._codes = _encode_coerced(data.tolist(), missing)
         col.missing = missing
+        col._data = None
         return col
+
+    @classmethod
+    def _from_numeric(
+        cls, name: str, data: np.ndarray, missing: np.ndarray
+    ) -> "Column":
+        col = cls.__new__(cls)
+        col.name = name
+        col.kind = ColumnKind.NUMERIC
+        col._data = data
+        col.missing = missing
+        col._codes = None
+        col._pool = None
+        return col
+
+    @classmethod
+    def _from_dict_storage(
+        cls,
+        name: str,
+        kind: ColumnKind,
+        pool: np.ndarray,
+        codes: np.ndarray,
+    ) -> "Column":
+        col = cls.__new__(cls)
+        col.name = name
+        col.kind = kind
+        col._pool = pool
+        col._codes = codes
+        col.missing = codes < 0
+        col._data = None
+        return col
+
+    @classmethod
+    def _from_raw_pool(
+        cls, name: str, kind: ColumnKind, pool: list, codes: np.ndarray
+    ) -> "Column":
+        """Run the per-distinct coercion over an arbitrary raw pool.
+
+        ``codes`` may contain ``-1``; a ``None`` sentinel is appended to
+        the pool so missing cells flow through the same gather.
+        """
+        ext_pool = list(pool) + [None]
+        ext_codes = np.where(codes < 0, len(ext_pool) - 1, codes).astype(np.int64)
+        a, b = _coerce_pool(ext_pool, ext_codes, kind)
+        if kind is ColumnKind.NUMERIC:
+            return cls._from_numeric(name, a, b)
+        return cls._from_dict_storage(name, kind, a, b)
+
+    # -- dictionary view -------------------------------------------------------
+
+    @property
+    def codes(self) -> np.ndarray | None:
+        """Per-row ``int32`` pool indices (``-1`` = missing); ``None`` for
+        numeric columns.  Read-only: treat codes and pool as immutable."""
+        return self._codes
+
+    @property
+    def pool(self) -> np.ndarray | None:
+        """Distinct-value object array backing the codes; ``None`` for
+        numeric columns."""
+        return self._pool
+
+    @property
+    def data(self) -> np.ndarray:
+        """Row-major storage view (seed layout), materialized lazily for
+        dictionary-encoded columns."""
+        if self._data is None:
+            ext = np.empty(self._pool.shape[0] + 1, dtype=object)
+            ext[:-1] = self._pool
+            ext[-1] = None
+            self._data = ext[self._codes]
+        return self._data
 
     # -- basic protocol --------------------------------------------------------
 
     def __len__(self) -> int:
-        return int(self.data.shape[0])
+        if self._codes is not None:
+            return int(self._codes.shape[0])
+        return int(self._data.shape[0])
 
     def __iter__(self):
-        for value, is_missing in zip(self.data, self.missing):
+        if self._codes is not None:
+            return iter(self.data.tolist())
+        return self._iter_numeric()
+
+    def _iter_numeric(self):
+        for value, is_missing in zip(self._data, self.missing):
             yield None if is_missing else value
 
     def __getitem__(self, idx: int) -> Any:
+        if self._codes is not None:
+            code = self._codes[idx]
+            if code < 0:
+                return None
+            return self._pool[code]
         if self.missing[idx]:
             return None
-        value = self.data[idx]
-        if self.kind is ColumnKind.NUMERIC:
-            return float(value)
-        return value
+        return float(self._data[idx])
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Column):
@@ -126,6 +469,33 @@ class Column:
             return False
         if len(self) != len(other):
             return False
+        if self._codes is not None and other._codes is not None:
+            try:
+                index = {
+                    value: code
+                    for code, value in enumerate(self._pool.tolist())
+                }
+            except TypeError:
+                return list(self) == list(other)
+            if len(index) < self._pool.shape[0]:
+                # hash-colliding pool entries: delegate to value compare
+                return list(self) == list(other)
+            remap = np.fromiter(
+                (index.get(value, -2) for value in other._pool.tolist()),
+                dtype=np.int64,
+                count=other._pool.shape[0],
+            )
+            ext = np.empty(remap.shape[0] + 1, dtype=np.int64)
+            ext[:-1] = remap
+            ext[-1] = -1
+            return bool(
+                np.array_equal(self._codes.astype(np.int64), ext[other._codes])
+            )
+        if self._codes is None and other._codes is None:
+            if not np.array_equal(self.missing, other.missing):
+                return False
+            keep = ~self.missing
+            return bool(np.array_equal(self._data[keep], other._data[keep]))
         return list(self) == list(other)
 
     def __repr__(self) -> str:
@@ -139,14 +509,17 @@ class Column:
     def to_list(self) -> list[Any]:
         """Values with missing entries as ``None``."""
         out = self.data.tolist()  # C-speed; floats become Python floats
-        if self.missing.any():
+        if self._codes is None and self.missing.any():
             for i in np.nonzero(self.missing)[0].tolist():
                 out[i] = None
         return out
 
     def non_missing(self) -> np.ndarray:
         """All present values, in row order."""
-        return self.data[~self.missing]
+        if self._codes is not None:
+            codes = self._codes
+            return self._pool[codes[codes >= 0]]
+        return self._data[~self.missing]
 
     @property
     def n_missing(self) -> int:
@@ -156,12 +529,41 @@ class Column:
     def missing_fraction(self) -> float:
         return float(self.missing.mean()) if len(self) else 0.0
 
+    def _distinct_info(self) -> tuple[list[Any], list[int]]:
+        """Distinct pool values in first-seen row order, with counts."""
+        codes = self._codes
+        present = codes[codes >= 0]
+        if present.size == 0:
+            return [], []
+        used, first, counts = np.unique(
+            present, return_index=True, return_counts=True
+        )
+        order = np.argsort(first, kind="stable")
+        values = self._pool[used[order]].tolist()
+        return values, counts[order].tolist()
+
     def unique(self) -> list[Any]:
         """Distinct non-missing values, in first-seen order."""
+        if self._codes is not None:
+            values, _ = self._distinct_info()
+            # dict.fromkeys re-applies the seed's hash collapse for pools
+            # that keep hash-equal values apart (from_numpy storage)
+            return list(dict.fromkeys(values))
         return list(dict.fromkeys(self.non_missing().tolist()))
 
     def value_counts(self) -> dict[Any, int]:
         """Counts of distinct non-missing values, most frequent first."""
+        if self._codes is not None:
+            values, counts = self._distinct_info()
+            merged: dict[Any, int] = {}
+            for value, count in zip(values, counts):
+                if value in merged:
+                    merged[value] += count
+                else:
+                    merged[value] = count
+            return dict(
+                sorted(merged.items(), key=lambda kv: (-kv[1], str(kv[0])))
+            )
         counts = Counter(self.non_missing().tolist())
         return dict(sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0]))))
 
@@ -173,39 +575,90 @@ class Column:
 
     def take(self, indices: Sequence[int] | np.ndarray) -> "Column":
         idx = np.asarray(indices, dtype=np.intp)
-        return Column.from_numpy(self.name, self.data[idx], self.missing[idx], self.kind)
+        if self._codes is not None:
+            return Column._from_dict_storage(
+                self.name, self.kind, self._pool, self._codes[idx]
+            )
+        return Column._from_numeric(
+            self.name, self._data[idx], self.missing[idx]
+        )
 
     def mask_rows(self, keep: np.ndarray) -> "Column":
         keep = np.asarray(keep, dtype=bool)
-        return Column.from_numpy(self.name, self.data[keep], self.missing[keep], self.kind)
+        if self._codes is not None:
+            return Column._from_dict_storage(
+                self.name, self.kind, self._pool, self._codes[keep]
+            )
+        return Column._from_numeric(
+            self.name, self._data[keep], self.missing[keep]
+        )
 
     def renamed(self, name: str) -> "Column":
-        return Column.from_numpy(name, self.data, self.missing, self.kind)
+        if self._codes is not None:
+            return Column._from_dict_storage(
+                name, self.kind, self._pool, self._codes
+            )
+        return Column._from_numeric(name, self._data, self.missing)
 
     def copy(self) -> "Column":
-        return Column.from_numpy(self.name, self.data.copy(), self.missing.copy(), self.kind)
+        if self._codes is not None:
+            return Column._from_dict_storage(
+                self.name, self.kind, self._pool, self._codes.copy()
+            )
+        return Column._from_numeric(
+            self.name, self._data.copy(), self.missing.copy()
+        )
 
     def astype_numeric(self) -> "Column":
         """Best-effort conversion to a numeric column (unparseable -> missing)."""
         if self.kind is ColumnKind.NUMERIC:
             return self.copy()
-        return Column(self.name, list(self), kind=ColumnKind.NUMERIC)
+        return Column._from_raw_pool(
+            self.name, ColumnKind.NUMERIC, self._pool.tolist(), self._codes
+        )
 
     def astype_string(self) -> "Column":
         if self.kind is ColumnKind.STRING:
             return self.copy()
-        values = [None if v is None else _format_value(v) for v in self]
-        return Column(self.name, values, kind=ColumnKind.STRING)
+        if self._codes is not None:
+            formatted = [_format_value(v) for v in self._pool.tolist()]
+            return Column._from_raw_pool(
+                self.name, ColumnKind.STRING, formatted, self._codes
+            )
+        present = ~self.missing
+        uniq, inverse = np.unique(self._data[present], return_inverse=True)
+        formatted = [_format_value(float(v)) for v in uniq.tolist()]
+        codes = np.full(self.missing.shape[0], -1, dtype=np.int64)
+        codes[present] = inverse
+        return Column._from_raw_pool(
+            self.name, ColumnKind.STRING, formatted, codes
+        )
 
     def fill_missing(self, fill_value: Any) -> "Column":
-        values = [fill_value if v is None else v for v in self]
-        return Column(self.name, values, kind=self.kind)
+        if self._codes is not None:
+            pool = self._pool.tolist() + [fill_value]
+            codes = np.where(
+                self._codes < 0, len(pool) - 1, self._codes
+            ).astype(np.int64)
+            return Column._from_raw_pool(self.name, self.kind, pool, codes)
+        if not self.missing.any():
+            return self.copy()
+        if _is_missing_scalar(fill_value):
+            return self.copy()
+        try:
+            fill = float(fill_value)
+        except (TypeError, ValueError):
+            return self.copy()
+        data = np.where(self.missing, fill, self._data)
+        return Column._from_numeric(
+            self.name, data, np.zeros(data.shape[0], dtype=bool)
+        )
 
     def numeric_values(self) -> np.ndarray:
         """Float array with ``nan`` in missing slots (numeric columns only)."""
         if self.kind is not ColumnKind.NUMERIC:
             raise TypeError(f"column {self.name!r} is {self.kind.value}, not numeric")
-        return self.data
+        return self._data
 
 
 def _infer_kind(values: list[Any]) -> ColumnKind:
@@ -240,6 +693,8 @@ def _infer_kind(values: list[Any]) -> ColumnKind:
 
 
 def _coerce(values: list[Any], kind: ColumnKind) -> tuple[np.ndarray, np.ndarray]:
+    """Per-cell fallback coercion for values the pool factorizer rejects
+    (unhashable cells, bools mixed with numbers, exotic scalar types)."""
     n = len(values)
     missing = np.zeros(n, dtype=bool)
     if kind is ColumnKind.NUMERIC:
@@ -283,6 +738,10 @@ def _to_bool(value: Any) -> bool:
 def _format_value(value: Any) -> str:
     if isinstance(value, str):
         return value
+    if isinstance(value, bool):
+        # checked before int/float: bool subclasses int, so the numeric
+        # branches would render True/False as "1"/"0"
+        return "true" if value else "false"
     if isinstance(value, (float, np.floating)):
         as_float = float(value)
         if as_float.is_integer():
@@ -290,6 +749,4 @@ def _format_value(value: Any) -> str:
         return repr(as_float)
     if isinstance(value, (int, np.integer)):
         return str(int(value))
-    if isinstance(value, bool):
-        return "true" if value else "false"
     return str(value)

@@ -20,7 +20,9 @@ import os
 from dataclasses import dataclass
 from typing import Any, Iterator, Sequence
 
-from repro.table.column import Column
+import numpy as np
+
+from repro.table.column import Column, ColumnKind
 from repro.table.table import Table
 
 __all__ = ["CsvChunk", "read_csv", "write_csv", "sniff_delimiter", "iter_csv_chunks"]
@@ -148,8 +150,10 @@ def read_csv(
         if header is None:
             header = chunk.header
             pools = [[] for _ in header]
-        for index, pool in enumerate(pools):
-            pool.extend(chunk.column_values(index))
+        if chunk.rows:
+            # one zip transpose instead of a per-column row scan
+            for pool, cells in zip(pools, zip(*chunk.rows)):
+                pool.extend(cells)
     if header is None:
         return Table(name=name or _default_name(path))
     columns = [
@@ -169,9 +173,24 @@ def write_csv(
     with open(path, "w", newline="", encoding="utf-8") as handle:
         writer = csv.writer(handle, delimiter=delimiter)
         writer.writerow(names)
-        cols = [table[n] for n in names]
-        for i in range(table.n_rows):
-            writer.writerow([_cell(col[i]) for col in cols])
+        rendered = [_render_column(table[n]) for n in names]
+        writer.writerows(zip(*rendered))
+
+
+def _render_column(col: Column) -> list[str]:
+    """Format one column's cells, once per distinct value."""
+    if col.kind is ColumnKind.NUMERIC:
+        present = ~col.missing
+        uniq, inverse = np.unique(col.numeric_values()[present], return_inverse=True)
+        formatted = np.array([_cell(float(v)) for v in uniq.tolist()], dtype=object)
+        cells = np.full(len(col), "", dtype=object)
+        if uniq.shape[0]:
+            cells[present] = formatted[inverse]
+        return cells.tolist()
+    ext = np.empty(col.pool.shape[0] + 1, dtype=object)
+    ext[:-1] = [_cell(v) for v in col.pool.tolist()]
+    ext[-1] = ""
+    return ext[col.codes].tolist()
 
 
 def _cell(value: Any) -> str:

@@ -10,6 +10,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.table.column import Column, ColumnKind
 from repro.table.table import Table
 
 __all__ = [
@@ -30,20 +31,81 @@ def drop_missing_rows(table: Table, subset: Sequence[str] | None = None) -> Tabl
     return table.filter_mask(keep)
 
 
+def _sort_rank(col: Column) -> np.ndarray:
+    """Per-row sort key: the value itself for numeric columns, the rank
+    of the value in the sorted pool otherwise.  Missing slots get 0 (the
+    caller orders them separately)."""
+    if col.kind is ColumnKind.NUMERIC:
+        return np.where(col.missing, 0.0, col.numeric_values())
+    order = sorted(
+        range(col.pool.shape[0]), key=col.pool.tolist().__getitem__
+    )
+    ranks = np.empty(col.pool.shape[0] + 1, dtype=np.int64)
+    ranks[-1] = 0
+    for rank, code in enumerate(order):
+        ranks[code] = rank
+    return ranks[col.codes]  # code -1 wraps to the trailing 0 slot
+
+
 def sort_by(table: Table, name: str, descending: bool = False) -> Table:
     """Stable sort by one column; missing values sort last."""
     col = table[name]
-    keys = []
-    for i in range(table.n_rows):
-        value = col[i]
-        keys.append((value is None, value if value is not None else 0, i))
-    order = sorted(range(table.n_rows), key=lambda i: keys[i], reverse=descending)
+    miss = col.missing
+    rank = _sort_rank(col)
+    idx = np.arange(table.n_rows, dtype=np.intp)
+    present = idx[~miss]
     if descending:
-        # keep missing values last even when descending
-        order = [i for i in order if col[i] is not None] + [
-            i for i in order if col[i] is None
-        ]
-    return table.take(np.asarray(order, dtype=np.intp))
+        # ties break by descending row index (the seed's reverse sort),
+        # and missing rows land last in reverse row order
+        order_present = present[np.lexsort((-present, -rank[present]))]
+        order_missing = idx[miss][::-1]
+    else:
+        order_present = present[np.lexsort((present, rank[present]))]
+        order_missing = idx[miss]
+    return table.take(np.concatenate([order_present, order_missing]))
+
+
+def _group_rows(col: Column) -> list[tuple[Any, list[int]]] | None:
+    """Groups of row indices keyed by cell value, in first-seen order.
+
+    Missing cells form a ``None``-keyed group, positioned where the first
+    missing row appears (seed dict-insertion semantics).  Returns ``None``
+    when the pool cannot back a hash table faithfully.
+    """
+    n = len(col)
+    if n == 0:
+        return []
+    if col.kind is ColumnKind.NUMERIC:
+        present = ~col.missing
+        ids = np.full(n, -1, dtype=np.int64)
+        uniq, inverse = np.unique(
+            col.numeric_values()[present], return_inverse=True
+        )
+        if uniq.shape[0]:
+            ids[present] = inverse
+        pool_values = uniq.tolist()
+    else:
+        pool = col.pool
+        pool_values = pool.tolist()
+        try:
+            index = {value: code for code, value in enumerate(pool_values)}
+        except TypeError:
+            return None
+        if len(index) < pool.shape[0]:
+            return None  # hash-equal pool entries: seed would merge them
+        ids = col.codes.astype(np.int64)
+    used, first, inverse = np.unique(ids, return_index=True, return_inverse=True)
+    row_order = np.argsort(inverse, kind="stable")
+    sizes = np.bincount(inverse)
+    offsets = np.concatenate(([0], np.cumsum(sizes)))
+    out: list[tuple[Any, list[int]]] = []
+    for pos in np.argsort(first, kind="stable").tolist():
+        gid = int(used[pos])
+        key_value = None if gid < 0 else pool_values[gid]
+        out.append(
+            (key_value, row_order[offsets[pos]:offsets[pos + 1]].tolist())
+        )
+    return out
 
 
 def group_by(
@@ -56,18 +118,26 @@ def group_by(
     ``aggregations`` maps output column name to ``(input column, fn)`` where
     ``fn`` receives the list of non-missing values of that group.
     """
-    groups: dict[Any, list[int]] = {}
     key_col = table[key]
-    for i in range(table.n_rows):
-        groups.setdefault(key_col[i], []).append(i)
+    grouped = _group_rows(key_col)
+    if grouped is None:  # pathological pools: seed dict semantics
+        groups: dict[Any, list[int]] = {}
+        append_for = groups.setdefault
+        for i, group_key in enumerate(key_col.to_list()):  # repro: allow-per-row
+            append_for(group_key, []).append(i)
+        grouped = list(groups.items())
+    sources = {
+        in_name: table[in_name].to_list()
+        for in_name, _ in aggregations.values()
+    }
     out: dict[str, list[Any]] = {key: []}
     for out_name in aggregations:
         out[out_name] = []
-    for group_key, indices in groups.items():
+    for group_key, indices in grouped:
         out[key].append(group_key)
         for out_name, (in_name, fn) in aggregations.items():
-            source = table[in_name]
-            values = [source[i] for i in indices if source[i] is not None]
+            cells = sources[in_name]
+            values = [cells[i] for i in indices if cells[i] is not None]
             out[out_name].append(fn(values) if values else None)
     return Table.from_dict(out, name=table.name)
 
@@ -76,15 +146,50 @@ def drop_duplicate_rows(table: Table, subset: Sequence[str] | None = None) -> Ta
     """Keep the first occurrence of each distinct row (or ``subset`` of columns)."""
     names = list(subset) if subset is not None else table.column_names
     cols = [table[n] for n in names]
-    seen: set[tuple[Any, ...]] = set()
-    keep: list[int] = []
-    for i in range(table.n_rows):
-        signature = tuple(col[i] for col in cols)
-        if signature in seen:
-            continue
-        seen.add(signature)
-        keep.append(i)
-    return table.take(np.asarray(keep, dtype=np.intp))
+    matrix = _row_signature_matrix(cols, table.n_rows)
+    if matrix is None:  # pathological pools: seed set semantics
+        seen: set[tuple[Any, ...]] = set()
+        keep: list[int] = []
+        lists = [col.to_list() for col in cols]
+        for i, signature in enumerate(zip(*lists)):  # repro: allow-per-row
+            if signature in seen:
+                continue
+            seen.add(signature)
+            keep.append(i)
+        return table.take(np.asarray(keep, dtype=np.intp))
+    if matrix.shape[1] == 0:
+        first = np.zeros(min(table.n_rows, 1), dtype=np.intp)
+        return table.take(first)
+    _, first = np.unique(matrix, axis=0, return_index=True)
+    return table.take(np.sort(first))
+
+
+def _row_signature_matrix(cols: list[Column], n_rows: int) -> np.ndarray | None:
+    """Per-column integer codes stacked into an ``(n_rows, k)`` matrix
+    whose row equality matches the seed's value-tuple equality."""
+    parts = []
+    for col in cols:
+        if col.kind is ColumnKind.NUMERIC:
+            present = ~col.missing
+            codes = np.full(n_rows, -1, dtype=np.int64)
+            uniq, inverse = np.unique(
+                col.numeric_values()[present], return_inverse=True
+            )
+            if uniq.shape[0]:
+                codes[present] = inverse
+        else:
+            pool_values = col.pool.tolist()
+            try:
+                index = {value: code for code, value in enumerate(pool_values)}
+            except TypeError:
+                return None
+            if len(index) < len(pool_values):
+                return None  # hash-equal pool entries: tuples would merge them
+            codes = col.codes.astype(np.int64)
+        parts.append(codes)
+    if not parts:
+        return np.empty((n_rows, 0), dtype=np.int64)
+    return np.column_stack(parts)
 
 
 def stack_tables(tables: Sequence[Table], name: str = "stacked") -> Table:

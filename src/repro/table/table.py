@@ -129,7 +129,11 @@ class Table:
         return {name: col[index] for name, col in self._columns.items()}
 
     def to_rows(self) -> list[dict[str, Any]]:
-        return [self.row(i) for i in range(self.n_rows)]
+        names = self.column_names
+        if not names:
+            return []
+        lists = [self._columns[name].to_list() for name in names]
+        return [dict(zip(names, cells)) for cells in zip(*lists)]
 
     def to_dict(self) -> dict[str, list[Any]]:
         return {name: col.to_list() for name, col in self._columns.items()}
@@ -173,7 +177,7 @@ class Table:
 
     def filter(self, predicate: Callable[[dict[str, Any]], bool]) -> "Table":
         keep = np.fromiter(
-            (bool(predicate(self.row(i))) for i in range(self.n_rows)),
+            (bool(predicate(row)) for row in self.to_rows()),
             dtype=bool,
             count=self.n_rows,
         )
@@ -203,11 +207,7 @@ class Table:
             )
         merged = []
         for name in self.column_names:
-            values = self[name].to_list() + other[name].to_list()
-            kind = self[name].kind
-            if kind is not other[name].kind:
-                kind = None  # re-infer on mixed kinds
-            merged.append(Column(name, values, kind=kind))
+            merged.append(_vstack_columns(self[name], other[name]))
         return Table(merged, name=self.name)
 
     def concat_columns(self, other: "Table") -> "Table":
@@ -242,39 +242,19 @@ class Table:
         if how not in ("inner", "left"):
             raise ValueError(f"unsupported join type {how!r}")
         left_key, right_key = (on, on) if isinstance(on, str) else on
-        right_index: dict[Any, list[int]] = {}
-        right_col = other[right_key]
-        for j in range(other.n_rows):
-            key = right_col[j]
-            if key is None:
-                continue
-            right_index.setdefault(key, []).append(j)
+        left_rows, right_rows = _join_row_pairs(
+            self[left_key], other[right_key], how
+        )
 
-        left_rows: list[int] = []
-        right_rows: list[int] = []
-        left_col = self[left_key]
-        for i in range(self.n_rows):
-            key = left_col[i]
-            matches = right_index.get(key, []) if key is not None else []
-            if matches:
-                if how == "left":
-                    matches = matches[:1]
-                for j in matches:
-                    left_rows.append(i)
-                    right_rows.append(j)
-            elif how == "left":
-                left_rows.append(i)
-                right_rows.append(-1)
-
-        result = self.take(np.asarray(left_rows, dtype=np.intp))
+        result = self.take(left_rows)
         taken_names = set(result.column_names)
         for name in other.column_names:
             if name == right_key:
                 continue
             out_name = name if name not in taken_names else name + suffix
-            source = other[name]
-            values = [None if j < 0 else source[j] for j in right_rows]
-            result.add_column(Column(out_name, values, kind=source.kind))
+            result.add_column(_gather_with_missing(
+                other[name], right_rows, out_name
+            ))
             taken_names.add(out_name)
         return result
 
@@ -302,3 +282,163 @@ class Table:
 
     def missing_cells(self) -> int:
         return int(sum(col.n_missing for col in self))
+
+
+# -- vectorized kernels ------------------------------------------------------
+
+
+def _per_row_join(left_col: Column, right_col: Column, how: str):
+    """Seed-exact per-row join fallback for pathological key columns
+    (hash-colliding or unhashable pools)."""
+    right_index: dict[Any, list[int]] = {}
+    for j, key in enumerate(right_col):  # repro: allow-per-row
+        if key is None:
+            continue
+        right_index.setdefault(key, []).append(j)
+    left_rows: list[int] = []
+    right_rows: list[int] = []
+    for i, key in enumerate(left_col):  # repro: allow-per-row
+        matches = right_index.get(key, []) if key is not None else []
+        if matches:
+            if how == "left":
+                matches = matches[:1]
+            for j in matches:
+                left_rows.append(i)
+                right_rows.append(j)
+        elif how == "left":
+            left_rows.append(i)
+            right_rows.append(-1)
+    return (
+        np.asarray(left_rows, dtype=np.intp),
+        np.asarray(right_rows, dtype=np.int64),
+    )
+
+
+def _right_key_groups(col: Column):
+    """Group right-side rows by key value for the factorized hash join.
+
+    Returns ``(key_to_gid, rows_sorted, offsets, sizes)`` where group
+    ``g`` owns ``rows_sorted[offsets[g]:offsets[g] + sizes[g]]`` in
+    ascending row order, or ``None`` when the pool cannot back a hash
+    table faithfully (hash-equal distinct entries).
+    """
+    if col.kind is ColumnKind.NUMERIC:
+        present = np.flatnonzero(~col.missing)
+        values = col.numeric_values()[present]
+        uniq, inverse = np.unique(values, return_inverse=True)
+        order = np.argsort(inverse, kind="stable")
+        rows_sorted = present[order]
+        sizes = np.bincount(inverse, minlength=uniq.shape[0]).astype(np.int64)
+        key_to_gid = {value: gid for gid, value in enumerate(uniq.tolist())}
+    else:
+        codes = col.codes
+        present = np.flatnonzero(codes >= 0)
+        used, inverse = np.unique(codes[present], return_inverse=True)
+        order = np.argsort(inverse, kind="stable")
+        rows_sorted = present[order]
+        sizes = np.bincount(inverse, minlength=used.shape[0]).astype(np.int64)
+        pool = col.pool
+        key_to_gid = {pool[code]: gid for gid, code in enumerate(used.tolist())}
+        if len(key_to_gid) < used.shape[0]:
+            return None  # hash-equal pool entries would split one seed group
+    offsets = np.zeros(sizes.shape[0], dtype=np.int64)
+    if sizes.shape[0]:
+        np.cumsum(sizes[:-1], out=offsets[1:])
+    return key_to_gid, rows_sorted, offsets, sizes
+
+
+def _left_group_ids(col: Column, key_to_gid: dict) -> np.ndarray:
+    """Per-left-row group id (-1 = missing key or no match)."""
+    n = len(col)
+    if col.kind is ColumnKind.NUMERIC:
+        present = ~col.missing
+        uniq, inverse = np.unique(col.numeric_values()[present], return_inverse=True)
+        lut = np.fromiter(
+            (key_to_gid.get(value, -1) for value in uniq.tolist()),
+            dtype=np.int64,
+            count=uniq.shape[0],
+        )
+        gids = np.full(n, -1, dtype=np.int64)
+        if uniq.shape[0]:
+            gids[present] = lut[inverse]
+        return gids
+    pool = col.pool
+    lut = np.full(pool.shape[0] + 1, -1, dtype=np.int64)
+    for code, value in enumerate(pool.tolist()):
+        lut[code] = key_to_gid.get(value, -1)
+    return lut[col.codes]  # code -1 wraps to the trailing -1 slot
+
+
+def _join_row_pairs(left_col: Column, right_col: Column, how: str):
+    """Row-index pairs of a factorized hash join (seed output order)."""
+    try:
+        groups = _right_key_groups(right_col)
+        if groups is None:
+            return _per_row_join(left_col, right_col, how)
+        key_to_gid, rows_sorted, offsets, sizes = groups
+        gids = _left_group_ids(left_col, key_to_gid)
+    except TypeError:  # unhashable key values: seed dict semantics apply
+        return _per_row_join(left_col, right_col, how)
+    n = gids.shape[0]
+    if how == "left":
+        first_ext = np.append(
+            rows_sorted[offsets] if sizes.shape[0] else np.empty(0, np.int64),
+            np.int64(-1),
+        )
+        return np.arange(n, dtype=np.intp), first_ext[gids]
+    sizes_ext = np.append(sizes, np.int64(0))
+    counts = sizes_ext[gids]
+    total = int(counts.sum())
+    left_rows = np.repeat(np.arange(n, dtype=np.intp), counts)
+    offsets_ext = np.append(offsets, np.int64(0))
+    starts = np.repeat(offsets_ext[gids], counts)
+    exclusive = np.concatenate(([0], np.cumsum(counts)[:-1])) if n else counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(exclusive, counts)
+    return left_rows, rows_sorted[starts + within]
+
+
+def _gather_with_missing(source: Column, rows: np.ndarray, name: str) -> Column:
+    """Gather ``source[rows]`` with ``-1`` rows becoming missing cells,
+    re-coercing per distinct value exactly like the seed's
+    ``Column(values, kind=source.kind)`` rebuild."""
+    if source.kind is ColumnKind.NUMERIC:
+        data_ext = np.append(source.numeric_values(), np.nan)
+        miss_ext = np.append(source.missing, True)
+        return Column._from_numeric(name, data_ext[rows], miss_ext[rows])
+    codes_ext = np.append(source.codes, np.int32(-1))
+    return Column._from_raw_pool(
+        name, source.kind, source.pool.tolist(), codes_ext[rows]
+    )
+
+
+def _vstack_columns(a: Column, b: Column) -> Column:
+    """Vertical concatenation with dictionary merge (seed re-coercion
+    semantics preserved via the per-distinct pool coercion)."""
+    kind = a.kind
+    if kind is not b.kind:
+        return Column(a.name, a.to_list() + b.to_list(), kind=None)
+    if kind is ColumnKind.NUMERIC:
+        return Column._from_numeric(
+            a.name,
+            np.concatenate([a.numeric_values(), b.numeric_values()]),
+            np.concatenate([a.missing, b.missing]),
+        )
+    pool_a = a.pool.tolist()
+    try:
+        index = {value: code for code, value in enumerate(pool_a)}
+    except TypeError:
+        return Column(a.name, a.to_list() + b.to_list(), kind=kind)
+    if len(index) < len(pool_a):
+        return Column(a.name, a.to_list() + b.to_list(), kind=kind)
+    merged_pool = list(pool_a)
+    remap = np.empty(b.pool.shape[0] + 1, dtype=np.int64)
+    remap[-1] = -1
+    for code, value in enumerate(b.pool.tolist()):
+        mapped = index.get(value)
+        if mapped is None:
+            mapped = len(merged_pool)
+            index[value] = mapped
+            merged_pool.append(value)
+        remap[code] = mapped
+    codes = np.concatenate([a.codes.astype(np.int64), remap[b.codes]])
+    return Column._from_raw_pool(a.name, kind, merged_pool, codes)

@@ -657,6 +657,54 @@ class TestRepoProfile:
         ok = "import time\nstart = time.monotonic()\nd = time.perf_counter()\n"
         assert not analyze_source(ok, profile="repo").findings
 
+    def test_per_row_iteration_flagged(self):
+        code = (
+            "def f(table):\n"
+            "    out = []\n"
+            "    for i in range(table.n_rows):\n"
+            "        out.append(table.row(i))\n"
+            "    return out\n"
+        )
+        report = analyze_source(code, profile="repo")
+        assert any(
+            f.rule_id == "per-row-iteration" for f in report.warnings()
+        )
+
+    def test_per_row_len_subscript_flagged(self):
+        code = (
+            "def f(values):\n"
+            "    total = 0\n"
+            "    for i in range(len(values)):\n"
+            "        total += values[i]\n"
+            "    return total\n"
+        )
+        report = analyze_source(code, profile="repo")
+        assert any(
+            f.rule_id == "per-row-iteration" for f in report.warnings()
+        )
+
+    def test_per_row_len_without_subscript_clean(self):
+        code = (
+            "def f(values):\n"
+            "    for i in range(len(values)):\n"
+            "        print(i)\n"
+        )
+        report = analyze_source(code, profile="repo")
+        assert not any(
+            f.rule_id == "per-row-iteration" for f in report.findings
+        )
+
+    def test_per_row_pragma_suppresses(self):
+        code = (
+            "def f(table):\n"
+            "    for i in range(table.n_rows):  # repro: allow-per-row\n"
+            "        table.row(i)\n"
+        )
+        report = analyze_source(code, profile="repo")
+        assert not any(
+            f.rule_id == "per-row-iteration" for f in report.findings
+        )
+
     def test_src_repro_lints_clean(self):
         reports = lint_paths(["src/repro"], profile="repo")
         errors = [f for r in reports for f in r.errors()]

@@ -135,3 +135,27 @@ class TestValidation:
     def test_bad_boolean_rejected(self):
         with pytest.raises(ValueError):
             Column("a", ["maybe"], kind="boolean")
+
+
+class TestFormatValue:
+    """Regression: bool must be checked before the numeric branches.
+
+    ``bool`` subclasses ``int``, so an isinstance-ordered formatter that
+    tests float/int first renders ``True`` as ``"1"`` — corrupting
+    string-coerced columns that mix booleans with text.
+    """
+
+    def test_bools_format_as_words_not_digits(self):
+        from repro.table.column import _format_value
+
+        assert _format_value(True) == "true"
+        assert _format_value(False) == "false"
+        # the numeric branches still behave
+        assert _format_value(1) == "1"
+        assert _format_value(1.0) == "1"
+        assert _format_value(2.5) == "2.5"
+
+    def test_string_coerced_bool_cells(self):
+        col = Column("c", [True, "word", False, None], kind="string")
+        assert col.to_list() == ["true", "word", "false", None]
+        assert col.unique() == ["true", "word", "false"]
